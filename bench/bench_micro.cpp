@@ -1,0 +1,144 @@
+//===- bench/bench_micro.cpp - Engineering microbenchmarks ----------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark timings for the building blocks: program generation,
+/// validation, interpretation, fuzzing, compilation, sequence replay and
+/// reduction. Not a paper table; engineering-health numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Validator.h"
+#include "campaign/Campaign.h"
+#include "core/Fuzzer.h"
+#include "core/Reducer.h"
+#include "exec/Interpreter.h"
+#include "gen/Generator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace spvfuzz;
+
+namespace {
+
+const GeneratedProgram &sharedProgram() {
+  static GeneratedProgram Program = generateProgram(7);
+  return Program;
+}
+
+bool variantHasKill(const Module &M) {
+  for (const Function &Func : M.Functions)
+    for (const BasicBlock &Block : Func.Blocks)
+      for (const Instruction &Inst : Block.Body)
+        if (Inst.Opcode == Op::Kill)
+          return true;
+  return false;
+}
+
+const FuzzResult &sharedFuzz() {
+  static FuzzResult Result = [] {
+    const GeneratedProgram &Program = sharedProgram();
+    static std::vector<GeneratedProgram> DonorPrograms =
+        generateCorpus(3, 99);
+    std::vector<const Module *> Donors;
+    for (const GeneratedProgram &Donor : DonorPrograms)
+      Donors.push_back(&Donor.M);
+    FuzzerOptions Options;
+    Options.TransformationLimit = 200;
+    // Pick the first seed whose variant contains a Kill so that the
+    // reduction benchmark has a non-trivial interestingness target.
+    for (uint64_t Seed = 7;; ++Seed) {
+      FuzzResult Candidate =
+          fuzz(Program.M, Program.Input, Donors, Seed, Options);
+      if (variantHasKill(Candidate.Variant))
+        return Candidate;
+    }
+  }();
+  return Result;
+}
+
+void BM_GenerateProgram(benchmark::State &State) {
+  uint64_t Seed = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(generateProgram(Seed++).M.Bound);
+}
+BENCHMARK(BM_GenerateProgram);
+
+void BM_ValidateModule(benchmark::State &State) {
+  const Module &M = sharedFuzz().Variant;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(validateModule(M).size());
+}
+BENCHMARK(BM_ValidateModule);
+
+void BM_Interpret(benchmark::State &State) {
+  const GeneratedProgram &Program = sharedProgram();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        interpret(Program.M, Program.Input).Outputs.size());
+}
+BENCHMARK(BM_Interpret);
+
+void BM_FuzzProgram(benchmark::State &State) {
+  const GeneratedProgram &Program = sharedProgram();
+  std::vector<const Module *> Donors;
+  FuzzerOptions Options;
+  Options.TransformationLimit = 150;
+  uint64_t Seed = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        fuzz(Program.M, Program.Input, Donors, Seed++, Options)
+            .Sequence.size());
+}
+BENCHMARK(BM_FuzzProgram);
+
+void BM_ReplaySequence(benchmark::State &State) {
+  const GeneratedProgram &Program = sharedProgram();
+  const FuzzResult &Fuzzed = sharedFuzz();
+  for (auto _ : State) {
+    Module Replayed = Program.M;
+    FactManager Facts;
+    Facts.setKnownInput(Program.Input);
+    benchmark::DoNotOptimize(
+        applySequence(Replayed, Facts, Fuzzed.Sequence).size());
+  }
+}
+BENCHMARK(BM_ReplaySequence);
+
+void BM_TargetCompile(benchmark::State &State) {
+  const FuzzResult &Fuzzed = sharedFuzz();
+  std::vector<Target> Targets = standardTargets();
+  const Target &SwiftShader = Targets.back();
+  for (auto _ : State) {
+    Module Optimized;
+    benchmark::DoNotOptimize(
+        SwiftShader.compile(Fuzzed.Variant, Optimized).has_value());
+  }
+}
+BENCHMARK(BM_TargetCompile);
+
+void BM_ReduceSequence(benchmark::State &State) {
+  const GeneratedProgram &Program = sharedProgram();
+  const FuzzResult &Fuzzed = sharedFuzz();
+  // A synthetic interestingness test: "a Kill instruction is present".
+  InterestingnessTest Test = [](const Module &Variant, const FactManager &) {
+    for (const Function &Func : Variant.Functions)
+      for (const BasicBlock &Block : Func.Blocks)
+        for (const Instruction &Inst : Block.Body)
+          if (Inst.Opcode == Op::Kill)
+            return true;
+    return false;
+  };
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        reduceSequence(Program.M, Program.Input, Fuzzed.Sequence, Test)
+            .Minimized.size());
+}
+BENCHMARK(BM_ReduceSequence);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+//===- bench/bench_rq2_reduction.cpp - Regenerates the ğ4.2 numbers -------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RQ2: quality of the "free" reduction vs the hand-crafted baseline
+/// reducer, measured as the instruction-count delta between the original
+/// program and the reduced variant (paper medians: 8 for spirv-fuzz vs 29
+/// for glsl-fuzz, against unreduced deltas in the thousands). Reductions
+/// run on the GPU-less targets, as in ğ4.2.
+///
+//===----------------------------------------------------------------------===//
+
+#include "campaign/Experiments.h"
+
+#include <cstdio>
+
+using namespace spvfuzz;
+
+static void printToolSummary(const ReductionData &Data,
+                             const std::string &Tool) {
+  std::vector<ReductionRecord> Records = Data.forTool(Tool);
+  if (Records.empty()) {
+    printf("%-12s (no reductions)\n", Tool.c_str());
+    return;
+  }
+  double TotalChecks = 0, TotalMinimized = 0;
+  for (const ReductionRecord &Record : Records) {
+    TotalChecks += static_cast<double>(Record.Checks);
+    TotalMinimized += static_cast<double>(Record.MinimizedLength);
+  }
+  printf("%-12s reductions=%-4zu median-delta=%-7.1f "
+         "median-unreduced-delta=%-8.1f mean-kept-transformations=%-6.1f "
+         "mean-checks=%.1f\n",
+         Tool.c_str(), Records.size(), ReductionData::medianDelta(Records),
+         ReductionData::medianUnreducedDelta(Records),
+         TotalMinimized / static_cast<double>(Records.size()),
+         TotalChecks / static_cast<double>(Records.size()));
+}
+
+int main() {
+  ReductionConfig Config;
+  Config.TestsPerTool = envSize("REPRO_TESTS", 300);
+  Config.MaxReductionsPerTool = envSize("REPRO_REDUCTIONS", 120);
+  printf("RQ2: test-case reduction quality (up to %zu reductions per tool, "
+         "GPU-less targets)\n\n",
+         Config.MaxReductionsPerTool);
+  ReductionData Data = runReductions(Config);
+
+  printToolSummary(Data, "spirv-fuzz");
+  printToolSummary(Data, "glsl-fuzz");
+
+  printf("\nPer-reduction detail (delta = reduced variant size - original "
+         "size):\n");
+  printf("%-12s %-14s %-7s %-10s %-7s %s\n", "Tool", "Target", "Delta",
+         "Unreduced", "Kept", "Signature");
+  for (const ReductionRecord &Record : Data.Records)
+    printf("%-12s %-14s %-7ld %-10ld %-7zu %s\n", Record.Tool.c_str(),
+           Record.TargetName.c_str(), Record.delta(),
+           Record.unreducedDelta(), Record.MinimizedLength,
+           Record.Signature.c_str());
+
+  printf("\nShape to compare against the paper: both reducers collapse "
+         "multi-hundred-instruction\nvariants to near-original size, and "
+         "spirv-fuzz's free reducer yields a smaller median\ndelta than the "
+         "hand-crafted group-reverting baseline reducer (paper: 8 vs 29).\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+//===- bench/bench_table4_dedup.cpp - Regenerates Table 4 -----------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RQ3: effectiveness of the transformation-type deduplication heuristic
+/// (Figure 6 algorithm). Crash-triggering reduced tests per target (NVIDIA
+/// excluded, as in the paper) are deduplicated; ground truth is the
+/// injected crash signature. Paper totals: 1467 tests / 78 sigs /
+/// 49 reports / 41 distinct / 8 dups.
+///
+//===----------------------------------------------------------------------===//
+
+#include "campaign/Experiments.h"
+
+#include <cstdio>
+
+using namespace spvfuzz;
+
+int main() {
+  ReductionConfig Config;
+  Config.TestsPerTool = envSize("REPRO_TESTS", 500);
+  Config.MaxReductionsPerTool = envSize("REPRO_REDUCTIONS", 260);
+  Config.CapPerSignature = 6; // paper caps at 20 on GPU targets
+  printf("Table 4: effectiveness of test-case deduplication "
+         "(cap %zu reduced tests per signature)\n\n",
+         Config.CapPerSignature);
+  DedupData Data = runDedup(Config);
+
+  printf("%-14s %-7s %-6s %-9s %-10s %-6s\n", "Target", "Tests", "Sigs",
+         "Reports", "Distinct", "Dups");
+  printf("%.*s\n", 56,
+         "--------------------------------------------------------");
+  for (const DedupTargetResult &Row : Data.PerTarget)
+    printf("%-14s %-7zu %-6zu %-9zu %-10zu %-6zu\n", Row.TargetName.c_str(),
+           Row.Tests, Row.Sigs, Row.Reports, Row.Distinct, Row.Dups);
+  printf("%.*s\n", 56,
+         "--------------------------------------------------------");
+  printf("%-14s %-7zu %-6zu %-9zu %-10zu %-6zu\n", "Total", Data.Total.Tests,
+         Data.Total.Sigs, Data.Total.Reports, Data.Total.Distinct,
+         Data.Total.Dups);
+
+  double Coverage = Data.Total.Sigs
+                        ? 100.0 * static_cast<double>(Data.Total.Distinct) /
+                              static_cast<double>(Data.Total.Sigs)
+                        : 0.0;
+  double DupRate = Data.Total.Reports
+                       ? 100.0 * static_cast<double>(Data.Total.Dups) /
+                             static_cast<double>(Data.Total.Reports)
+                       : 0.0;
+  printf("\nSignature coverage: %.0f%%   duplicate rate: %.0f%%\n", Coverage,
+         DupRate);
+  printf("Shape to compare against the paper: a substantial share of the "
+         "distinct signatures\ncovered at a low duplicate rate (paper: 53%% "
+         "coverage, 16%% dups over 78 real bugs;\nour simulated bug space "
+         "is smaller and its type fingerprints cleaner, so coverage\nruns "
+         "higher).\n");
+  return 0;
+}

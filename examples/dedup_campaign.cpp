@@ -1,0 +1,92 @@
+//===- examples/dedup_campaign.cpp - Weekend-campaign deduplication --------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ğ2.1 "suppose we ran fuzzing over a weekend" scenario: run a small
+/// campaign against one target, reduce every crash-triggering test, show
+/// the transformation-type set of each reduced test, and apply the
+/// Figure 6 algorithm to pick which tests to investigate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "campaign/Campaign.h"
+#include "core/Dedup.h"
+#include "core/Reducer.h"
+
+#include <cstdio>
+
+using namespace spvfuzz;
+
+int main() {
+  Corpus C = makeCorpus(/*Seed=*/11);
+  std::vector<Target> Targets = standardTargets();
+  const Target *NVidia = nullptr;
+  for (const Target &T : Targets)
+    if (T.name() == "NVIDIA")
+      NVidia = &T;
+
+  ToolConfig Tool = standardTools(/*TransformationLimit=*/200)[0];
+  printf("Campaign: %s vs %s, collecting crash-triggering tests...\n\n",
+         Tool.Name.c_str(), NVidia->name().c_str());
+
+  struct ReducedTest {
+    size_t TestIndex;
+    std::string Signature;
+    std::set<TransformationKind> Types;
+  };
+  std::vector<ReducedTest> ReducedTests;
+
+  for (size_t TestIndex = 0;
+       TestIndex < 400 && ReducedTests.size() < 25; ++TestIndex) {
+    size_t ReferenceIndex = 0;
+    FuzzResult Fuzzed = regenerateTest(C, Tool, /*CampaignSeed=*/11,
+                                       TestIndex, ReferenceIndex);
+    const GeneratedProgram &Reference = C.References[ReferenceIndex];
+    TargetRun Run = NVidia->run(Fuzzed.Variant, Reference.Input);
+    if (Run.RunKind != TargetRun::Kind::Crash)
+      continue;
+
+    InterestingnessTest Test = makeInterestingnessTest(
+        *NVidia, Run.Signature, Reference.M, Reference.Input);
+    ReduceResult Reduced =
+        reduceSequence(Reference.M, Reference.Input, Fuzzed.Sequence, Test);
+    ReducedTests.push_back(
+        {TestIndex, Run.Signature, dedupTypesOf(Reduced.Minimized)});
+  }
+
+  printf("%zu reduced crash tests; transformation-type sets "
+         "(ğ3.5 ignore-list applied):\n", ReducedTests.size());
+  for (size_t I = 0; I < ReducedTests.size(); ++I) {
+    printf("  test %-3zu  types={", ReducedTests[I].TestIndex);
+    bool First = true;
+    for (TransformationKind Kind : ReducedTests[I].Types) {
+      printf("%s%s", First ? "" : ", ", transformationKindName(Kind));
+      First = false;
+    }
+    printf("}  crash=\"%s\"\n", ReducedTests[I].Signature.c_str());
+  }
+
+  std::vector<std::set<TransformationKind>> TypeSets;
+  for (const ReducedTest &Test : ReducedTests)
+    TypeSets.push_back(Test.Types);
+  std::vector<size_t> Chosen = deduplicateTests(TypeSets);
+
+  printf("\nFigure 6 recommends investigating %zu of %zu tests:\n",
+         Chosen.size(), ReducedTests.size());
+  std::set<std::string> Covered, All;
+  for (const ReducedTest &Test : ReducedTests)
+    All.insert(Test.Signature);
+  for (size_t Index : Chosen) {
+    printf("  -> test %zu (\"%s\")\n", ReducedTests[Index].TestIndex,
+           ReducedTests[Index].Signature.c_str());
+    Covered.insert(ReducedTests[Index].Signature);
+  }
+  printf("\nGround truth: the campaign hit %zu distinct crash signatures; "
+         "the recommended reports\ncover %zu of them with %zu duplicate "
+         "report(s).\n",
+         All.size(), Covered.size(), Chosen.size() - Covered.size());
+  return 0;
+}

@@ -1,0 +1,38 @@
+//===- analysis/Cfg.cpp - Control-flow graph utilities --------------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace spvfuzz;
+
+Cfg::Cfg(const Function &Func) {
+  if (Func.Blocks.empty())
+    return;
+  Entry = Func.Blocks.front().LabelId;
+  for (const BasicBlock &Block : Func.Blocks) {
+    std::vector<Id> BlockSuccs = Block.successors();
+    for (Id Succ : BlockSuccs)
+      Preds[Succ].push_back(Block.LabelId);
+    Succs[Block.LabelId] = std::move(BlockSuccs);
+  }
+
+  // Depth-first search for reachability and postorder.
+  std::vector<Id> Postorder;
+  std::unordered_set<Id> OnStackOrDone;
+  std::function<void(Id)> Visit = [&](Id Block) {
+    if (!OnStackOrDone.insert(Block).second)
+      return;
+    Reachable.insert(Block);
+    for (Id Succ : successors(Block))
+      Visit(Succ);
+    Postorder.push_back(Block);
+  };
+  Visit(Entry);
+  Rpo.assign(Postorder.rbegin(), Postorder.rend());
+}

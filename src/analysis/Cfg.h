@@ -1,0 +1,60 @@
+//===- analysis/Cfg.h - Control-flow graph utilities ------------*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Successor/predecessor maps and reachability over a function's blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANALYSIS_CFG_H
+#define ANALYSIS_CFG_H
+
+#include "ir/Module.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace spvfuzz {
+
+/// A snapshot of a function's control-flow graph. Invalidated by any CFG
+/// mutation; rebuild after transforming.
+class Cfg {
+public:
+  explicit Cfg(const Function &Func);
+
+  const std::vector<Id> &successors(Id Block) const {
+    static const std::vector<Id> Empty;
+    auto It = Succs.find(Block);
+    return It == Succs.end() ? Empty : It->second;
+  }
+
+  const std::vector<Id> &predecessors(Id Block) const {
+    static const std::vector<Id> Empty;
+    auto It = Preds.find(Block);
+    return It == Preds.end() ? Empty : It->second;
+  }
+
+  /// Blocks reachable from the entry block (which is always included).
+  const std::unordered_set<Id> &reachable() const { return Reachable; }
+
+  bool isReachable(Id Block) const { return Reachable.count(Block) != 0; }
+
+  Id entryId() const { return Entry; }
+
+  /// Block ids in reverse-postorder over reachable blocks.
+  const std::vector<Id> &reversePostorder() const { return Rpo; }
+
+private:
+  Id Entry = InvalidId;
+  std::unordered_map<Id, std::vector<Id>> Succs;
+  std::unordered_map<Id, std::vector<Id>> Preds;
+  std::unordered_set<Id> Reachable;
+  std::vector<Id> Rpo;
+};
+
+} // namespace spvfuzz
+
+#endif // ANALYSIS_CFG_H

@@ -1,0 +1,69 @@
+//===- analysis/Dominators.cpp - Dominator tree ---------------------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+using namespace spvfuzz;
+
+DominatorTree::DominatorTree(const Function &Func, const Cfg &Graph) {
+  (void)Func;
+  Entry = Graph.entryId();
+  const std::vector<Id> &Rpo = Graph.reversePostorder();
+
+  std::unordered_map<Id, size_t> RpoIndex;
+  for (size_t I = 0, E = Rpo.size(); I != E; ++I)
+    RpoIndex[Rpo[I]] = I;
+
+  auto Intersect = [&](Id A, Id B) {
+    while (A != B) {
+      while (RpoIndex[A] > RpoIndex[B])
+        A = Idom[A];
+      while (RpoIndex[B] > RpoIndex[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  Idom[Entry] = Entry;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (Id Block : Rpo) {
+      if (Block == Entry)
+        continue;
+      Id NewIdom = InvalidId;
+      for (Id Pred : Graph.predecessors(Block)) {
+        if (!Graph.isReachable(Pred) || Idom.find(Pred) == Idom.end())
+          continue;
+        NewIdom = NewIdom == InvalidId ? Pred : Intersect(NewIdom, Pred);
+      }
+      if (NewIdom == InvalidId)
+        continue;
+      auto It = Idom.find(Block);
+      if (It == Idom.end() || It->second != NewIdom) {
+        Idom[Block] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+  // The entry's idom is conventionally "none".
+  Idom[Entry] = InvalidId;
+}
+
+bool DominatorTree::dominates(Id A, Id B) const {
+  if (A == B)
+    return true;
+  // Walk B's dominator chain up to the entry.
+  Id Cursor = B;
+  while (true) {
+    auto It = Idom.find(Cursor);
+    if (It == Idom.end() || It->second == InvalidId)
+      return false;
+    Cursor = It->second;
+    if (Cursor == A)
+      return true;
+  }
+}

@@ -1,0 +1,48 @@
+//===- analysis/Dominators.h - Dominator tree -------------------*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree over a function's CFG, via the Cooper-Harvey-Kennedy
+/// iterative algorithm. Needed by the validator (MiniSPV inherits SPIR-V's
+/// rule that a block must precede the blocks it dominates and that uses
+/// must be dominated by definitions) and by several transformations
+/// (MoveBlockDown, PropagateInstructionUp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANALYSIS_DOMINATORS_H
+#define ANALYSIS_DOMINATORS_H
+
+#include "analysis/Cfg.h"
+
+namespace spvfuzz {
+
+class DominatorTree {
+public:
+  DominatorTree(const Function &Func, const Cfg &Graph);
+
+  /// Returns the immediate dominator of \p Block, or InvalidId for the
+  /// entry block and for unreachable blocks.
+  Id immediateDominator(Id Block) const {
+    auto It = Idom.find(Block);
+    return It == Idom.end() ? InvalidId : It->second;
+  }
+
+  /// True if \p A dominates \p B (reflexively). Unreachable blocks
+  /// dominate nothing and are dominated by nothing (except themselves).
+  bool dominates(Id A, Id B) const;
+
+  /// True if \p A strictly dominates \p B.
+  bool strictlyDominates(Id A, Id B) const { return A != B && dominates(A, B); }
+
+private:
+  Id Entry = InvalidId;
+  std::unordered_map<Id, Id> Idom;
+};
+
+} // namespace spvfuzz
+
+#endif // ANALYSIS_DOMINATORS_H

@@ -1,0 +1,91 @@
+//===- analysis/ModuleAnalysis.cpp - Def/use and availability -------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ModuleAnalysis.h"
+
+using namespace spvfuzz;
+
+ModuleAnalysis::ModuleAnalysis(const Module &M) {
+  auto CountUses = [&](const Instruction &Inst) {
+    Inst.forEachUsedId([&](Id Used) { ++Uses[Used]; });
+  };
+
+  for (const Instruction &Inst : M.GlobalInsts) {
+    Defs[Inst.Result] = DefInfo{DefInfo::Kind::Global, InvalidId, InvalidId, 0};
+    CountUses(Inst);
+  }
+  for (const Function &Func : M.Functions) {
+    Defs[Func.Def.Result] =
+        DefInfo{DefInfo::Kind::FunctionDef, Func.id(), InvalidId, 0};
+    CountUses(Func.Def);
+    for (const Instruction &Param : Func.Params) {
+      Defs[Param.Result] =
+          DefInfo{DefInfo::Kind::Param, Func.id(), InvalidId, 0};
+      CountUses(Param);
+    }
+    for (const BasicBlock &Block : Func.Blocks) {
+      Defs[Block.LabelId] =
+          DefInfo{DefInfo::Kind::Label, Func.id(), Block.LabelId, 0};
+      BlockSizes[Func.id()][Block.LabelId] = Block.Body.size();
+      for (size_t I = 0, E = Block.Body.size(); I != E; ++I) {
+        const Instruction &Inst = Block.Body[I];
+        if (Inst.Result != InvalidId)
+          Defs[Inst.Result] =
+              DefInfo{DefInfo::Kind::Body, Func.id(), Block.LabelId, I};
+        CountUses(Inst);
+      }
+    }
+    Cfgs[Func.id()] = std::make_unique<Cfg>(Func);
+    DomTrees[Func.id()] =
+        std::make_unique<DominatorTree>(Func, *Cfgs[Func.id()]);
+  }
+}
+
+bool ModuleAnalysis::idAvailableBefore(Id ValueId, Id FuncId, Id BlockId,
+                                       size_t InstIndex) const {
+  const DefInfo *Info = defInfo(ValueId);
+  if (!Info)
+    return false;
+  switch (Info->DefKind) {
+  case DefInfo::Kind::Global:
+    return true;
+  case DefInfo::Kind::FunctionDef:
+  case DefInfo::Kind::Label:
+    // Function ids and labels are not data values.
+    return false;
+  case DefInfo::Kind::Param:
+    return Info->FuncId == FuncId;
+  case DefInfo::Kind::Body:
+    if (Info->FuncId != FuncId)
+      return false;
+    if (Info->BlockId == BlockId)
+      return Info->Index < InstIndex;
+    return domTree(FuncId).strictlyDominates(Info->BlockId, BlockId);
+  }
+  return false;
+}
+
+bool ModuleAnalysis::idAvailableAtEnd(Id ValueId, Id FuncId, Id BlockId) const {
+  auto FuncIt = BlockSizes.find(FuncId);
+  if (FuncIt == BlockSizes.end())
+    return false;
+  auto BlockIt = FuncIt->second.find(BlockId);
+  if (BlockIt == FuncIt->second.end())
+    return false;
+  return idAvailableBefore(ValueId, FuncId, BlockId, BlockIt->second);
+}
+
+const Cfg &ModuleAnalysis::cfg(Id FuncId) const {
+  auto It = Cfgs.find(FuncId);
+  assert(It != Cfgs.end() && "unknown function");
+  return *It->second;
+}
+
+const DominatorTree &ModuleAnalysis::domTree(Id FuncId) const {
+  auto It = DomTrees.find(FuncId);
+  assert(It != DomTrees.end() && "unknown function");
+  return *It->second;
+}

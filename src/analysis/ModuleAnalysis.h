@@ -1,0 +1,75 @@
+//===- analysis/ModuleAnalysis.h - Def/use and availability -----*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A module-wide snapshot combining definition sites, use counts, and
+/// per-function CFGs and dominator trees. Transformations consult it to
+/// decide whether an id is *available* at a program point (defined in a
+/// dominating position), which is MiniSPV's (and SPIR-V's) core scoping
+/// rule. Invalidated by any module mutation; rebuild after transforming.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANALYSIS_MODULEANALYSIS_H
+#define ANALYSIS_MODULEANALYSIS_H
+
+#include "analysis/Cfg.h"
+#include "analysis/Dominators.h"
+
+#include <memory>
+
+namespace spvfuzz {
+
+class ModuleAnalysis {
+public:
+  explicit ModuleAnalysis(const Module &M);
+
+  struct DefInfo {
+    enum class Kind { Global, FunctionDef, Param, Body, Label };
+    Kind DefKind = Kind::Global;
+    Id FuncId = InvalidId;  // for Param/Body/Label/FunctionDef
+    Id BlockId = InvalidId; // for Body/Label
+    size_t Index = 0;       // for Body: index into the block
+  };
+
+  /// Returns the definition site of \p TheId, or nullptr.
+  const DefInfo *defInfo(Id TheId) const {
+    auto It = Defs.find(TheId);
+    return It == Defs.end() ? nullptr : &It->second;
+  }
+
+  /// True if \p ValueId may be used by the instruction at position
+  /// (\p FuncId, \p BlockId, \p InstIndex): globals and the function's
+  /// parameters are available everywhere in the function; body definitions
+  /// must precede the use in the same block or strictly dominate its block.
+  bool idAvailableBefore(Id ValueId, Id FuncId, Id BlockId,
+                         size_t InstIndex) const;
+
+  /// True if \p ValueId is available at the *end* of \p BlockId, the rule
+  /// for phi incoming values.
+  bool idAvailableAtEnd(Id ValueId, Id FuncId, Id BlockId) const;
+
+  /// Number of id uses of \p TheId across the module (including phi and
+  /// branch operands and result types).
+  size_t useCount(Id TheId) const {
+    auto It = Uses.find(TheId);
+    return It == Uses.end() ? 0 : It->second;
+  }
+
+  const Cfg &cfg(Id FuncId) const;
+  const DominatorTree &domTree(Id FuncId) const;
+
+private:
+  std::unordered_map<Id, DefInfo> Defs;
+  std::unordered_map<Id, size_t> Uses;
+  std::unordered_map<Id, std::unique_ptr<Cfg>> Cfgs;
+  std::unordered_map<Id, std::unique_ptr<DominatorTree>> DomTrees;
+  std::unordered_map<Id, std::unordered_map<Id, size_t>> BlockSizes;
+};
+
+} // namespace spvfuzz
+
+#endif // ANALYSIS_MODULEANALYSIS_H

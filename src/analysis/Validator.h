@@ -1,0 +1,35 @@
+//===- analysis/Validator.h - MiniSPV module validation ---------*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural, scoping and type validation of MiniSPV modules, mirroring
+/// the SPIR-V validation rules that matter for this reproduction:
+/// SSA-unique ids, definitions dominating uses, entry-block-first and
+/// dominator-before-dominated block layout, phi/predecessor agreement, and
+/// per-opcode type rules. Every transformation must map valid modules to
+/// valid modules; the property-based tests enforce this with the validator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANALYSIS_VALIDATOR_H
+#define ANALYSIS_VALIDATOR_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace spvfuzz {
+
+/// Validates \p M and returns diagnostics; an empty result means valid.
+std::vector<std::string> validateModule(const Module &M);
+
+/// Convenience wrapper around validateModule.
+inline bool isValidModule(const Module &M) { return validateModule(M).empty(); }
+
+} // namespace spvfuzz
+
+#endif // ANALYSIS_VALIDATOR_H

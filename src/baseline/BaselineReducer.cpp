@@ -1,0 +1,66 @@
+//===- baseline/BaselineReducer.cpp - Hand-crafted group reducer ----------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/BaselineReducer.h"
+
+using namespace spvfuzz;
+
+ReduceResult spvfuzz::reduceByGroups(
+    const Module &Original, const ShaderInput &Input,
+    const TransformationSequence &Sequence,
+    const std::vector<std::pair<size_t, size_t>> &Groups,
+    const InterestingnessTest &Test) {
+  ReduceResult Result;
+
+  // Which groups are currently kept.
+  std::vector<bool> Kept(Groups.size(), true);
+
+  auto BuildSequence = [&]() {
+    TransformationSequence Out;
+    for (size_t G = 0; G != Groups.size(); ++G) {
+      if (!Kept[G])
+        continue;
+      for (size_t I = Groups[G].first; I != Groups[G].second; ++I)
+        Out.push_back(Sequence[I]);
+    }
+    return Out;
+  };
+
+  auto IsInteresting = [&](const TransformationSequence &Candidate,
+                           Module &VariantOut, FactManager &FactsOut) {
+    ++Result.Checks;
+    VariantOut = Original;
+    FactsOut = FactManager();
+    FactsOut.setKnownInput(Input);
+    applySequence(VariantOut, FactsOut, Candidate);
+    return Test(VariantOut, FactsOut);
+  };
+
+  // Linear sweeps from the last group to the first, to a fixpoint.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t G = Groups.size(); G-- > 0;) {
+      if (!Kept[G])
+        continue;
+      Kept[G] = false;
+      Module Variant;
+      FactManager Facts;
+      if (IsInteresting(BuildSequence(), Variant, Facts)) {
+        Changed = true;
+      } else {
+        Kept[G] = true;
+      }
+    }
+  }
+
+  Result.Minimized = BuildSequence();
+  Result.ReducedVariant = Original;
+  Result.ReducedFacts = FactManager();
+  Result.ReducedFacts.setKnownInput(Input);
+  applySequence(Result.ReducedVariant, Result.ReducedFacts, Result.Minimized);
+  return Result;
+}

@@ -1,0 +1,35 @@
+//===- baseline/BaselineReducer.h - Hand-crafted group reducer -*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The glsl-fuzz-style reducer. glsl-fuzz reverts whole transformation
+/// instances identified by syntactic markers in the transformed program
+/// (ğ6 of the paper), so its reduction granularity is the injection, not
+/// the individual micro-transformation, and it cannot strip the parts of
+/// an injection that are unnecessary for a bug. We model this by reducing
+/// over the fuzzer's *pass groups*: a group is kept or reverted in its
+/// entirety, with linear sweeps to a fixpoint (no chunk halving).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BASELINE_BASELINEREDUCER_H
+#define BASELINE_BASELINEREDUCER_H
+
+#include "core/Reducer.h"
+
+namespace spvfuzz {
+
+/// Reduces at group granularity. \p Groups are the half-open ranges of
+/// \p Sequence produced by FuzzResult::PassGroups.
+ReduceResult
+reduceByGroups(const Module &Original, const ShaderInput &Input,
+               const TransformationSequence &Sequence,
+               const std::vector<std::pair<size_t, size_t>> &Groups,
+               const InterestingnessTest &Test);
+
+} // namespace spvfuzz
+
+#endif // BASELINE_BASELINEREDUCER_H

@@ -1,0 +1,104 @@
+//===- campaign/Campaign.cpp - Testing campaign harness --------------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "campaign/Campaign.h"
+
+using namespace spvfuzz;
+
+Corpus spvfuzz::makeCorpus(uint64_t Seed, size_t NumReferences,
+                           size_t NumDonors) {
+  Corpus C;
+  C.References = generateCorpus(NumReferences, Seed);
+  C.DonorPrograms = generateCorpus(NumDonors, Seed + 0x9e3779b9ULL);
+  for (const GeneratedProgram &Donor : C.DonorPrograms)
+    C.Donors.push_back(&Donor.M);
+  return C;
+}
+
+std::vector<ToolConfig>
+spvfuzz::standardTools(uint32_t TransformationLimit) {
+  FuzzerOptions Full;
+  Full.TransformationLimit = TransformationLimit;
+  Full.Profile = FuzzerProfile::Full;
+  Full.EnableRecommendations = true;
+
+  FuzzerOptions Simple = Full;
+  Simple.EnableRecommendations = false;
+
+  FuzzerOptions Baseline = Full;
+  Baseline.Profile = FuzzerProfile::Baseline;
+  Baseline.EnableRecommendations = false;
+
+  return {{"spirv-fuzz", Full},
+          {"spirv-fuzz-simple", Simple},
+          {"glsl-fuzz", Baseline}};
+}
+
+uint64_t spvfuzz::testSeed(uint64_t CampaignSeed, size_t TestIndex) {
+  return CampaignSeed * 0x100000001b3ULL + TestIndex * 2654435761ULL + 17;
+}
+
+FuzzResult spvfuzz::regenerateTest(const Corpus &C, const ToolConfig &Tool,
+                                   uint64_t CampaignSeed, size_t TestIndex,
+                                   size_t &ReferenceIndexOut) {
+  ReferenceIndexOut = TestIndex % C.References.size();
+  const GeneratedProgram &Reference = C.References[ReferenceIndexOut];
+  return fuzz(Reference.M, Reference.Input, C.Donors,
+              testSeed(CampaignSeed, TestIndex), Tool.Options);
+}
+
+TestEvaluation spvfuzz::evaluateTest(const Corpus &C, const ToolConfig &Tool,
+                                     const std::vector<Target> &Targets,
+                                     uint64_t CampaignSeed,
+                                     size_t TestIndex) {
+  TestEvaluation Eval;
+  Eval.Seed = testSeed(CampaignSeed, TestIndex);
+  FuzzResult Fuzzed =
+      regenerateTest(C, Tool, CampaignSeed, TestIndex, Eval.ReferenceIndex);
+  const GeneratedProgram &Reference = C.References[Eval.ReferenceIndex];
+
+  for (const Target &T : Targets) {
+    TargetRun VariantRun = T.run(Fuzzed.Variant, Reference.Input);
+    if (VariantRun.RunKind == TargetRun::Kind::Crash) {
+      Eval.Signatures[T.name()] = VariantRun.Signature;
+      continue;
+    }
+    if (!T.canExecute())
+      continue;
+    // Differential check (Theorem 2.6): the variant's result through the
+    // implementation must match the original's result through the same
+    // implementation.
+    TargetRun OriginalRun = T.run(Reference.M, Reference.Input);
+    if (OriginalRun.RunKind != TargetRun::Kind::Executed)
+      continue; // the target cannot even handle the original; skip
+    if (VariantRun.Result != OriginalRun.Result)
+      Eval.Signatures[T.name()] = MiscompilationSignature;
+  }
+  return Eval;
+}
+
+InterestingnessTest
+spvfuzz::makeInterestingnessTest(const Target &T, const std::string &Signature,
+                                 const Module &Original,
+                                 const ShaderInput &Input) {
+  if (Signature != MiscompilationSignature) {
+    // Crash: the candidate must reproduce this exact signature (ğ3.4).
+    return [&T, Signature, Input](const Module &Variant, const FactManager &) {
+      TargetRun Run = T.run(Variant, Input);
+      return Run.RunKind == TargetRun::Kind::Crash &&
+             Run.Signature == Signature;
+    };
+  }
+  // Miscompilation: compare the images rendered via the variant and the
+  // original (ğ3.4), i.e. the executed results through the target.
+  TargetRun OriginalRun = T.run(Original, Input);
+  ExecResult Baseline = OriginalRun.Result;
+  return [&T, Baseline, Input](const Module &Variant, const FactManager &) {
+    TargetRun Run = T.run(Variant, Input);
+    return Run.RunKind == TargetRun::Kind::Executed &&
+           Run.Result != Baseline;
+  };
+}

@@ -1,0 +1,89 @@
+//===- campaign/Campaign.h - Testing campaign harness -----------*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The gfauto analogue: runs fuzzing tools over a reference corpus,
+/// evaluates each generated test on every target (crash signatures and
+/// miscompilation detection via Theorem 2.6's differential check), and
+/// drives reductions with the appropriate interestingness tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAMPAIGN_CAMPAIGN_H
+#define CAMPAIGN_CAMPAIGN_H
+
+#include "core/Fuzzer.h"
+#include "core/Reducer.h"
+#include "gen/Generator.h"
+#include "target/Target.h"
+
+#include <map>
+#include <optional>
+
+namespace spvfuzz {
+
+/// The shared signature all miscompilations contribute (ğ4.1: "all
+/// miscompilations contribute the same bug signature").
+inline constexpr const char *MiscompilationSignature = "<miscompilation>";
+
+/// Reference and donor corpora (the GraphicsFuzz shader sets).
+struct Corpus {
+  std::vector<GeneratedProgram> References;
+  std::vector<GeneratedProgram> DonorPrograms;
+  std::vector<const Module *> Donors;
+};
+
+/// Builds a corpus with the paper's counts: 21 references, 43 donors.
+Corpus makeCorpus(uint64_t Seed, size_t NumReferences = 21,
+                  size_t NumDonors = 43);
+
+/// One tool configuration of the evaluation.
+struct ToolConfig {
+  std::string Name;
+  FuzzerOptions Options;
+};
+
+/// The three configurations of Table 3: spirv-fuzz, spirv-fuzz-simple
+/// (recommendations disabled) and glsl-fuzz (the baseline profile).
+/// \p TransformationLimit scales fuzzing volume for the experiments.
+std::vector<ToolConfig> standardTools(uint32_t TransformationLimit = 300);
+
+/// One generated test evaluated against the full target set.
+struct TestEvaluation {
+  uint64_t Seed = 0;
+  size_t ReferenceIndex = 0;
+  /// target name -> signature; absent if the test did not expose a bug on
+  /// that target.
+  std::map<std::string, std::string> Signatures;
+};
+
+/// Generates test number \p TestIndex for \p Tool (deterministic in
+/// (\p CampaignSeed, \p TestIndex)) and evaluates it on all \p Targets.
+TestEvaluation evaluateTest(const Corpus &C, const ToolConfig &Tool,
+                            const std::vector<Target> &Targets,
+                            uint64_t CampaignSeed, size_t TestIndex);
+
+/// Re-runs the fuzzer deterministically to recover the transformation
+/// sequence behind a test (used when a bug was found and reduction is
+/// wanted).
+FuzzResult regenerateTest(const Corpus &C, const ToolConfig &Tool,
+                          uint64_t CampaignSeed, size_t TestIndex,
+                          size_t &ReferenceIndexOut);
+
+/// Builds the interestingness test for a bug found on \p T: for crashes,
+/// "the target still crashes with this exact signature"; for
+/// miscompilations, "the executed result still differs from the target's
+/// result on the original program".
+InterestingnessTest
+makeInterestingnessTest(const Target &T, const std::string &Signature,
+                        const Module &Original, const ShaderInput &Input);
+
+/// Derives the deterministic per-test fuzzer seed.
+uint64_t testSeed(uint64_t CampaignSeed, size_t TestIndex);
+
+} // namespace spvfuzz
+
+#endif // CAMPAIGN_CAMPAIGN_H

@@ -1,0 +1,61 @@
+//===- core/Dedup.cpp - Transformation-type deduplication ------------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Dedup.h"
+
+#include <algorithm>
+
+using namespace spvfuzz;
+
+std::set<TransformationKind>
+spvfuzz::dedupTypesOf(const TransformationSequence &Sequence) {
+  std::set<TransformationKind> Types;
+  for (const TransformationPtr &T : Sequence)
+    if (!isDedupIgnoredKind(T->kind()))
+      Types.insert(T->kind());
+  return Types;
+}
+
+std::vector<size_t> spvfuzz::deduplicateTests(
+    const std::vector<std::set<TransformationKind>> &TestTypes) {
+  std::vector<size_t> ToInvestigate;
+  // Remaining tests; tests with empty type sets carry no signal and are
+  // dropped up front (Figure 6 would otherwise never terminate on them).
+  std::vector<size_t> Remaining;
+  for (size_t I = 0; I != TestTypes.size(); ++I)
+    if (!TestTypes[I].empty())
+      Remaining.push_back(I);
+
+  size_t TargetSize = 1;
+  while (!Remaining.empty()) {
+    // Find a test with exactly TargetSize types (lowest index for
+    // determinism).
+    auto It = std::find_if(Remaining.begin(), Remaining.end(),
+                           [&](size_t Index) {
+                             return TestTypes[Index].size() == TargetSize;
+                           });
+    if (It == Remaining.end()) {
+      ++TargetSize;
+      continue;
+    }
+    size_t Chosen = *It;
+    ToInvestigate.push_back(Chosen);
+    // Keep only tests sharing no type with the chosen one.
+    std::vector<size_t> Kept;
+    for (size_t Index : Remaining) {
+      bool Disjoint = true;
+      for (TransformationKind Kind : TestTypes[Chosen])
+        if (TestTypes[Index].count(Kind)) {
+          Disjoint = false;
+          break;
+        }
+      if (Disjoint)
+        Kept.push_back(Index);
+    }
+    Remaining = std::move(Kept);
+  }
+  return ToInvestigate;
+}

@@ -1,0 +1,38 @@
+//===- core/Dedup.h - Transformation-type deduplication --------*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The deduplication heuristic of Figure 6: given reduced test cases, pick
+/// a subset to investigate such that no two picked tests share a
+/// transformation type, preferring tests with fewer types. A fixed list of
+/// supporting/enabler types is ignored (ğ3.5), exposed via
+/// isDedupIgnoredKind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CORE_DEDUP_H
+#define CORE_DEDUP_H
+
+#include "core/Transformation.h"
+
+#include <set>
+
+namespace spvfuzz {
+
+/// types(t) from the paper: the duplicate-free set of transformation types
+/// of a reduced test's sequence, minus the ğ3.5 ignore list.
+std::set<TransformationKind>
+dedupTypesOf(const TransformationSequence &Sequence);
+
+/// Figure 6. \p TestTypes holds types(t) per test; returns the indices of
+/// the tests recommended for investigation, in selection order. Tests
+/// whose type set is empty (all types ignored) are never selected.
+std::vector<size_t>
+deduplicateTests(const std::vector<std::set<TransformationKind>> &TestTypes);
+
+} // namespace spvfuzz
+
+#endif // CORE_DEDUP_H

@@ -1,0 +1,94 @@
+//===- core/FunctionShrinker.cpp - spirv-reduce analogue --------------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FunctionShrinker.h"
+
+#include "core/Transformations.h"
+
+using namespace spvfuzz;
+
+namespace {
+
+/// Replays \p Sequence onto a copy of \p Original and runs \p Test. The
+/// sequence must re-apply in full: a candidate that knocks out its own
+/// AddFunction (failing the precondition) may still pass the test "by
+/// accident", so full application is required to count as an improvement.
+bool candidateIsInteresting(const Module &Original, const ShaderInput &Input,
+                            const TransformationSequence &Sequence,
+                            const InterestingnessTest &Test, size_t &Checks) {
+  ++Checks;
+  Module Variant = Original;
+  FactManager Facts;
+  Facts.setKnownInput(Input);
+  std::vector<size_t> Applied = applySequence(Variant, Facts, Sequence);
+  if (Applied.size() != Sequence.size())
+    return false;
+  return Test(Variant, Facts);
+}
+
+/// Tries removing the instruction at (\p BlockIndex, \p InstIndex) from
+/// \p Func, producing a candidate function. Terminators are never removed.
+bool removeInstruction(Function &Func, size_t BlockIndex, size_t InstIndex) {
+  BasicBlock &Block = Func.Blocks[BlockIndex];
+  if (InstIndex >= Block.Body.size())
+    return false;
+  if (isTerminator(Block.Body[InstIndex].Opcode))
+    return false;
+  Block.Body.erase(Block.Body.begin() + InstIndex);
+  return true;
+}
+
+} // namespace
+
+ReduceResult spvfuzz::shrinkAddFunctions(const Module &Original,
+                                         const ShaderInput &Input,
+                                         const TransformationSequence &Minimized,
+                                         const InterestingnessTest &Test) {
+  ReduceResult Result;
+  TransformationSequence Current = Minimized;
+
+  for (size_t Index = 0; Index < Current.size(); ++Index) {
+    if (Current[Index]->kind() != TransformationKind::AddFunction)
+      continue;
+    const auto &Add =
+        static_cast<const TransformationAddFunction &>(*Current[Index]);
+    Function Func;
+    if (!TransformationAddFunction::decodeFunction(Add.Encoded, Func))
+      continue;
+
+    // Greedy one-at-a-time instruction deletion, last to first (late
+    // instructions tend to be the unused tail of a donor function).
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (size_t B = Func.Blocks.size(); B-- > 0;) {
+        for (size_t I = Func.Blocks[B].Body.size(); I-- > 0;) {
+          Function Candidate = Func;
+          if (!removeInstruction(Candidate, B, I))
+            continue;
+          TransformationSequence CandidateSequence = Current;
+          CandidateSequence[Index] =
+              std::make_shared<TransformationAddFunction>(
+                  TransformationAddFunction::encodeFunction(Candidate),
+                  Add.MakeLiveSafe);
+          if (candidateIsInteresting(Original, Input, CandidateSequence, Test,
+                                     Result.Checks)) {
+            Func = std::move(Candidate);
+            Current = std::move(CandidateSequence);
+            Changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  Result.Minimized = std::move(Current);
+  Result.ReducedVariant = Original;
+  Result.ReducedFacts = FactManager();
+  Result.ReducedFacts.setKnownInput(Input);
+  applySequence(Result.ReducedVariant, Result.ReducedFacts, Result.Minimized);
+  return Result;
+}

@@ -1,0 +1,36 @@
+//===- core/FunctionShrinker.h - spirv-reduce analogue ----------*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ğ3.4 post-pass: AddFunction is the one transformation that resists
+/// being split into smaller ones, so after delta debugging the paper
+/// applies spirv-reduce to the functions added by any surviving
+/// AddFunction transformations. Our analogue edits the *encoded* function
+/// payload directly: it greedily deletes instructions (and rewires
+/// straight-line blocks) as long as the interestingness test keeps
+/// passing. Precondition checking on replay guarantees any malformed
+/// candidate is simply skipped, never applied.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CORE_FUNCTIONSHRINKER_H
+#define CORE_FUNCTIONSHRINKER_H
+
+#include "core/Reducer.h"
+
+namespace spvfuzz {
+
+/// Shrinks the payloads of AddFunction transformations inside
+/// \p Minimized (typically the output of reduceSequence). Returns the
+/// improved result; \p ChecksOut accumulates interestingness invocations.
+ReduceResult shrinkAddFunctions(const Module &Original,
+                                const ShaderInput &Input,
+                                const TransformationSequence &Minimized,
+                                const InterestingnessTest &Test);
+
+} // namespace spvfuzz
+
+#endif // CORE_FUNCTIONSHRINKER_H

@@ -1,0 +1,76 @@
+//===- core/Fuzzer.h - The transformation-based fuzzer ----------*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzzer component (ğ3.2): repeatedly runs fuzzer passes, each of
+/// which sweeps the module for opportunities to apply a particular family
+/// of transformations and takes them probabilistically. Pass scheduling
+/// follows the paper's *recommendations* strategy: after a pass runs, a
+/// random subset of its follow-on passes is pushed onto a queue, and the
+/// next pass is drawn with equal probability from the queue or at random.
+/// Disabling recommendations yields the paper's spirv-fuzz-simple
+/// configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CORE_FUZZER_H
+#define CORE_FUZZER_H
+
+#include "core/Transformation.h"
+
+namespace spvfuzz {
+
+/// Which tool is being simulated.
+enum class FuzzerProfile : uint8_t {
+  /// spirv-fuzz: the full transformation catalogue.
+  Full,
+  /// The glsl-fuzz-style baseline: only the coarse families that a
+  /// source-level tool applies (dead code injection, conditional wrapping,
+  /// donor injection, constant obfuscation, block splitting), with no
+  /// SPIR-V-specific fine-grained transformations. Its reducer works at
+  /// whole-injection granularity (see baseline/BaselineReducer.h).
+  Baseline,
+};
+
+struct FuzzerOptions {
+  /// Hard cap on applied transformations (the paper's limit is 2000).
+  uint32_t TransformationLimit = 2000;
+  /// Transformation-family pool.
+  FuzzerProfile Profile = FuzzerProfile::Full;
+  /// After each pass the fuzzer continues with this probability.
+  uint32_t ContinuePercent = 85;
+  /// Upper bound on the number of passes (backstop for the probabilistic
+  /// stop).
+  uint32_t MaxPasses = 40;
+  /// Chance of taking each discovered opportunity within a pass.
+  uint32_t OpportunityPercent = 25;
+  /// The recommendations strategy toggle (spirv-fuzz vs spirv-fuzz-simple).
+  bool EnableRecommendations = true;
+};
+
+/// The outcome of a fuzzing run: the transformed module and facts, plus the
+/// sequence that produces them from the original (replayable with
+/// applySequence).
+struct FuzzResult {
+  Module Variant;
+  FactManager Facts;
+  TransformationSequence Sequence;
+  /// Half-open index ranges of Sequence, one per fuzzer-pass run that
+  /// applied at least one transformation. These are the "syntactic marker"
+  /// groups the baseline's hand-crafted reducer reverts wholesale.
+  std::vector<std::pair<size_t, size_t>> PassGroups;
+};
+
+/// Fuzzes \p Original (which must be valid and well-defined on \p Input).
+/// \p Donors supplies modules whose non-entry functions may be transplanted
+/// by AddFunction transformations.
+FuzzResult fuzz(const Module &Original, const ShaderInput &Input,
+                const std::vector<const Module *> &Donors, uint64_t Seed,
+                const FuzzerOptions &Options = FuzzerOptions());
+
+} // namespace spvfuzz
+
+#endif // CORE_FUZZER_H

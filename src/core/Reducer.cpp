@@ -1,0 +1,81 @@
+//===- core/Reducer.cpp - Delta-debugging sequence reduction ---------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Reducer.h"
+
+using namespace spvfuzz;
+
+namespace {
+
+/// Applies \p Sequence to a copy of the original, returning the variant
+/// and facts.
+struct Replay {
+  Module Variant;
+  FactManager Facts;
+
+  Replay(const Module &Original, const ShaderInput &Input,
+         const TransformationSequence &Sequence) {
+    Variant = Original;
+    Facts.setKnownInput(Input);
+    applySequence(Variant, Facts, Sequence);
+  }
+};
+
+} // namespace
+
+ReduceResult spvfuzz::reduceSequence(const Module &Original,
+                                     const ShaderInput &Input,
+                                     const TransformationSequence &Sequence,
+                                     const InterestingnessTest &Test) {
+  ReduceResult Result;
+  TransformationSequence Current = Sequence;
+
+  auto IsInteresting = [&](const TransformationSequence &Candidate) {
+    ++Result.Checks;
+    Replay Replayed(Original, Input, Candidate);
+    return Test(Replayed.Variant, Replayed.Facts);
+  };
+
+  size_t ChunkSize = Current.size() / 2;
+  if (ChunkSize == 0)
+    ChunkSize = 1;
+
+  while (true) {
+    bool RemovedAny = false;
+    if (!Current.empty()) {
+      // Work backwards from the last transformation; the leading chunk may
+      // be smaller than ChunkSize.
+      size_t End = Current.size();
+      while (End > 0) {
+        size_t Start = End >= ChunkSize ? End - ChunkSize : 0;
+        TransformationSequence Candidate;
+        Candidate.reserve(Current.size() - (End - Start));
+        Candidate.insert(Candidate.end(), Current.begin(),
+                         Current.begin() + Start);
+        Candidate.insert(Candidate.end(), Current.begin() + End,
+                         Current.end());
+        if (IsInteresting(Candidate)) {
+          Current = std::move(Candidate);
+          RemovedAny = true;
+        }
+        End = Start;
+      }
+    }
+    if (RemovedAny)
+      continue; // retry at the same chunk size until a pass removes nothing
+    if (ChunkSize == 1)
+      break; // 1-minimal
+    ChunkSize /= 2;
+    if (ChunkSize == 0)
+      ChunkSize = 1;
+  }
+
+  Replay Final(Original, Input, Current);
+  Result.Minimized = std::move(Current);
+  Result.ReducedVariant = std::move(Final.Variant);
+  Result.ReducedFacts = std::move(Final.Facts);
+  return Result;
+}

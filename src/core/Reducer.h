@@ -1,0 +1,56 @@
+//===- core/Reducer.h - Delta-debugging sequence reduction -----*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "almost for free" test-case reducer (ğ3.4): delta debugging over the
+/// transformation sequence. Because transformations whose preconditions
+/// fail are skipped during replay (Definition 2.5) and effects preserve
+/// semantics, any subsequence yields a valid, equivalent variant, so the
+/// reducer may try arbitrary chunks without external UB analysis.
+///
+/// The algorithm matches the paper exactly: chunk size starts at n/2,
+/// chunks are considered from the last transformation backwards, a chunk
+/// is eliminated if the interestingness test still passes without it, and
+/// the chunk size is halved when no chunk of the current size can be
+/// removed. Reduction terminates at a 1-minimal sequence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CORE_REDUCER_H
+#define CORE_REDUCER_H
+
+#include "core/Transformation.h"
+
+#include <functional>
+
+namespace spvfuzz {
+
+/// The interestingness test: returns true iff the variant produced by a
+/// candidate subsequence still exhibits the bug (gfauto's generated script
+/// in the paper's pipeline).
+using InterestingnessTest =
+    std::function<bool(const Module &Variant, const FactManager &Facts)>;
+
+struct ReduceResult {
+  /// The 1-minimal subsequence.
+  TransformationSequence Minimized;
+  /// The variant obtained by applying Minimized to the original.
+  Module ReducedVariant;
+  /// Facts after applying Minimized.
+  FactManager ReducedFacts;
+  /// Number of interestingness-test invocations (reduction cost metric).
+  size_t Checks = 0;
+};
+
+/// Reduces \p Sequence against \p Original + \p Input. \p Sequence must
+/// itself be interesting (the caller found a bug with it).
+ReduceResult reduceSequence(const Module &Original, const ShaderInput &Input,
+                            const TransformationSequence &Sequence,
+                            const InterestingnessTest &Test);
+
+} // namespace spvfuzz
+
+#endif // CORE_REDUCER_H

@@ -1,0 +1,272 @@
+//===- core/Transformation.cpp - Transformation framework -----------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Transformation.h"
+
+#include <sstream>
+
+using namespace spvfuzz;
+
+namespace {
+
+struct KindInfo {
+  TransformationKind Kind;
+  const char *Name;
+};
+
+const KindInfo KindTable[] = {
+    {TransformationKind::AddTypeInt, "AddTypeInt"},
+    {TransformationKind::AddTypeBool, "AddTypeBool"},
+    {TransformationKind::AddTypeVector, "AddTypeVector"},
+    {TransformationKind::AddTypeStruct, "AddTypeStruct"},
+    {TransformationKind::AddTypePointer, "AddTypePointer"},
+    {TransformationKind::AddTypeFunction, "AddTypeFunction"},
+    {TransformationKind::AddConstantScalar, "AddConstantScalar"},
+    {TransformationKind::AddConstantComposite, "AddConstantComposite"},
+    {TransformationKind::AddGlobalVariable, "AddGlobalVariable"},
+    {TransformationKind::AddLocalVariable, "AddLocalVariable"},
+    {TransformationKind::SplitBlock, "SplitBlock"},
+    {TransformationKind::AddDeadBlock, "AddDeadBlock"},
+    {TransformationKind::ReplaceBranchWithKill, "ReplaceBranchWithKill"},
+    {TransformationKind::ReplaceBranchWithConditional,
+     "ReplaceBranchWithConditional"},
+    {TransformationKind::MoveBlockDown, "MoveBlockDown"},
+    {TransformationKind::InvertBranchCondition, "InvertBranchCondition"},
+    {TransformationKind::PermutePhiOperands, "PermutePhiOperands"},
+    {TransformationKind::PropagateInstructionUp, "PropagateInstructionUp"},
+    {TransformationKind::AddStore, "AddStore"},
+    {TransformationKind::AddLoad, "AddLoad"},
+    {TransformationKind::AddSynonymViaCopyObject, "AddSynonymViaCopyObject"},
+    {TransformationKind::AddArithmeticSynonym, "AddArithmeticSynonym"},
+    {TransformationKind::ReplaceIdWithSynonym, "ReplaceIdWithSynonym"},
+    {TransformationKind::ReplaceIrrelevantId, "ReplaceIrrelevantId"},
+    {TransformationKind::ReplaceConstantWithUniform,
+     "ReplaceConstantWithUniform"},
+    {TransformationKind::SwapCommutableOperands, "SwapCommutableOperands"},
+    {TransformationKind::CompositeConstruct, "CompositeConstruct"},
+    {TransformationKind::CompositeExtract, "CompositeExtract"},
+    {TransformationKind::AddSynonymViaPhi, "AddSynonymViaPhi"},
+    {TransformationKind::ToggleDontInline, "ToggleDontInline"},
+    {TransformationKind::AddFunction, "AddFunction"},
+    {TransformationKind::AddFunctionCall, "AddFunctionCall"},
+    {TransformationKind::InlineFunction, "InlineFunction"},
+    {TransformationKind::AddParameter, "AddParameter"},
+};
+
+} // namespace
+
+const char *spvfuzz::transformationKindName(TransformationKind Kind) {
+  for (const KindInfo &Info : KindTable)
+    if (Info.Kind == Kind)
+      return Info.Name;
+  assert(false && "unknown transformation kind");
+  return "Unknown";
+}
+
+bool spvfuzz::transformationKindFromName(const std::string &Name,
+                                         TransformationKind &Out) {
+  for (const KindInfo &Info : KindTable) {
+    if (Name == Info.Name) {
+      Out = Info.Kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool spvfuzz::isDedupIgnoredKind(TransformationKind Kind) {
+  switch (Kind) {
+  case TransformationKind::AddTypeInt:
+  case TransformationKind::AddTypeBool:
+  case TransformationKind::AddTypeVector:
+  case TransformationKind::AddTypeStruct:
+  case TransformationKind::AddTypePointer:
+  case TransformationKind::AddTypeFunction:
+  case TransformationKind::AddConstantScalar:
+  case TransformationKind::AddConstantComposite:
+  case TransformationKind::AddGlobalVariable:
+  case TransformationKind::AddLocalVariable:
+  case TransformationKind::SplitBlock:
+  case TransformationKind::AddFunction:
+  case TransformationKind::ReplaceIdWithSynonym:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::string Transformation::serialize() const {
+  std::ostringstream Out;
+  Out << transformationKindName(kind());
+  for (const auto &[Key, Words] : params()) {
+    Out << " " << Key << "=";
+    for (size_t I = 0; I != Words.size(); ++I) {
+      if (I)
+        Out << ",";
+      Out << Words[I];
+    }
+  }
+  return Out.str();
+}
+
+std::string spvfuzz::serializeSequence(const TransformationSequence &Sequence) {
+  std::string Out;
+  for (const TransformationPtr &T : Sequence) {
+    Out += T->serialize();
+    Out += "\n";
+  }
+  return Out;
+}
+
+// makeTransformation is provided by TransformationRegistry.cpp; it builds a
+// concrete transformation from a kind and a parameter map.
+namespace spvfuzz {
+TransformationPtr makeTransformation(TransformationKind Kind,
+                                     const ParamMap &Params,
+                                     std::string &ErrorOut);
+} // namespace spvfuzz
+
+TransformationPtr spvfuzz::deserializeTransformation(const std::string &Line,
+                                                     std::string &ErrorOut) {
+  std::istringstream In(Line);
+  std::string KindName;
+  if (!(In >> KindName)) {
+    ErrorOut = "empty transformation line";
+    return nullptr;
+  }
+  TransformationKind Kind;
+  if (!transformationKindFromName(KindName, Kind)) {
+    ErrorOut = "unknown transformation kind '" + KindName + "'";
+    return nullptr;
+  }
+  ParamMap Params;
+  std::string Token;
+  while (In >> Token) {
+    size_t Eq = Token.find('=');
+    if (Eq == std::string::npos) {
+      ErrorOut = "malformed parameter '" + Token + "'";
+      return nullptr;
+    }
+    std::string Key = Token.substr(0, Eq);
+    std::vector<uint32_t> Words;
+    std::string Rest = Token.substr(Eq + 1);
+    if (!Rest.empty()) {
+      std::istringstream WordsIn(Rest);
+      std::string WordText;
+      while (std::getline(WordsIn, WordText, ','))
+        Words.push_back(
+            static_cast<uint32_t>(strtoul(WordText.c_str(), nullptr, 10)));
+    }
+    Params[Key] = std::move(Words);
+  }
+  return makeTransformation(Kind, Params, ErrorOut);
+}
+
+bool spvfuzz::deserializeSequence(const std::string &Text,
+                                  TransformationSequence &SequenceOut,
+                                  std::string &ErrorOut) {
+  SequenceOut.clear();
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    TransformationPtr T = deserializeTransformation(Line, ErrorOut);
+    if (!T)
+      return false;
+    SequenceOut.push_back(std::move(T));
+  }
+  return true;
+}
+
+std::vector<size_t>
+spvfuzz::applySequence(Module &M, FactManager &Facts,
+                       const TransformationSequence &Sequence) {
+  std::vector<size_t> Applied;
+  for (size_t I = 0, E = Sequence.size(); I != E; ++I) {
+    ModuleAnalysis Analysis(M);
+    if (!Sequence[I]->isApplicable(M, Analysis, Facts))
+      continue;
+    Sequence[I]->apply(M, Facts);
+    Applied.push_back(I);
+  }
+  return Applied;
+}
+
+bool spvfuzz::operandIsValueUse(const Instruction &Inst, size_t OperandIndex) {
+  if (OperandIndex >= Inst.Operands.size() ||
+      !Inst.Operands[OperandIndex].isId())
+    return false;
+  switch (Inst.Opcode) {
+  case Op::Phi:
+    return false; // availability rule differs; handled separately
+  case Op::Branch:
+    return false;
+  case Op::BranchConditional:
+    return OperandIndex == 0;
+  case Op::FunctionCall:
+    return OperandIndex > 0;
+  case Op::Variable:
+    return false; // initializers must be constants
+  case Op::CompositeExtract:
+    return OperandIndex == 0;
+  default:
+    return true;
+  }
+}
+
+bool spvfuzz::validInsertionPoint(const BasicBlock &Block, size_t Index) {
+  if (Index > Block.Body.size())
+    return false;
+  // Cannot insert past the terminator (inserting *before* it is fine).
+  if (Index == Block.Body.size())
+    return false;
+  // Cannot insert into the leading phi/variable zone.
+  return Index >= Block.firstInsertionIndex();
+}
+
+void spvfuzz::putDescriptor(ParamMap &Params, const std::string &Prefix,
+                            const InstructionDescriptor &Desc) {
+  Params[Prefix + "_base"] = {Desc.Base};
+  Params[Prefix + "_op"] = {static_cast<uint32_t>(Desc.TargetOpcode)};
+  Params[Prefix + "_skip"] = {Desc.Skip};
+}
+
+bool spvfuzz::getDescriptor(const ParamMap &Params, const std::string &Prefix,
+                            InstructionDescriptor &DescOut) {
+  uint32_t Base, OpWord, Skip;
+  if (!getWord(Params, Prefix + "_base", Base) ||
+      !getWord(Params, Prefix + "_op", OpWord) ||
+      !getWord(Params, Prefix + "_skip", Skip))
+    return false;
+  DescOut.Base = Base;
+  DescOut.TargetOpcode = static_cast<Op>(OpWord);
+  DescOut.Skip = Skip;
+  return true;
+}
+
+void spvfuzz::putWord(ParamMap &Params, const std::string &Key,
+                      uint32_t Word) {
+  Params[Key] = {Word};
+}
+
+bool spvfuzz::getWord(const ParamMap &Params, const std::string &Key,
+                      uint32_t &WordOut) {
+  auto It = Params.find(Key);
+  if (It == Params.end() || It->second.size() != 1)
+    return false;
+  WordOut = It->second[0];
+  return true;
+}
+
+bool spvfuzz::getWords(const ParamMap &Params, const std::string &Key,
+                       std::vector<uint32_t> &WordsOut) {
+  auto It = Params.find(Key);
+  if (It == Params.end())
+    return false;
+  WordsOut = It->second;
+  return true;
+}

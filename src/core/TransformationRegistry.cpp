@@ -1,0 +1,214 @@
+//===- core/TransformationRegistry.cpp - Deserialization factory -----------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Transformations.h"
+
+using namespace spvfuzz;
+
+namespace spvfuzz {
+TransformationPtr makeTransformation(TransformationKind Kind,
+                                     const ParamMap &Params,
+                                     std::string &ErrorOut);
+} // namespace spvfuzz
+
+TransformationPtr spvfuzz::makeTransformation(TransformationKind Kind,
+                                              const ParamMap &Params,
+                                              std::string &ErrorOut) {
+  ErrorOut.clear();
+  auto Fail = [&ErrorOut, Kind]() -> TransformationPtr {
+    ErrorOut = std::string("bad parameters for ") +
+               transformationKindName(Kind);
+    return nullptr;
+  };
+
+  uint32_t W0 = 0, W1 = 0, W2 = 0, W3 = 0, W4 = 0;
+  std::vector<uint32_t> List;
+  InstructionDescriptor Where;
+
+  switch (Kind) {
+  case TransformationKind::AddTypeInt:
+    if (!getWord(Params, "fresh", W0))
+      return Fail();
+    return std::make_shared<TransformationAddTypeInt>(W0);
+  case TransformationKind::AddTypeBool:
+    if (!getWord(Params, "fresh", W0))
+      return Fail();
+    return std::make_shared<TransformationAddTypeBool>(W0);
+  case TransformationKind::AddTypeVector:
+    if (!getWord(Params, "fresh", W0) || !getWord(Params, "component", W1) ||
+        !getWord(Params, "count", W2))
+      return Fail();
+    return std::make_shared<TransformationAddTypeVector>(W0, W1, W2);
+  case TransformationKind::AddTypeStruct:
+    if (!getWord(Params, "fresh", W0) || !getWords(Params, "members", List))
+      return Fail();
+    return std::make_shared<TransformationAddTypeStruct>(W0, List);
+  case TransformationKind::AddTypePointer:
+    if (!getWord(Params, "fresh", W0) || !getWord(Params, "sc", W1) ||
+        !getWord(Params, "pointee", W2))
+      return Fail();
+    return std::make_shared<TransformationAddTypePointer>(
+        W0, static_cast<StorageClass>(W1), W2);
+  case TransformationKind::AddTypeFunction:
+    if (!getWord(Params, "fresh", W0) || !getWord(Params, "return", W1) ||
+        !getWords(Params, "params", List))
+      return Fail();
+    return std::make_shared<TransformationAddTypeFunction>(W0, W1, List);
+  case TransformationKind::AddConstantScalar:
+    if (!getWord(Params, "fresh", W0) || !getWord(Params, "type", W1) ||
+        !getWord(Params, "word", W2) || !getWord(Params, "irrelevant", W3))
+      return Fail();
+    return std::make_shared<TransformationAddConstantScalar>(W0, W1, W2,
+                                                             W3 != 0);
+  case TransformationKind::AddConstantComposite:
+    if (!getWord(Params, "fresh", W0) || !getWord(Params, "type", W1) ||
+        !getWords(Params, "components", List))
+      return Fail();
+    return std::make_shared<TransformationAddConstantComposite>(W0, W1, List);
+  case TransformationKind::AddGlobalVariable:
+    if (!getWord(Params, "fresh", W0) || !getWord(Params, "ptr_type", W1) ||
+        !getWord(Params, "init", W2))
+      return Fail();
+    return std::make_shared<TransformationAddGlobalVariable>(W0, W1, W2);
+  case TransformationKind::AddLocalVariable:
+    if (!getWord(Params, "fresh", W0) || !getWord(Params, "ptr_type", W1) ||
+        !getWord(Params, "function", W2) || !getWord(Params, "init", W3))
+      return Fail();
+    return std::make_shared<TransformationAddLocalVariable>(W0, W1, W2, W3);
+  case TransformationKind::SplitBlock:
+    if (!getDescriptor(Params, "where", Where) ||
+        !getWord(Params, "fresh_block", W0))
+      return Fail();
+    return std::make_shared<TransformationSplitBlock>(Where, W0);
+  case TransformationKind::AddDeadBlock:
+    if (!getWord(Params, "fresh_block", W0) ||
+        !getWord(Params, "existing_block", W1) ||
+        !getWord(Params, "true_const", W2))
+      return Fail();
+    return std::make_shared<TransformationAddDeadBlock>(W0, W1, W2);
+  case TransformationKind::ReplaceBranchWithKill:
+    if (!getWord(Params, "block", W0))
+      return Fail();
+    return std::make_shared<TransformationReplaceBranchWithKill>(W0);
+  case TransformationKind::ReplaceBranchWithConditional:
+    if (!getWord(Params, "block", W0) || !getWord(Params, "cond", W1) ||
+        !getWord(Params, "swap", W2))
+      return Fail();
+    return std::make_shared<TransformationReplaceBranchWithConditional>(
+        W0, W1, W2 != 0);
+  case TransformationKind::MoveBlockDown:
+    if (!getWord(Params, "block", W0))
+      return Fail();
+    return std::make_shared<TransformationMoveBlockDown>(W0);
+  case TransformationKind::InvertBranchCondition:
+    if (!getWord(Params, "block", W0) || !getWord(Params, "fresh_not", W1))
+      return Fail();
+    return std::make_shared<TransformationInvertBranchCondition>(W0, W1);
+  case TransformationKind::PermutePhiOperands:
+    if (!getDescriptor(Params, "where", Where) ||
+        !getWords(Params, "perm", List))
+      return Fail();
+    return std::make_shared<TransformationPermutePhiOperands>(Where, List);
+  case TransformationKind::PropagateInstructionUp:
+    if (!getWord(Params, "block", W0) ||
+        !getWords(Params, "pred_fresh", List))
+      return Fail();
+    return std::make_shared<TransformationPropagateInstructionUp>(W0, List);
+  case TransformationKind::AddStore:
+    if (!getWord(Params, "pointer", W0) || !getWord(Params, "value", W1) ||
+        !getDescriptor(Params, "where", Where))
+      return Fail();
+    return std::make_shared<TransformationAddStore>(W0, W1, Where);
+  case TransformationKind::AddLoad:
+    if (!getWord(Params, "fresh", W0) || !getWord(Params, "pointer", W1) ||
+        !getDescriptor(Params, "where", Where))
+      return Fail();
+    return std::make_shared<TransformationAddLoad>(W0, W1, Where);
+  case TransformationKind::AddSynonymViaCopyObject:
+    if (!getWord(Params, "fresh", W0) || !getWord(Params, "source", W1) ||
+        !getDescriptor(Params, "where", Where))
+      return Fail();
+    return std::make_shared<TransformationAddSynonymViaCopyObject>(W0, W1,
+                                                                   Where);
+  case TransformationKind::AddArithmeticSynonym:
+    if (!getWord(Params, "fresh", W0) || !getWord(Params, "source", W1) ||
+        !getWord(Params, "which", W2) || !getWord(Params, "const", W3) ||
+        !getDescriptor(Params, "where", Where))
+      return Fail();
+    return std::make_shared<TransformationAddArithmeticSynonym>(W0, W1, W2, W3,
+                                                                Where);
+  case TransformationKind::ReplaceIdWithSynonym:
+    if (!getDescriptor(Params, "where", Where) ||
+        !getWord(Params, "operand", W0) || !getWord(Params, "synonym", W1))
+      return Fail();
+    return std::make_shared<TransformationReplaceIdWithSynonym>(Where, W0, W1);
+  case TransformationKind::ReplaceIrrelevantId:
+    if (!getDescriptor(Params, "where", Where) ||
+        !getWord(Params, "operand", W0) ||
+        !getWord(Params, "replacement", W1))
+      return Fail();
+    return std::make_shared<TransformationReplaceIrrelevantId>(Where, W0, W1);
+  case TransformationKind::ReplaceConstantWithUniform:
+    if (!getDescriptor(Params, "where", Where) ||
+        !getWord(Params, "operand", W0) || !getWord(Params, "uniform", W1) ||
+        !getWord(Params, "fresh_load", W2))
+      return Fail();
+    return std::make_shared<TransformationReplaceConstantWithUniform>(
+        Where, W0, W1, W2);
+  case TransformationKind::SwapCommutableOperands:
+    if (!getDescriptor(Params, "where", Where))
+      return Fail();
+    return std::make_shared<TransformationSwapCommutableOperands>(Where);
+  case TransformationKind::CompositeConstruct:
+    if (!getWord(Params, "fresh", W0) || !getWord(Params, "type", W1) ||
+        !getWords(Params, "components", List) ||
+        !getDescriptor(Params, "where", Where))
+      return Fail();
+    return std::make_shared<TransformationCompositeConstruct>(W0, W1, List,
+                                                              Where);
+  case TransformationKind::CompositeExtract:
+    if (!getWord(Params, "fresh", W0) || !getWord(Params, "composite", W1) ||
+        !getWord(Params, "index", W2) ||
+        !getDescriptor(Params, "where", Where))
+      return Fail();
+    return std::make_shared<TransformationCompositeExtract>(W0, W1, W2, Where);
+  case TransformationKind::AddSynonymViaPhi:
+    if (!getWord(Params, "fresh", W0) || !getWord(Params, "source", W1) ||
+        !getWord(Params, "block", W2))
+      return Fail();
+    return std::make_shared<TransformationAddSynonymViaPhi>(W0, W1, W2);
+  case TransformationKind::ToggleDontInline:
+    if (!getWord(Params, "function", W0) || !getWord(Params, "enable", W1))
+      return Fail();
+    return std::make_shared<TransformationToggleDontInline>(W0, W1 != 0);
+  case TransformationKind::AddFunction:
+    if (!getWords(Params, "encoded", List) ||
+        !getWord(Params, "live_safe", W0))
+      return Fail();
+    return std::make_shared<TransformationAddFunction>(List, W0 != 0);
+  case TransformationKind::AddFunctionCall:
+    if (!getWord(Params, "fresh", W0) || !getWord(Params, "callee", W1) ||
+        !getWords(Params, "args", List) ||
+        !getDescriptor(Params, "where", Where))
+      return Fail();
+    return std::make_shared<TransformationAddFunctionCall>(W0, W1, List,
+                                                           Where);
+  case TransformationKind::InlineFunction:
+    if (!getDescriptor(Params, "call", Where) ||
+        !getWord(Params, "after_block", W0) ||
+        !getWords(Params, "id_map", List))
+      return Fail();
+    return std::make_shared<TransformationInlineFunction>(Where, W0, List);
+  case TransformationKind::AddParameter:
+    if (!getWord(Params, "function", W0) ||
+        !getWord(Params, "fresh_param", W1) || !getWord(Params, "type", W2) ||
+        !getWord(Params, "new_function_type", W3) ||
+        !getWord(Params, "arg_const", W4))
+      return Fail();
+    return std::make_shared<TransformationAddParameter>(W0, W1, W2, W3, W4);
+  }
+  return Fail();
+}

@@ -1,0 +1,56 @@
+//===- core/TransformationUtil.h - Shared transformation helpers -*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the concrete transformation implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CORE_TRANSFORMATIONUTIL_H
+#define CORE_TRANSFORMATIONUTIL_H
+
+#include "core/Transformation.h"
+
+namespace spvfuzz {
+
+/// True if \p TheId is not used as any result id, label, or function id in
+/// \p M (and is not 0), i.e. it may be introduced as a fresh id.
+bool idIsFreshInModule(const Module &M, Id TheId);
+
+/// All ids in \p Ids are fresh in \p M and pairwise distinct.
+bool idsAreFreshAndDistinct(const Module &M, const std::vector<Id> &Ids);
+
+/// Returns the id of the first bool/int type declaration, or InvalidId.
+Id findBoolTypeId(const Module &M);
+Id findIntTypeId(const Module &M);
+
+/// True if function \p From transitively calls function \p To (used to
+/// block call-graph cycles when adding calls).
+bool functionReachesViaCalls(const Module &M, Id From, Id To);
+
+/// Clones the module and facts, applies \p T without checking its
+/// precondition, and validates the result. Used as a belt-and-braces
+/// component of the preconditions of the intricate CFG-restructuring
+/// transformations (inlining, kill-replacement, instruction propagation),
+/// whose full static legality conditions are subtle.
+bool applyKeepsModuleValid(const Transformation &T, const Module &M,
+                           const FactManager &Facts);
+
+/// Resolves a descriptor against a const module. locateInstruction needs a
+/// mutable module only to hand back mutable pointers; preconditions use
+/// this wrapper for read-only resolution.
+LocatedInstruction locateInstructionConst(const Module &M,
+                                          const InstructionDescriptor &Desc);
+
+/// Removes phi entries for predecessor \p Pred from every phi of \p Block.
+void removePhiEntriesForPred(BasicBlock &Block, Id Pred);
+
+/// In every phi of \p Block, renames predecessor \p From to \p To.
+void renamePhiPred(BasicBlock &Block, Id From, Id To);
+
+} // namespace spvfuzz
+
+#endif // CORE_TRANSFORMATIONUTIL_H

@@ -1,0 +1,434 @@
+//===- exec/Interpreter.cpp - Reference semantics --------------------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Interpreter.h"
+
+#include <sstream>
+#include <unordered_map>
+
+using namespace spvfuzz;
+
+std::string Value::str() const {
+  switch (ValueKind) {
+  case Kind::Bool:
+    return asBool() ? "true" : "false";
+  case Kind::Int:
+    return std::to_string(Scalar);
+  case Kind::Pointer:
+    return "ptr#" + std::to_string(Scalar);
+  case Kind::Composite: {
+    std::string Out = "{";
+    for (size_t I = 0; I != Elements.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Elements[I].str();
+    }
+    return Out + "}";
+  }
+  }
+  return "?";
+}
+
+std::string ExecResult::str() const {
+  switch (ExecStatus) {
+  case Status::Killed:
+    return "<killed>";
+  case Status::Fault:
+    return "<fault: " + FaultMessage + ">";
+  case Status::Ok: {
+    std::ostringstream Out;
+    Out << "{";
+    bool First = true;
+    for (const auto &[Location, V] : Outputs) {
+      if (!First)
+        Out << ", ";
+      First = false;
+      Out << Location << ": " << V.str();
+    }
+    Out << "}";
+    return Out.str();
+  }
+  }
+  return "?";
+}
+
+Value spvfuzz::zeroValueOfType(const Module &M, Id TypeId) {
+  const Instruction *Def = M.findDef(TypeId);
+  assert(Def && "unknown type");
+  switch (Def->Opcode) {
+  case Op::TypeBool:
+    return Value::makeBool(false);
+  case Op::TypeInt:
+    return Value::makeInt(0);
+  case Op::TypeVector: {
+    std::vector<Value> Elements(Def->literalOperand(1),
+                                zeroValueOfType(M, Def->idOperand(0)));
+    return Value::makeComposite(std::move(Elements));
+  }
+  case Op::TypeStruct: {
+    std::vector<Value> Elements;
+    for (const Operand &Op : Def->Operands)
+      Elements.push_back(zeroValueOfType(M, Op.asId()));
+    return Value::makeComposite(std::move(Elements));
+  }
+  default:
+    assert(false && "type has no zero value");
+    return Value::makeInt(0);
+  }
+}
+
+Value spvfuzz::evalConstant(const Module &M, Id ConstantId) {
+  const Instruction *Def = M.findDef(ConstantId);
+  assert(Def && isConstantDecl(Def->Opcode) && "not a constant");
+  switch (Def->Opcode) {
+  case Op::ConstantTrue:
+    return Value::makeBool(true);
+  case Op::ConstantFalse:
+    return Value::makeBool(false);
+  case Op::Constant:
+    return Value::makeInt(static_cast<int32_t>(Def->literalOperand(0)));
+  case Op::ConstantComposite: {
+    std::vector<Value> Elements;
+    for (const Operand &Op : Def->Operands)
+      Elements.push_back(evalConstant(M, Op.asId()));
+    return Value::makeComposite(std::move(Elements));
+  }
+  default:
+    assert(false && "unreachable");
+    return Value::makeInt(0);
+  }
+}
+
+namespace {
+
+/// Interpreter state for one execution.
+class Machine {
+public:
+  Machine(const Module &M, const ShaderInput &Input,
+          const InterpreterOptions &Options)
+      : M(M), Input(Input), Options(Options) {}
+
+  ExecResult run() {
+    const Function *Entry = M.entryPoint();
+    if (!Entry)
+      return fault("no entry point");
+
+    // Allocate cells for module-scope variables.
+    for (const Instruction &Global : M.GlobalInsts) {
+      if (Global.Opcode != Op::Variable)
+        continue;
+      auto SC = static_cast<StorageClass>(Global.literalOperand(0));
+      auto [PtrSC, Pointee] = M.pointerInfo(Global.ResultType);
+      (void)PtrSC;
+      Value Init = zeroValueOfType(M, Pointee);
+      if (SC == StorageClass::Uniform) {
+        auto It = Input.Bindings.find(Global.literalOperand(1));
+        if (It != Input.Bindings.end())
+          Init = It->second;
+      } else if (SC == StorageClass::Private && Global.Operands.size() == 2) {
+        Init = evalConstant(M, Global.idOperand(1));
+      }
+      GlobalCells[Global.Result] = static_cast<int32_t>(Cells.size());
+      Cells.push_back(std::move(Init));
+      if (SC == StorageClass::Output)
+        OutputCells.push_back({Global.literalOperand(1),
+                               GlobalCells[Global.Result]});
+    }
+
+    Value Ignored;
+    RunOutcome Outcome = callFunction(*Entry, {}, Ignored, 0);
+    switch (Outcome) {
+    case RunOutcome::Completed: {
+      ExecResult Result;
+      Result.ExecStatus = ExecResult::Status::Ok;
+      for (auto [Location, Cell] : OutputCells)
+        Result.Outputs[Location] = Cells[Cell];
+      return Result;
+    }
+    case RunOutcome::Killed: {
+      ExecResult Result;
+      Result.ExecStatus = ExecResult::Status::Killed;
+      return Result;
+    }
+    case RunOutcome::Faulted:
+      return fault(FaultMessage);
+    }
+    return fault("unreachable");
+  }
+
+private:
+  enum class RunOutcome { Completed, Killed, Faulted };
+
+  ExecResult fault(const std::string &Message) {
+    ExecResult Result;
+    Result.ExecStatus = ExecResult::Status::Fault;
+    Result.FaultMessage = Message;
+    return Result;
+  }
+
+  RunOutcome faultOut(const std::string &Message) {
+    FaultMessage = Message;
+    return RunOutcome::Faulted;
+  }
+
+  /// Executes \p Func with \p Args; on normal return stores the returned
+  /// value (if non-void) into \p ReturnValue.
+  RunOutcome callFunction(const Function &Func, const std::vector<Value> &Args,
+                          Value &ReturnValue, uint32_t Depth) {
+    if (Depth > Options.MaxCallDepth)
+      return faultOut("call depth limit exceeded");
+
+    std::unordered_map<Id, Value> Env;
+    assert(Args.size() == Func.Params.size() && "argument count mismatch");
+    for (size_t I = 0; I != Args.size(); ++I)
+      Env[Func.Params[I].Result] = Args[I];
+
+    const BasicBlock *Block = &Func.entryBlock();
+    Id PreviousBlock = InvalidId;
+
+    while (true) {
+      // Phis read their inputs simultaneously on block entry.
+      std::vector<std::pair<Id, Value>> PhiWrites;
+      size_t Index = 0;
+      for (; Index < Block->Body.size() &&
+             Block->Body[Index].Opcode == Op::Phi;
+           ++Index) {
+        const Instruction &Phi = Block->Body[Index];
+        bool Matched = false;
+        for (size_t I = 0; I + 1 < Phi.Operands.size(); I += 2) {
+          if (Phi.idOperand(I + 1) != PreviousBlock)
+            continue;
+          PhiWrites.push_back({Phi.Result, eval(Env, Phi.idOperand(I))});
+          Matched = true;
+          break;
+        }
+        if (!Matched)
+          return faultOut("phi has no entry for predecessor");
+      }
+      for (auto &[Dest, V] : PhiWrites)
+        Env[Dest] = std::move(V);
+
+      for (; Index < Block->Body.size(); ++Index) {
+        if (++Steps > Options.StepLimit)
+          return faultOut("step limit exceeded");
+        const Instruction &Inst = Block->Body[Index];
+        switch (Inst.Opcode) {
+        case Op::Variable: {
+          auto [SC, Pointee] = M.pointerInfo(Inst.ResultType);
+          (void)SC;
+          Value Init = Inst.Operands.size() == 2
+                           ? evalConstant(M, Inst.idOperand(1))
+                           : zeroValueOfType(M, Pointee);
+          Env[Inst.Result] =
+              Value::makePointer(static_cast<int32_t>(Cells.size()));
+          Cells.push_back(std::move(Init));
+          break;
+        }
+        case Op::Load: {
+          Value Pointer = eval(Env, Inst.idOperand(0));
+          Env[Inst.Result] = Cells[static_cast<size_t>(Pointer.Scalar)];
+          break;
+        }
+        case Op::Store: {
+          Value Pointer = eval(Env, Inst.idOperand(0));
+          Cells[static_cast<size_t>(Pointer.Scalar)] =
+              eval(Env, Inst.idOperand(1));
+          break;
+        }
+        case Op::IAdd:
+        case Op::ISub:
+        case Op::IMul:
+        case Op::SDiv:
+        case Op::SMod: {
+          int32_t Lhs = eval(Env, Inst.idOperand(0)).asInt();
+          int32_t Rhs = eval(Env, Inst.idOperand(1)).asInt();
+          Env[Inst.Result] = Value::makeInt(evalIntBinOp(Inst.Opcode, Lhs, Rhs));
+          break;
+        }
+        case Op::SNegate: {
+          uint32_t In =
+              static_cast<uint32_t>(eval(Env, Inst.idOperand(0)).asInt());
+          Env[Inst.Result] =
+              Value::makeInt(static_cast<int32_t>(0u - In));
+          break;
+        }
+        case Op::LogicalAnd:
+          Env[Inst.Result] =
+              Value::makeBool(eval(Env, Inst.idOperand(0)).asBool() &&
+                              eval(Env, Inst.idOperand(1)).asBool());
+          break;
+        case Op::LogicalOr:
+          Env[Inst.Result] =
+              Value::makeBool(eval(Env, Inst.idOperand(0)).asBool() ||
+                              eval(Env, Inst.idOperand(1)).asBool());
+          break;
+        case Op::LogicalNot:
+          Env[Inst.Result] =
+              Value::makeBool(!eval(Env, Inst.idOperand(0)).asBool());
+          break;
+        case Op::IEqual:
+        case Op::INotEqual:
+        case Op::SLessThan:
+        case Op::SLessThanEqual:
+        case Op::SGreaterThan:
+        case Op::SGreaterThanEqual: {
+          int32_t Lhs = eval(Env, Inst.idOperand(0)).asInt();
+          int32_t Rhs = eval(Env, Inst.idOperand(1)).asInt();
+          Env[Inst.Result] =
+              Value::makeBool(evalComparison(Inst.Opcode, Lhs, Rhs));
+          break;
+        }
+        case Op::Select: {
+          bool Cond = eval(Env, Inst.idOperand(0)).asBool();
+          Env[Inst.Result] = eval(Env, Inst.idOperand(Cond ? 1 : 2));
+          break;
+        }
+        case Op::CopyObject:
+          Env[Inst.Result] = eval(Env, Inst.idOperand(0));
+          break;
+        case Op::CompositeConstruct: {
+          std::vector<Value> Elements;
+          for (const Operand &Op : Inst.Operands)
+            Elements.push_back(eval(Env, Op.asId()));
+          Env[Inst.Result] = Value::makeComposite(std::move(Elements));
+          break;
+        }
+        case Op::CompositeExtract: {
+          Value Current = eval(Env, Inst.idOperand(0));
+          for (size_t I = 1; I < Inst.Operands.size(); ++I) {
+            uint32_t ExtractIndex = Inst.literalOperand(I);
+            if (ExtractIndex >= Current.Elements.size())
+              return faultOut("composite extract out of range");
+            Value Next = Current.Elements[ExtractIndex];
+            Current = std::move(Next);
+          }
+          Env[Inst.Result] = std::move(Current);
+          break;
+        }
+        case Op::FunctionCall: {
+          const Function *Callee = M.findFunction(Inst.idOperand(0));
+          if (!Callee)
+            return faultOut("call to unknown function");
+          std::vector<Value> CallArgs;
+          for (size_t I = 1; I < Inst.Operands.size(); ++I)
+            CallArgs.push_back(eval(Env, Inst.idOperand(I)));
+          Value Returned;
+          RunOutcome Outcome =
+              callFunction(*Callee, CallArgs, Returned, Depth + 1);
+          if (Outcome != RunOutcome::Completed)
+            return Outcome;
+          if (!M.isVoidTypeId(Callee->returnTypeId()))
+            Env[Inst.Result] = std::move(Returned);
+          break;
+        }
+        case Op::Branch:
+          PreviousBlock = Block->LabelId;
+          Block = Func.findBlock(Inst.idOperand(0));
+          if (!Block)
+            return faultOut("branch to unknown block");
+          goto NextBlock;
+        case Op::BranchConditional: {
+          bool Cond = eval(Env, Inst.idOperand(0)).asBool();
+          PreviousBlock = Block->LabelId;
+          Block = Func.findBlock(Inst.idOperand(Cond ? 1 : 2));
+          if (!Block)
+            return faultOut("branch to unknown block");
+          goto NextBlock;
+        }
+        case Op::Return:
+          return RunOutcome::Completed;
+        case Op::ReturnValue:
+          ReturnValue = eval(Env, Inst.idOperand(0));
+          return RunOutcome::Completed;
+        case Op::Kill:
+          return RunOutcome::Killed;
+        default:
+          return faultOut("unexpected opcode in function body");
+        }
+      }
+      return faultOut("block fell through without a terminator");
+    NextBlock:;
+    }
+  }
+
+  static int32_t evalIntBinOp(Op Opcode, int32_t Lhs, int32_t Rhs) {
+    uint32_t UL = static_cast<uint32_t>(Lhs);
+    uint32_t UR = static_cast<uint32_t>(Rhs);
+    switch (Opcode) {
+    case Op::IAdd:
+      return static_cast<int32_t>(UL + UR);
+    case Op::ISub:
+      return static_cast<int32_t>(UL - UR);
+    case Op::IMul:
+      return static_cast<int32_t>(UL * UR);
+    case Op::SDiv:
+      // Division by zero and INT_MIN / -1 are defined to yield zero;
+      // MiniSPV has no UB.
+      if (Rhs == 0 || (Lhs == INT32_MIN && Rhs == -1))
+        return 0;
+      return Lhs / Rhs;
+    case Op::SMod:
+      if (Rhs == 0 || (Lhs == INT32_MIN && Rhs == -1))
+        return 0;
+      return Lhs % Rhs;
+    default:
+      assert(false && "not an int binop");
+      return 0;
+    }
+  }
+
+  static bool evalComparison(Op Opcode, int32_t Lhs, int32_t Rhs) {
+    switch (Opcode) {
+    case Op::IEqual:
+      return Lhs == Rhs;
+    case Op::INotEqual:
+      return Lhs != Rhs;
+    case Op::SLessThan:
+      return Lhs < Rhs;
+    case Op::SLessThanEqual:
+      return Lhs <= Rhs;
+    case Op::SGreaterThan:
+      return Lhs > Rhs;
+    case Op::SGreaterThanEqual:
+      return Lhs >= Rhs;
+    default:
+      assert(false && "not a comparison");
+      return false;
+    }
+  }
+
+  /// Reads the runtime value of \p TheId: an SSA value from \p Env, a
+  /// module constant, or a global variable pointer.
+  Value eval(std::unordered_map<Id, Value> &Env, Id TheId) {
+    auto It = Env.find(TheId);
+    if (It != Env.end())
+      return It->second;
+    auto GlobalIt = GlobalCells.find(TheId);
+    if (GlobalIt != GlobalCells.end())
+      return Value::makePointer(GlobalIt->second);
+    const Instruction *Def = M.findDef(TheId);
+    if (Def && isConstantDecl(Def->Opcode))
+      return evalConstant(M, TheId);
+    // The validator guarantees this cannot happen for valid modules.
+    return Value::makeInt(0);
+  }
+
+  const Module &M;
+  const ShaderInput &Input;
+  const InterpreterOptions &Options;
+  uint64_t Steps = 0;
+  std::string FaultMessage;
+  std::vector<Value> Cells;
+  std::unordered_map<Id, int32_t> GlobalCells;
+  std::vector<std::pair<uint32_t, int32_t>> OutputCells;
+};
+
+} // namespace
+
+ExecResult spvfuzz::interpret(const Module &M, const ShaderInput &Input,
+                              const InterpreterOptions &Options) {
+  return Machine(M, Input, Options).run();
+}

@@ -1,0 +1,69 @@
+//===- exec/Interpreter.h - Reference semantics -----------------*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reference interpreter: Semantics(P, I) from the paper's Definition
+/// 2.1. Executes a module's entry point on a ShaderInput, producing the
+/// final values of all Output variables (by location) or a Kill. MiniSPV
+/// semantics are total — integer wrap-around, division by zero yields
+/// zero, variables are zero-initialized — so every valid module is
+/// well-defined with respect to every input, up to the step limit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXEC_INTERPRETER_H
+#define EXEC_INTERPRETER_H
+
+#include "exec/Value.h"
+#include "ir/Module.h"
+
+namespace spvfuzz {
+
+/// The observable result of executing a module.
+struct ExecResult {
+  enum class Status : uint8_t {
+    Ok,     // ran to completion; Outputs hold the result
+    Killed, // an OpKill executed; Outputs are irrelevant
+    Fault,  // interpreter-level failure (step limit, malformed module)
+  };
+
+  Status ExecStatus = Status::Ok;
+  std::string FaultMessage;
+  std::map<uint32_t, Value> Outputs; // by Output variable location
+
+  bool operator==(const ExecResult &Other) const {
+    if (ExecStatus != Other.ExecStatus)
+      return false;
+    if (ExecStatus == Status::Ok)
+      return Outputs == Other.Outputs;
+    return true; // two kills / two faults compare equal
+  }
+  bool operator!=(const ExecResult &Other) const { return !(*this == Other); }
+
+  std::string str() const;
+};
+
+struct InterpreterOptions {
+  /// Execution aborts with a fault after this many instruction steps; the
+  /// paper regards non-termination as faulting (ğ2.2).
+  uint64_t StepLimit = 1u << 22;
+  /// Call-stack depth limit.
+  uint32_t MaxCallDepth = 64;
+};
+
+/// Executes \p M's entry point on \p Input. \p M must be valid.
+ExecResult interpret(const Module &M, const ShaderInput &Input,
+                     const InterpreterOptions &Options = InterpreterOptions());
+
+/// Returns the zero value of type \p TypeId (composites recursively zero).
+Value zeroValueOfType(const Module &M, Id TypeId);
+
+/// Evaluates a module-level constant id to a Value.
+Value evalConstant(const Module &M, Id ConstantId);
+
+} // namespace spvfuzz
+
+#endif // EXEC_INTERPRETER_H

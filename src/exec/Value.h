@@ -1,0 +1,75 @@
+//===- exec/Value.h - Runtime values ----------------------------*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime values for the MiniSPV interpreter: booleans, 32-bit integers,
+/// composites (vectors and structs share a representation) and pointers
+/// (handles into the interpreter's cell store).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXEC_VALUE_H
+#define EXEC_VALUE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spvfuzz {
+
+struct Value {
+  enum class Kind : uint8_t { Bool, Int, Composite, Pointer };
+
+  Kind ValueKind = Kind::Int;
+  int32_t Scalar = 0;           // Bool (0/1), Int, or Pointer handle
+  std::vector<Value> Elements;  // Composite only
+
+  static Value makeBool(bool B) {
+    Value V;
+    V.ValueKind = Kind::Bool;
+    V.Scalar = B ? 1 : 0;
+    return V;
+  }
+  static Value makeInt(int32_t I) {
+    Value V;
+    V.ValueKind = Kind::Int;
+    V.Scalar = I;
+    return V;
+  }
+  static Value makeComposite(std::vector<Value> Elements) {
+    Value V;
+    V.ValueKind = Kind::Composite;
+    V.Elements = std::move(Elements);
+    return V;
+  }
+  static Value makePointer(int32_t Handle) {
+    Value V;
+    V.ValueKind = Kind::Pointer;
+    V.Scalar = Handle;
+    return V;
+  }
+
+  bool asBool() const { return Scalar != 0; }
+  int32_t asInt() const { return Scalar; }
+
+  bool operator==(const Value &Other) const {
+    return ValueKind == Other.ValueKind && Scalar == Other.Scalar &&
+           Elements == Other.Elements;
+  }
+  bool operator!=(const Value &Other) const { return !(*this == Other); }
+
+  std::string str() const;
+};
+
+/// The values supplied for Uniform variables, keyed by binding.
+struct ShaderInput {
+  std::map<uint32_t, Value> Bindings;
+};
+
+} // namespace spvfuzz
+
+#endif // EXEC_VALUE_H

@@ -1,0 +1,375 @@
+//===- gen/Generator.cpp - Well-defined program generation ----------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Generator.h"
+
+#include "ir/ModuleBuilder.h"
+#include "support/Rng.h"
+
+using namespace spvfuzz;
+
+namespace {
+
+/// Builds one program. Statement generation is structured (sequence / if /
+/// bounded loop), so control flow always reconverges and terminates.
+class ProgramGenerator {
+public:
+  ProgramGenerator(uint64_t Seed, const GeneratorOptions &Options)
+      : Random(Seed), Options(Options), Builder(Result.M) {}
+
+  GeneratedProgram generate() {
+    IntType = Builder.getIntType();
+    BoolType = Builder.getBoolType();
+    VoidType = Builder.getVoidType();
+    IntPtrFunction = Builder.getPointerType(StorageClass::Function, IntType);
+
+    // Uniform inputs with random runtime values.
+    for (uint32_t I = 0; I < Options.NumUniforms; ++I) {
+      Id Var = Builder.addUniform(IntType, I);
+      IntUniforms.push_back(Var);
+      Result.Input.Bindings[I] =
+          Value::makeInt(static_cast<int32_t>(Random.uniform(0, 200)) - 100);
+    }
+    for (uint32_t I = 0; I < Options.NumBoolUniforms; ++I) {
+      uint32_t Binding = Options.NumUniforms + I;
+      Id Var = Builder.addUniform(BoolType, Binding);
+      BoolUniforms.push_back(Var);
+      Result.Input.Bindings[Binding] = Value::makeBool(Random.flip());
+    }
+    for (uint32_t I = 0; I < Options.NumOutputs; ++I)
+      Outputs.push_back(Builder.addOutput(IntType, I));
+
+    for (uint32_t I = 0; I < Options.NumHelperFunctions; ++I)
+      generateHelper();
+
+    generateEntry();
+    return std::move(Result);
+  }
+
+private:
+  // --- Current insertion state (one function at a time) -------------------
+
+  Function *Func = nullptr;
+  BasicBlock *Block = nullptr;
+
+  void emit(Instruction Inst) { Block->Body.push_back(std::move(Inst)); }
+
+  BasicBlock *newBlock() {
+    Func->Blocks.emplace_back(Result.M.takeFreshId());
+    return &Func->Blocks.back();
+  }
+
+  /// Re-finds a block by id; needed because newBlock can reallocate the
+  /// block vector.
+  BasicBlock *blockById(Id LabelId) { return Func->findBlock(LabelId); }
+
+  Id freshId() { return Result.M.takeFreshId(); }
+
+  // --- Expressions ---------------------------------------------------------
+
+  /// Emits code for a random int expression and returns its id. Uses only
+  /// values that are available in the current block: constants, loads of
+  /// uniforms/locals and function parameters.
+  Id genIntExpr(uint32_t Depth) {
+    if (Depth == 0 || Random.chancePercent(30)) {
+      // Leaf.
+      switch (Random.uniform(0, 2)) {
+      case 0:
+        return Builder.getIntConstant(static_cast<int32_t>(
+            Random.uniform(0, 40)) - 20);
+      case 1:
+        if (!IntUniforms.empty()) {
+          Id Load = freshId();
+          emit(ModuleBuilder::makeLoad(IntType, Load,
+                                       Random.pick(IntUniforms)));
+          return Load;
+        }
+        [[fallthrough]];
+      default:
+        if (!ScopeLocals.empty()) {
+          Id Load = freshId();
+          emit(ModuleBuilder::makeLoad(IntType, Load,
+                                       Random.pick(ScopeLocals)));
+          return Load;
+        }
+        if (!IntParams.empty())
+          return Random.pick(IntParams);
+        return Builder.getIntConstant(1);
+      }
+    }
+    switch (Random.uniform(0, 5)) {
+    case 0:
+    case 1: {
+      static const Op Arith[] = {Op::IAdd, Op::ISub, Op::IMul, Op::SDiv,
+                                 Op::SMod};
+      Id Lhs = genIntExpr(Depth - 1);
+      Id Rhs = genIntExpr(Depth - 1);
+      Id ResultId = freshId();
+      emit(ModuleBuilder::makeBinOp(Arith[Random.index(5)], IntType, ResultId,
+                                    Lhs, Rhs));
+      return ResultId;
+    }
+    case 2: {
+      Id In = genIntExpr(Depth - 1);
+      Id ResultId = freshId();
+      emit(ModuleBuilder::makeUnaryOp(Op::SNegate, IntType, ResultId, In));
+      return ResultId;
+    }
+    default: {
+      Id Cond = genBoolExpr(Depth - 1);
+      Id TrueVal = genIntExpr(Depth - 1);
+      Id FalseVal = genIntExpr(Depth - 1);
+      Id ResultId = freshId();
+      emit(ModuleBuilder::makeSelect(IntType, ResultId, Cond, TrueVal,
+                                     FalseVal));
+      return ResultId;
+    }
+    }
+  }
+
+  Id genBoolExpr(uint32_t Depth) {
+    if (Depth == 0 || Random.chancePercent(35)) {
+      if (!BoolUniforms.empty() && Random.chancePercent(40)) {
+        Id Load = freshId();
+        emit(ModuleBuilder::makeLoad(BoolType, Load,
+                                     Random.pick(BoolUniforms)));
+        return Load;
+      }
+      return Builder.getBoolConstant(Random.flip());
+    }
+    switch (Random.uniform(0, 3)) {
+    case 0: {
+      static const Op Compare[] = {Op::IEqual,        Op::INotEqual,
+                                   Op::SLessThan,     Op::SLessThanEqual,
+                                   Op::SGreaterThan,  Op::SGreaterThanEqual};
+      Id Lhs = genIntExpr(Depth - 1);
+      Id Rhs = genIntExpr(Depth - 1);
+      Id ResultId = freshId();
+      emit(ModuleBuilder::makeBinOp(Compare[Random.index(6)], BoolType,
+                                    ResultId, Lhs, Rhs));
+      return ResultId;
+    }
+    case 1: {
+      Id In = genBoolExpr(Depth - 1);
+      // Never negate a constant directly: LogicalNot-of-constant is kept
+      // out of reference programs so that it remains a clean compiler-bug
+      // trigger feature for the testing experiments.
+      const Instruction *InDef = Result.M.findDef(In);
+      if (InDef && isConstantDecl(InDef->Opcode)) {
+        Id Lhs = genIntExpr(Depth == 0 ? 0 : Depth - 1);
+        Id Rhs = genIntExpr(Depth == 0 ? 0 : Depth - 1);
+        Id Cmp = freshId();
+        emit(ModuleBuilder::makeBinOp(Op::SLessThan, BoolType, Cmp, Lhs, Rhs));
+        In = Cmp;
+      }
+      Id ResultId = freshId();
+      emit(ModuleBuilder::makeUnaryOp(Op::LogicalNot, BoolType, ResultId, In));
+      return ResultId;
+    }
+    default: {
+      Id Lhs = genBoolExpr(Depth - 1);
+      Id Rhs = genBoolExpr(Depth - 1);
+      Id ResultId = freshId();
+      emit(ModuleBuilder::makeBinOp(Random.flip() ? Op::LogicalAnd
+                                                  : Op::LogicalOr,
+                                    BoolType, ResultId, Lhs, Rhs));
+      return ResultId;
+    }
+    }
+  }
+
+  // --- Statements ------------------------------------------------------------
+
+  void genStatements(uint32_t Depth) {
+    uint32_t Count = Random.uniform(1, Options.StatementsPerBlock);
+    for (uint32_t I = 0; I < Count; ++I)
+      genStatement(Depth);
+  }
+
+  void genStatement(uint32_t Depth) {
+    uint32_t Choice = Random.uniform(0, 9);
+    if (Depth == 0 || Choice < 5) {
+      // Assignment to a local.
+      if (ScopeLocals.empty())
+        return;
+      Id Target = Random.pick(ScopeLocals);
+      Id ValueId = genIntExpr(Options.MaxExprDepth);
+      emit(ModuleBuilder::makeStore(Target, ValueId));
+      return;
+    }
+    if (Choice < 7 && !Callees.empty()) {
+      // Call a helper and store the result.
+      const CalleeInfo &Callee = Random.pick(Callees);
+      std::vector<Operand> Ops = {Operand::id(Callee.FuncId)};
+      for (uint32_t I = 0; I < Callee.NumParams; ++I)
+        Ops.push_back(Operand::id(genIntExpr(Options.MaxExprDepth - 1)));
+      Id CallId = freshId();
+      emit(Instruction(Op::FunctionCall, IntType, CallId, std::move(Ops)));
+      if (!ScopeLocals.empty())
+        emit(ModuleBuilder::makeStore(Random.pick(ScopeLocals), CallId));
+      return;
+    }
+    if (Choice < 8) {
+      genIf(Depth - 1);
+      return;
+    }
+    genLoop(Depth - 1);
+  }
+
+  void genIf(uint32_t Depth) {
+    Id Cond = genBoolExpr(Options.MaxExprDepth);
+    Id CurrentId = Block->LabelId;
+    Id ThenId = newBlock()->LabelId;
+    bool HasElse = Random.flip();
+
+    // Then branch.
+    Block = blockById(ThenId);
+    genStatements(Depth);
+    Id ThenEndId = Block->LabelId;
+
+    Id ElseId = InvalidId, ElseEndId = InvalidId;
+    if (HasElse) {
+      ElseId = newBlock()->LabelId;
+      Block = blockById(ElseId);
+      genStatements(Depth);
+      ElseEndId = Block->LabelId;
+    }
+
+    Id MergeId = newBlock()->LabelId;
+    blockById(CurrentId)->Body.push_back(ModuleBuilder::makeBranchConditional(
+        Cond, ThenId, HasElse ? ElseId : MergeId));
+    blockById(ThenEndId)->Body.push_back(ModuleBuilder::makeBranch(MergeId));
+    if (HasElse)
+      blockById(ElseEndId)->Body.push_back(ModuleBuilder::makeBranch(MergeId));
+    Block = blockById(MergeId);
+  }
+
+  void genLoop(uint32_t Depth) {
+    // Bounded counting loop over a dedicated local counter.
+    Id Counter = addLocal(/*AddToScope=*/false);
+    Id Limit = Builder.getIntConstant(
+        static_cast<int32_t>(Random.uniform(1, Options.MaxLoopIterations)));
+    Id Zero = Builder.getIntConstant(0);
+    Id One = Builder.getIntConstant(1);
+
+    emit(ModuleBuilder::makeStore(Counter, Zero));
+    Id PreheaderId = Block->LabelId;
+    Id HeaderId = newBlock()->LabelId;
+    blockById(PreheaderId)->Body.push_back(
+        ModuleBuilder::makeBranch(HeaderId));
+
+    // Header: load counter, compare, conditional branch.
+    Block = blockById(HeaderId);
+    Id Iv = freshId();
+    emit(ModuleBuilder::makeLoad(IntType, Iv, Counter));
+    Id Cond = freshId();
+    emit(ModuleBuilder::makeBinOp(Op::SLessThan, BoolType, Cond, Iv, Limit));
+
+    Id BodyId = newBlock()->LabelId;
+    Block = blockById(BodyId);
+    genStatements(Depth);
+    // Increment and loop back.
+    Id IvAgain = freshId();
+    emit(ModuleBuilder::makeLoad(IntType, IvAgain, Counter));
+    Id Next = freshId();
+    emit(ModuleBuilder::makeBinOp(Op::IAdd, IntType, Next, IvAgain, One));
+    emit(ModuleBuilder::makeStore(Counter, Next));
+    Id BodyEndId = Block->LabelId;
+
+    Id MergeId = newBlock()->LabelId;
+    blockById(HeaderId)->Body.push_back(
+        ModuleBuilder::makeBranchConditional(Cond, BodyId, MergeId));
+    blockById(BodyEndId)->Body.push_back(ModuleBuilder::makeBranch(HeaderId));
+    Block = blockById(MergeId);
+  }
+
+  /// Declares an int local in the entry block of the current function and
+  /// returns its pointer id.
+  Id addLocal(bool AddToScope) {
+    Id VarId = freshId();
+    Id Init = Builder.getIntConstant(static_cast<int32_t>(
+        Random.uniform(0, 20)) - 10);
+    Instruction Var =
+        ModuleBuilder::makeLocalVariable(IntPtrFunction, VarId, Init);
+    BasicBlock &Entry = Func->entryBlock();
+    Entry.Body.insert(Entry.Body.begin() + Entry.firstInsertionIndex(), Var);
+    if (AddToScope)
+      ScopeLocals.push_back(VarId);
+    return VarId;
+  }
+
+  // --- Functions -------------------------------------------------------------
+
+  struct CalleeInfo {
+    Id FuncId;
+    uint32_t NumParams;
+  };
+
+  void generateHelper() {
+    uint32_t NumParams = Random.uniform(1, 3);
+    std::vector<Id> ParamTypes(NumParams, IntType);
+    std::vector<Id> ParamIds;
+    Func = &Builder.startFunction(IntType, ParamTypes, &ParamIds);
+    Block = &Func->entryBlock();
+    ScopeLocals.clear();
+    IntParams = ParamIds;
+
+    for (uint32_t I = 0; I < 2; ++I)
+      addLocal(/*AddToScope=*/true);
+    genStatements(Random.uniform(0, 1));
+    Id ReturnId = genIntExpr(Options.MaxExprDepth);
+    emit(ModuleBuilder::makeReturnValue(ReturnId));
+
+    Callees.push_back({Func->id(), NumParams});
+    IntParams.clear();
+  }
+
+  void generateEntry() {
+    Func = &Builder.startFunction(VoidType, {});
+    Block = &Func->entryBlock();
+    ScopeLocals.clear();
+
+    for (uint32_t I = 0; I < Options.NumLocals; ++I)
+      addLocal(/*AddToScope=*/true);
+    genStatements(Options.MaxStatementDepth);
+
+    for (Id Output : Outputs) {
+      Id ValueId = genIntExpr(Options.MaxExprDepth);
+      emit(ModuleBuilder::makeStore(Output, ValueId));
+    }
+    emit(ModuleBuilder::makeReturn());
+    Builder.setEntryPoint(Func->id());
+  }
+
+  Rng Random;
+  GeneratorOptions Options;
+  GeneratedProgram Result;
+  ModuleBuilder Builder;
+
+  Id IntType = InvalidId, BoolType = InvalidId, VoidType = InvalidId;
+  Id IntPtrFunction = InvalidId;
+  std::vector<Id> IntUniforms, BoolUniforms, Outputs;
+  std::vector<Id> ScopeLocals; // pointers to int locals in scope
+  std::vector<Id> IntParams;   // parameters of the current helper
+  std::vector<CalleeInfo> Callees;
+};
+
+} // namespace
+
+GeneratedProgram spvfuzz::generateProgram(uint64_t Seed,
+                                          const GeneratorOptions &Options) {
+  return ProgramGenerator(Seed, Options).generate();
+}
+
+std::vector<GeneratedProgram>
+spvfuzz::generateCorpus(size_t Count, uint64_t Seed,
+                        const GeneratorOptions &Options) {
+  std::vector<GeneratedProgram> Corpus;
+  Corpus.reserve(Count);
+  for (size_t I = 0; I < Count; ++I)
+    Corpus.push_back(generateProgram(Seed * 1000003ULL + I, Options));
+  return Corpus;
+}

@@ -1,0 +1,53 @@
+//===- gen/Generator.h - Well-defined program generation --------*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded generation of well-defined MiniSPV modules with associated
+/// inputs. Stands in for the GraphicsFuzz reference and donor shader
+/// corpora: programs are deterministic and UB-free by construction
+/// (MiniSPV semantics are total and all generated loops are bounded), so
+/// they are suitable originals for transformation-based testing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GEN_GENERATOR_H
+#define GEN_GENERATOR_H
+
+#include "exec/Value.h"
+#include "ir/Module.h"
+
+namespace spvfuzz {
+
+struct GeneratorOptions {
+  uint32_t NumUniforms = 3;      // int-typed inputs
+  uint32_t NumBoolUniforms = 1;  // bool-typed inputs
+  uint32_t NumOutputs = 2;       // int-typed outputs
+  uint32_t NumHelperFunctions = 2;
+  uint32_t MaxStatementDepth = 3; // nesting of if/loop constructs
+  uint32_t StatementsPerBlock = 4;
+  uint32_t MaxExprDepth = 3;
+  uint32_t MaxLoopIterations = 6;
+  uint32_t NumLocals = 4;
+};
+
+/// A generated original (program, input) pair.
+struct GeneratedProgram {
+  Module M;
+  ShaderInput Input;
+};
+
+/// Generates a well-defined program and input from \p Seed.
+GeneratedProgram generateProgram(uint64_t Seed,
+                                 const GeneratorOptions &Options = {});
+
+/// Generates \p Count programs from consecutive seeds derived from \p Seed.
+std::vector<GeneratedProgram>
+generateCorpus(size_t Count, uint64_t Seed,
+               const GeneratorOptions &Options = {});
+
+} // namespace spvfuzz
+
+#endif // GEN_GENERATOR_H

@@ -1,0 +1,120 @@
+//===- ir/Instruction.h - MiniSPV instructions ------------------*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instructions and operands. Instructions are plain values so that modules
+/// can be copied cheaply — the fuzzer and the reducer clone modules
+/// constantly when replaying transformation sequences.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_INSTRUCTION_H
+#define IR_INSTRUCTION_H
+
+#include "ir/Opcode.h"
+
+#include <cassert>
+#include <vector>
+
+namespace spvfuzz {
+
+/// An instruction operand: either a reference to a result id or a literal
+/// 32-bit word (used for integer constant payloads, storage classes,
+/// composite-extract indices, bindings, locations and function control
+/// masks).
+struct Operand {
+  enum class Kind : uint8_t { IdRef, Literal };
+
+  Kind OperandKind = Kind::IdRef;
+  uint32_t Word = 0;
+
+  static Operand id(Id TheId) { return {Kind::IdRef, TheId}; }
+  static Operand literal(uint32_t Word) { return {Kind::Literal, Word}; }
+
+  bool isId() const { return OperandKind == Kind::IdRef; }
+  bool isLiteral() const { return OperandKind == Kind::Literal; }
+
+  Id asId() const {
+    assert(isId() && "operand is not an id");
+    return Word;
+  }
+  uint32_t asLiteral() const {
+    assert(isLiteral() && "operand is not a literal");
+    return Word;
+  }
+
+  bool operator==(const Operand &Other) const {
+    return OperandKind == Other.OperandKind && Word == Other.Word;
+  }
+};
+
+/// Operand layouts, by opcode (operands listed in order):
+///   TypeInt:             literal width (always 32)
+///   TypeVector:          id component type, literal component count
+///   TypeStruct:          id member types...
+///   TypePointer:         literal storage class, id pointee type
+///   TypeFunction:        id return type, id parameter types...
+///   Constant:            literal value (two's complement bit pattern)
+///   ConstantComposite:   id components...
+///   Variable:            literal storage class,
+///                        [literal binding/location for Uniform/Output],
+///                        [id initializer for Function/Private]
+///   Load:                id pointer
+///   Store:               id pointer, id value
+///   binary ops:          id lhs, id rhs
+///   SNegate/LogicalNot/CopyObject: id operand
+///   Select:              id condition, id true value, id false value
+///   CompositeConstruct:  id components...
+///   CompositeExtract:    id composite, literal indices...
+///   Phi:                 (id value, id predecessor label) pairs...
+///   Branch:              id target label
+///   BranchConditional:   id condition, id true label, id false label
+///   ReturnValue:         id value
+///   Function:            literal control mask (bit 0: DontInline),
+///                        id function type
+///   FunctionCall:        id callee, id arguments...
+struct Instruction {
+  Op Opcode = Op::Return;
+  Id ResultType = InvalidId; // 0 when the opcode has no result type
+  Id Result = InvalidId;     // 0 when the opcode has no result
+  std::vector<Operand> Operands;
+
+  Instruction() = default;
+  Instruction(Op Opcode, Id ResultType, Id Result,
+              std::vector<Operand> Operands)
+      : Opcode(Opcode), ResultType(ResultType), Result(Result),
+        Operands(std::move(Operands)) {}
+
+  /// Convenience accessor asserting the operand at \p Index is an id.
+  Id idOperand(size_t Index) const {
+    assert(Index < Operands.size() && "operand index out of range");
+    return Operands[Index].asId();
+  }
+
+  /// Convenience accessor asserting the operand at \p Index is a literal.
+  uint32_t literalOperand(size_t Index) const {
+    assert(Index < Operands.size() && "operand index out of range");
+    return Operands[Index].asLiteral();
+  }
+
+  /// Invokes \p Action(Id) for each id operand, including the result type.
+  template <typename Callable> void forEachUsedId(Callable Action) const {
+    if (ResultType != InvalidId)
+      Action(ResultType);
+    for (const Operand &Op : Operands)
+      if (Op.isId())
+        Action(Op.Word);
+  }
+
+  bool operator==(const Instruction &Other) const {
+    return Opcode == Other.Opcode && ResultType == Other.ResultType &&
+           Result == Other.Result && Operands == Other.Operands;
+  }
+};
+
+} // namespace spvfuzz
+
+#endif // IR_INSTRUCTION_H

@@ -1,0 +1,66 @@
+//===- ir/InstructionDescriptor.h - Locating instructions ------*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identifies an instruction relative to a nearby result id rather than by
+/// (block, offset). This is the device the paper's §2.3 "maximize
+/// independence" principle calls for: a transformation that targets an
+/// instruction stays applicable when independent transformations insert or
+/// remove other instructions around it.
+///
+/// A descriptor {Base, Opcode, Skip} denotes the Skip-th instruction
+/// (0-based) with opcode Opcode at-or-after the instruction defining Base,
+/// within the same basic block. Base may also be a block label id, in which
+/// case the search starts at the beginning of that block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_INSTRUCTIONDESCRIPTOR_H
+#define IR_INSTRUCTIONDESCRIPTOR_H
+
+#include "ir/Module.h"
+
+namespace spvfuzz {
+
+struct InstructionDescriptor {
+  Id Base = InvalidId;
+  Op TargetOpcode = Op::Return;
+  uint32_t Skip = 0;
+
+  bool operator==(const InstructionDescriptor &Other) const {
+    return Base == Other.Base && TargetOpcode == Other.TargetOpcode &&
+           Skip == Other.Skip;
+  }
+};
+
+/// The result of resolving a descriptor against a module.
+struct LocatedInstruction {
+  Function *Func = nullptr;
+  BasicBlock *Block = nullptr;
+  size_t Index = 0; // index into Block->Body
+
+  bool valid() const { return Block != nullptr; }
+  Instruction &instruction() {
+    assert(valid() && "dereferencing an invalid location");
+    return Block->Body[Index];
+  }
+};
+
+/// Resolves \p Desc against \p M. Returns an invalid location when the base
+/// id does not exist, is not inside a function body, or no matching
+/// instruction follows it in its block.
+LocatedInstruction locateInstruction(Module &M,
+                                     const InstructionDescriptor &Desc);
+
+/// Builds a descriptor for the instruction at \p Index of \p Block, using
+/// the nearest preceding (or same) instruction with a result id as the
+/// base, or the block label if there is none.
+InstructionDescriptor describeInstruction(const BasicBlock &Block,
+                                          size_t Index);
+
+} // namespace spvfuzz
+
+#endif // IR_INSTRUCTIONDESCRIPTOR_H

@@ -1,0 +1,244 @@
+//===- ir/Opcode.cpp - MiniSPV opcodes and classification -----------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Opcode.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace spvfuzz;
+
+namespace {
+
+struct OpInfo {
+  Op Opcode;
+  const char *Name;
+};
+
+const OpInfo OpTable[] = {
+    {Op::TypeVoid, "OpTypeVoid"},
+    {Op::TypeBool, "OpTypeBool"},
+    {Op::TypeInt, "OpTypeInt"},
+    {Op::TypeVector, "OpTypeVector"},
+    {Op::TypeStruct, "OpTypeStruct"},
+    {Op::TypePointer, "OpTypePointer"},
+    {Op::TypeFunction, "OpTypeFunction"},
+    {Op::ConstantTrue, "OpConstantTrue"},
+    {Op::ConstantFalse, "OpConstantFalse"},
+    {Op::Constant, "OpConstant"},
+    {Op::ConstantComposite, "OpConstantComposite"},
+    {Op::Variable, "OpVariable"},
+    {Op::Load, "OpLoad"},
+    {Op::Store, "OpStore"},
+    {Op::IAdd, "OpIAdd"},
+    {Op::ISub, "OpISub"},
+    {Op::IMul, "OpIMul"},
+    {Op::SDiv, "OpSDiv"},
+    {Op::SMod, "OpSMod"},
+    {Op::SNegate, "OpSNegate"},
+    {Op::LogicalAnd, "OpLogicalAnd"},
+    {Op::LogicalOr, "OpLogicalOr"},
+    {Op::LogicalNot, "OpLogicalNot"},
+    {Op::IEqual, "OpIEqual"},
+    {Op::INotEqual, "OpINotEqual"},
+    {Op::SLessThan, "OpSLessThan"},
+    {Op::SLessThanEqual, "OpSLessThanEqual"},
+    {Op::SGreaterThan, "OpSGreaterThan"},
+    {Op::SGreaterThanEqual, "OpSGreaterThanEqual"},
+    {Op::Select, "OpSelect"},
+    {Op::CopyObject, "OpCopyObject"},
+    {Op::CompositeConstruct, "OpCompositeConstruct"},
+    {Op::CompositeExtract, "OpCompositeExtract"},
+    {Op::Phi, "OpPhi"},
+    {Op::Branch, "OpBranch"},
+    {Op::BranchConditional, "OpBranchConditional"},
+    {Op::Return, "OpReturn"},
+    {Op::ReturnValue, "OpReturnValue"},
+    {Op::Kill, "OpKill"},
+    {Op::Function, "OpFunction"},
+    {Op::FunctionParameter, "OpFunctionParameter"},
+    {Op::FunctionCall, "OpFunctionCall"},
+};
+
+} // namespace
+
+const char *spvfuzz::opName(Op Opcode) {
+  for (const OpInfo &Info : OpTable)
+    if (Info.Opcode == Opcode)
+      return Info.Name;
+  assert(false && "unknown opcode");
+  return "OpUnknown";
+}
+
+bool spvfuzz::opFromName(const std::string &Name, Op &Out) {
+  for (const OpInfo &Info : OpTable) {
+    if (Name == Info.Name) {
+      Out = Info.Opcode;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool spvfuzz::isTypeDecl(Op Opcode) {
+  switch (Opcode) {
+  case Op::TypeVoid:
+  case Op::TypeBool:
+  case Op::TypeInt:
+  case Op::TypeVector:
+  case Op::TypeStruct:
+  case Op::TypePointer:
+  case Op::TypeFunction:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool spvfuzz::isConstantDecl(Op Opcode) {
+  switch (Opcode) {
+  case Op::ConstantTrue:
+  case Op::ConstantFalse:
+  case Op::Constant:
+  case Op::ConstantComposite:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool spvfuzz::isTerminator(Op Opcode) {
+  switch (Opcode) {
+  case Op::Branch:
+  case Op::BranchConditional:
+  case Op::Return:
+  case Op::ReturnValue:
+  case Op::Kill:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool spvfuzz::hasResult(Op Opcode) {
+  switch (Opcode) {
+  case Op::Store:
+  case Op::Branch:
+  case Op::BranchConditional:
+  case Op::Return:
+  case Op::ReturnValue:
+  case Op::Kill:
+    return false;
+  default:
+    return true;
+  }
+}
+
+bool spvfuzz::hasResultType(Op Opcode) {
+  if (!hasResult(Opcode))
+    return false;
+  // Type declarations have result ids but no result type.
+  return !isTypeDecl(Opcode);
+}
+
+bool spvfuzz::isCommutativeBinOp(Op Opcode) {
+  switch (Opcode) {
+  case Op::IAdd:
+  case Op::IMul:
+  case Op::LogicalAnd:
+  case Op::LogicalOr:
+  case Op::IEqual:
+  case Op::INotEqual:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool spvfuzz::isIntBinOp(Op Opcode) {
+  switch (Opcode) {
+  case Op::IAdd:
+  case Op::ISub:
+  case Op::IMul:
+  case Op::SDiv:
+  case Op::SMod:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool spvfuzz::isIntComparison(Op Opcode) {
+  switch (Opcode) {
+  case Op::IEqual:
+  case Op::INotEqual:
+  case Op::SLessThan:
+  case Op::SLessThanEqual:
+  case Op::SGreaterThan:
+  case Op::SGreaterThanEqual:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool spvfuzz::isSideEffectFree(Op Opcode) {
+  switch (Opcode) {
+  case Op::Load: // loads are pure in MiniSPV (no volatile semantics)
+  case Op::IAdd:
+  case Op::ISub:
+  case Op::IMul:
+  case Op::SDiv:
+  case Op::SMod:
+  case Op::SNegate:
+  case Op::LogicalAnd:
+  case Op::LogicalOr:
+  case Op::LogicalNot:
+  case Op::IEqual:
+  case Op::INotEqual:
+  case Op::SLessThan:
+  case Op::SLessThanEqual:
+  case Op::SGreaterThan:
+  case Op::SGreaterThanEqual:
+  case Op::Select:
+  case Op::CopyObject:
+  case Op::CompositeConstruct:
+  case Op::CompositeExtract:
+  case Op::Phi:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const char *spvfuzz::storageClassName(StorageClass SC) {
+  switch (SC) {
+  case StorageClass::Function:
+    return "Function";
+  case StorageClass::Private:
+    return "Private";
+  case StorageClass::Uniform:
+    return "Uniform";
+  case StorageClass::Output:
+    return "Output";
+  }
+  assert(false && "unknown storage class");
+  return "Unknown";
+}
+
+bool spvfuzz::storageClassFromName(const std::string &Name, StorageClass &Out) {
+  static const std::unordered_map<std::string, StorageClass> Table = {
+      {"Function", StorageClass::Function},
+      {"Private", StorageClass::Private},
+      {"Uniform", StorageClass::Uniform},
+      {"Output", StorageClass::Output},
+  };
+  auto It = Table.find(Name);
+  if (It == Table.end())
+    return false;
+  Out = It->second;
+  return true;
+}

@@ -1,0 +1,141 @@
+//===- ir/Opcode.h - MiniSPV opcodes and classification ---------*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniSPV opcode set: a from-scratch SSA intermediate representation
+/// modelled on the Vulkan subset of SPIR-V. A module is a sequence of type,
+/// constant and global-variable declarations followed by functions made of
+/// basic blocks; every value-producing instruction has a unique result id.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_OPCODE_H
+#define IR_OPCODE_H
+
+#include <cstdint>
+#include <string>
+
+namespace spvfuzz {
+
+/// A result id; 0 is the invalid id.
+using Id = uint32_t;
+inline constexpr Id InvalidId = 0;
+
+/// MiniSPV opcodes. The names deliberately mirror SPIR-V.
+enum class Op : uint8_t {
+  // Type declarations (module-level).
+  TypeVoid,
+  TypeBool,
+  TypeInt,
+  TypeVector,
+  TypeStruct,
+  TypePointer,
+  TypeFunction,
+
+  // Constant declarations (module-level).
+  ConstantTrue,
+  ConstantFalse,
+  Constant,
+  ConstantComposite,
+
+  // Memory.
+  Variable, // module-level (Private/Uniform/Output) or function-local
+  Load,
+  Store,
+
+  // Arithmetic. Integer arithmetic wraps; division/remainder by zero is
+  // defined to yield zero, making all MiniSPV programs free from UB.
+  IAdd,
+  ISub,
+  IMul,
+  SDiv,
+  SMod,
+  SNegate,
+
+  // Logic and comparison.
+  LogicalAnd,
+  LogicalOr,
+  LogicalNot,
+  IEqual,
+  INotEqual,
+  SLessThan,
+  SLessThanEqual,
+  SGreaterThan,
+  SGreaterThanEqual,
+
+  // Data movement.
+  Select,
+  CopyObject,
+  CompositeConstruct,
+  CompositeExtract,
+
+  // Control flow.
+  Phi,
+  Branch,
+  BranchConditional,
+  Return,
+  ReturnValue,
+  Kill, // terminates the whole invocation (fragment discard)
+
+  // Functions.
+  Function,
+  FunctionParameter,
+  FunctionCall,
+};
+
+/// Storage classes for Variable and TypePointer.
+enum class StorageClass : uint32_t {
+  Function = 0, // function-local, zero-initialized unless an initializer given
+  Private = 1,  // module-scope mutable
+  Uniform = 2,  // read-only input, value supplied per execution via a binding
+  Output = 3,   // write-only result, reported per location after execution
+};
+
+/// Returns the SPIR-V style mnemonic, e.g. "OpIAdd".
+const char *opName(Op Opcode);
+
+/// Parses a mnemonic produced by opName; returns false on failure.
+bool opFromName(const std::string &Name, Op &Out);
+
+/// True for the module-level type declaration opcodes.
+bool isTypeDecl(Op Opcode);
+
+/// True for the module-level constant declaration opcodes.
+bool isConstantDecl(Op Opcode);
+
+/// True for block terminators.
+bool isTerminator(Op Opcode);
+
+/// True if instructions with this opcode produce a result id.
+bool hasResult(Op Opcode);
+
+/// True if instructions with this opcode carry a result type.
+bool hasResultType(Op Opcode);
+
+/// True for the commutative binary operators (used by
+/// TransformationSwapCommutableOperands).
+bool isCommutativeBinOp(Op Opcode);
+
+/// True for binary operators taking two integer operands.
+bool isIntBinOp(Op Opcode);
+
+/// True for comparisons taking two integer operands and yielding bool.
+bool isIntComparison(Op Opcode);
+
+/// True if the instruction has no side effects and its result (if any) is
+/// the only way it can influence execution, i.e. it is a candidate for dead
+/// code elimination when unused.
+bool isSideEffectFree(Op Opcode);
+
+/// Returns the mnemonic for a storage class, e.g. "Uniform".
+const char *storageClassName(StorageClass SC);
+
+/// Parses a storage-class mnemonic; returns false on failure.
+bool storageClassFromName(const std::string &Name, StorageClass &Out);
+
+} // namespace spvfuzz
+
+#endif // IR_OPCODE_H

@@ -1,0 +1,294 @@
+//===- ir/Text.cpp - MiniSPV textual assembler / disassembler -------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Text.h"
+
+#include <sstream>
+
+using namespace spvfuzz;
+
+//===----------------------------------------------------------------------===//
+// Writing
+//===----------------------------------------------------------------------===//
+
+/// True if the literal operand at \p Index of \p Inst should be rendered as
+/// a mnemonic rather than a number.
+static bool isStorageClassOperand(const Instruction &Inst, size_t Index) {
+  return (Inst.Opcode == Op::Variable || Inst.Opcode == Op::TypePointer) &&
+         Index == 0;
+}
+
+static bool isControlMaskOperand(const Instruction &Inst, size_t Index) {
+  return Inst.Opcode == Op::Function && Index == 0;
+}
+
+static void writeInstruction(std::ostringstream &Out, const Instruction &Inst) {
+  if (Inst.Result != InvalidId)
+    Out << "%" << Inst.Result << " = ";
+  Out << opName(Inst.Opcode);
+  if (Inst.ResultType != InvalidId)
+    Out << " %" << Inst.ResultType;
+  for (size_t I = 0, E = Inst.Operands.size(); I != E; ++I) {
+    const Operand &Op = Inst.Operands[I];
+    Out << " ";
+    if (Op.isId()) {
+      Out << "%" << Op.asId();
+    } else if (isStorageClassOperand(Inst, I)) {
+      Out << storageClassName(static_cast<StorageClass>(Op.asLiteral()));
+    } else if (isControlMaskOperand(Inst, I)) {
+      Out << (Op.asLiteral() & FC_DontInline ? "DontInline" : "None");
+    } else {
+      Out << static_cast<int64_t>(static_cast<int32_t>(Op.asLiteral()));
+    }
+  }
+  Out << "\n";
+}
+
+std::string spvfuzz::writeModuleText(const Module &M) {
+  std::ostringstream Out;
+  Out << "OpEntryPoint %" << M.EntryPointId << "\n";
+  for (const Instruction &Inst : M.GlobalInsts)
+    writeInstruction(Out, Inst);
+  for (const Function &Func : M.Functions) {
+    writeInstruction(Out, Func.Def);
+    for (const Instruction &Param : Func.Params)
+      writeInstruction(Out, Param);
+    for (const BasicBlock &Block : Func.Blocks) {
+      Out << "%" << Block.LabelId << " = OpLabel\n";
+      for (const Instruction &Inst : Block.Body)
+        writeInstruction(Out, Inst);
+    }
+    Out << "OpFunctionEnd\n";
+  }
+  return Out.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Reading
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A trivial whitespace tokenizer over one line; comments start with ';'.
+struct LineTokens {
+  std::vector<std::string> Tokens;
+
+  explicit LineTokens(const std::string &Line) {
+    std::istringstream In(Line);
+    std::string Token;
+    while (In >> Token) {
+      if (Token[0] == ';')
+        break;
+      Tokens.push_back(Token);
+    }
+  }
+};
+
+} // namespace
+
+static bool parseId(const std::string &Token, Id &Out) {
+  if (Token.size() < 2 || Token[0] != '%')
+    return false;
+  Out = 0;
+  for (size_t I = 1; I < Token.size(); ++I) {
+    if (!isdigit(static_cast<unsigned char>(Token[I])))
+      return false;
+    Out = Out * 10 + static_cast<Id>(Token[I] - '0');
+  }
+  return Out != InvalidId;
+}
+
+static bool parseOperandToken(const std::string &Token, Operand &Out) {
+  Id TheId;
+  if (parseId(Token, TheId)) {
+    Out = Operand::id(TheId);
+    return true;
+  }
+  StorageClass SC;
+  if (storageClassFromName(Token, SC)) {
+    Out = Operand::literal(static_cast<uint32_t>(SC));
+    return true;
+  }
+  if (Token == "None") {
+    Out = Operand::literal(FC_None);
+    return true;
+  }
+  if (Token == "DontInline") {
+    Out = Operand::literal(FC_DontInline);
+    return true;
+  }
+  // Signed decimal literal.
+  const char *Begin = Token.c_str();
+  char *End = nullptr;
+  long long Value = strtoll(Begin, &End, 10);
+  if (End != Begin + Token.size())
+    return false;
+  Out = Operand::literal(static_cast<uint32_t>(static_cast<int64_t>(Value)));
+  return true;
+}
+
+bool spvfuzz::readModuleText(const std::string &Text, Module &MOut,
+                             std::string &ErrorOut) {
+  MOut = Module();
+  MOut.Bound = 1;
+
+  Function *CurrentFunc = nullptr;
+  BasicBlock *CurrentBlock = nullptr;
+
+  std::istringstream In(Text);
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    LineTokens Lexed(Line);
+    std::vector<std::string> &Tokens = Lexed.Tokens;
+    if (Tokens.empty())
+      continue;
+
+    auto Fail = [&](const std::string &Message) {
+      ErrorOut = "line " + std::to_string(LineNo) + ": " + Message;
+      return false;
+    };
+
+    // Result-bearing form: %N = OpFoo ...
+    Id Result = InvalidId;
+    size_t OpIndex = 0;
+    if (Tokens.size() >= 3 && Tokens[1] == "=") {
+      if (!parseId(Tokens[0], Result))
+        return Fail("expected result id before '='");
+      OpIndex = 2;
+    }
+
+    const std::string &Mnemonic = Tokens[OpIndex];
+    if (Mnemonic == "OpEntryPoint") {
+      if (OpIndex + 1 >= Tokens.size() ||
+          !parseId(Tokens[OpIndex + 1], MOut.EntryPointId))
+        return Fail("OpEntryPoint expects a function id");
+      continue;
+    }
+    if (Mnemonic == "OpFunctionEnd") {
+      if (!CurrentFunc)
+        return Fail("OpFunctionEnd outside a function");
+      CurrentFunc = nullptr;
+      CurrentBlock = nullptr;
+      continue;
+    }
+    if (Mnemonic == "OpLabel") {
+      if (!CurrentFunc)
+        return Fail("OpLabel outside a function");
+      if (Result == InvalidId)
+        return Fail("OpLabel requires a result id");
+      MOut.reserveId(Result);
+      CurrentFunc->Blocks.emplace_back(Result);
+      CurrentBlock = &CurrentFunc->Blocks.back();
+      continue;
+    }
+
+    Op Opcode;
+    if (!opFromName(Mnemonic, Opcode))
+      return Fail("unknown opcode '" + Mnemonic + "'");
+
+    Instruction Inst;
+    Inst.Opcode = Opcode;
+    Inst.Result = Result;
+    size_t Cursor = OpIndex + 1;
+    if (hasResultType(Opcode)) {
+      if (Cursor >= Tokens.size() || !parseId(Tokens[Cursor], Inst.ResultType))
+        return Fail("expected result type id");
+      ++Cursor;
+    }
+    for (; Cursor < Tokens.size(); ++Cursor) {
+      Operand Op;
+      if (!parseOperandToken(Tokens[Cursor], Op))
+        return Fail("bad operand '" + Tokens[Cursor] + "'");
+      Inst.Operands.push_back(Op);
+    }
+    if (hasResult(Opcode) && Result == InvalidId)
+      return Fail(std::string(opName(Opcode)) + " requires a result id");
+    if (!hasResult(Opcode) && Result != InvalidId)
+      return Fail(std::string(opName(Opcode)) + " cannot have a result id");
+    if (Result != InvalidId)
+      MOut.reserveId(Result);
+    Inst.forEachUsedId([&](Id Used) { MOut.reserveId(Used); });
+
+    if (Opcode == Op::Function) {
+      if (CurrentFunc)
+        return Fail("nested OpFunction");
+      MOut.Functions.emplace_back();
+      CurrentFunc = &MOut.Functions.back();
+      CurrentFunc->Def = Inst;
+      CurrentBlock = nullptr;
+      continue;
+    }
+    if (Opcode == Op::FunctionParameter) {
+      if (!CurrentFunc || CurrentBlock)
+        return Fail("OpFunctionParameter must directly follow OpFunction");
+      CurrentFunc->Params.push_back(Inst);
+      continue;
+    }
+    if (!CurrentFunc) {
+      if (!isTypeDecl(Opcode) && !isConstantDecl(Opcode) &&
+          Opcode != Op::Variable)
+        return Fail("instruction outside a function");
+      MOut.GlobalInsts.push_back(Inst);
+      continue;
+    }
+    if (!CurrentBlock)
+      return Fail("instruction before first OpLabel");
+    CurrentBlock->Body.push_back(Inst);
+  }
+
+  if (CurrentFunc) {
+    ErrorOut = "unterminated function at end of input";
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Diffing
+//===----------------------------------------------------------------------===//
+
+std::string spvfuzz::diffModuleText(const Module &Before, const Module &After) {
+  auto SplitLines = [](const std::string &Text) {
+    std::vector<std::string> Lines;
+    std::istringstream In(Text);
+    std::string Line;
+    while (std::getline(In, Line))
+      Lines.push_back(Line);
+    return Lines;
+  };
+  std::vector<std::string> A = SplitLines(writeModuleText(Before));
+  std::vector<std::string> B = SplitLines(writeModuleText(After));
+
+  // Longest-common-subsequence diff; module texts are small enough for the
+  // quadratic table.
+  size_t N = A.size(), M = B.size();
+  std::vector<std::vector<uint32_t>> Lcs(N + 1,
+                                         std::vector<uint32_t>(M + 1, 0));
+  for (size_t I = N; I-- > 0;)
+    for (size_t J = M; J-- > 0;)
+      Lcs[I][J] = A[I] == B[J] ? Lcs[I + 1][J + 1] + 1
+                               : std::max(Lcs[I + 1][J], Lcs[I][J + 1]);
+
+  std::ostringstream Out;
+  size_t I = 0, J = 0;
+  while (I < N && J < M) {
+    if (A[I] == B[J]) {
+      ++I;
+      ++J;
+    } else if (Lcs[I + 1][J] >= Lcs[I][J + 1]) {
+      Out << "- " << A[I++] << "\n";
+    } else {
+      Out << "+ " << B[J++] << "\n";
+    }
+  }
+  while (I < N)
+    Out << "- " << A[I++] << "\n";
+  while (J < M)
+    Out << "+ " << B[J++] << "\n";
+  return Out.str();
+}

@@ -1,0 +1,37 @@
+//===- ir/Text.h - MiniSPV textual assembler / disassembler ----*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable serialization of modules, in a SPIR-V-assembly-like
+/// syntax. Used for bug reports (the "delta between original and reduced
+/// variant" the paper proposes), donor corpora on disk, and tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_TEXT_H
+#define IR_TEXT_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace spvfuzz {
+
+/// Disassembles \p M.
+std::string writeModuleText(const Module &M);
+
+/// Assembles a module from \p Text. On failure returns false and sets
+/// \p ErrorOut to a diagnostic that names the offending line.
+bool readModuleText(const std::string &Text, Module &MOut,
+                    std::string &ErrorOut);
+
+/// Renders a unified line diff between two module disassemblies; used to
+/// present the original-vs-reduced-variant delta of a bug report.
+std::string diffModuleText(const Module &Before, const Module &After);
+
+} // namespace spvfuzz
+
+#endif // IR_TEXT_H

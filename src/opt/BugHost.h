@@ -1,0 +1,74 @@
+//===- opt/BugHost.h - Injectable compiler bugs -----------------*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The controlled ground truth for the evaluation. Real SPIR-V compilers
+/// have latent bugs; our simulated targets have *injected* ones, each
+/// gated on a program feature that original (generated) programs never
+/// exhibit but fuzzer transformations introduce. Crash bugs abort
+/// compilation with a distinct signature; miscompilation bugs silently
+/// perform a wrong rewrite (all miscompilations share one bug signature
+/// during detection, as in the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPT_BUGHOST_H
+#define OPT_BUGHOST_H
+
+#include <set>
+#include <string>
+
+namespace spvfuzz {
+
+/// Every injectable bug. The comment gives the trigger feature.
+enum class BugPoint : uint8_t {
+  // --- Crash bugs -----------------------------------------------------------
+  CrashKillObstructsMerge,      // SimplifyCfg: reachable OpKill anywhere
+  CrashDeadStoreToModuleScope,  // DeadBranchElim: folded-away edge reaches a
+                                // block storing to a Private global
+  CrashDontInlineAttribute,     // Inliner: call to a DontInline callee
+  CrashCopyChainValueNumbering, // LocalCSE: CopyObject of a CopyObject
+  CrashPhiManyPredecessors,     // BlockLayout: reachable phi with >= 3 pairs
+  CrashCompositeFold,           // ConstantFold: extract of a construct
+  CrashUnusedComposite,         // DCE: unused CompositeConstruct
+  CrashPointerCopyAlias,        // Forwarding: store through a copied pointer
+  CrashTrivialPhi,              // PhiSimplify: single-entry phi
+  CrashKillInCallee,            // Frontend: OpKill in a non-entry function
+  CrashWideCallArity,           // Inliner: call with >= 4 arguments
+  CrashEqualTargetBranch,       // DeadBranchElim: cond branch, both arms same
+  CrashStoreToPrivateGlobal,    // DeadStoreElim: store to a Private global
+  CrashUnusedCallResult,        // DCE: call whose result is unused
+  CrashModuleFunctionLimit,     // Frontend: module with >= 5 functions
+  CrashNegatedConstantBranch,   // Frontend: branch on LogicalNot(constant)
+
+  // --- Miscompilation bugs ----------------------------------------------------
+  MiscompileUniformBranchFold, // DeadBranchElim: folds a branch on a loaded
+                               // boolean uniform as if it were false
+  MiscompilePhiLayoutOrder,    // BlockLayout: rebinds phi values to
+                               // predecessors positionally after reordering
+  MiscompileAliasBlindForward, // Forwarding: ignores intervening stores
+                               // through differently-named aliasing pointers
+};
+
+/// Returns the crash signature text for a crash point.
+const char *bugSignature(BugPoint Point);
+
+/// The set of bugs enabled for one simulated target.
+class BugHost {
+public:
+  BugHost() = default;
+  explicit BugHost(std::set<BugPoint> Enabled) : Enabled(std::move(Enabled)) {}
+
+  bool enabled(BugPoint Point) const { return Enabled.count(Point) != 0; }
+  const std::set<BugPoint> &all() const { return Enabled; }
+
+private:
+  std::set<BugPoint> Enabled;
+};
+
+} // namespace spvfuzz
+
+#endif // OPT_BUGHOST_H

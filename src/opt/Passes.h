@@ -1,0 +1,57 @@
+//===- opt/Passes.h - Optimization passes (compiler under test) -*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimizer that plays the role of the SPIR-V compilers under test.
+/// Each pass is semantics-preserving when its injected bugs are disabled
+/// (verified by property tests); with bugs enabled it may crash with a
+/// signature or silently miscompile, which is what the testing campaigns
+/// hunt for.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPT_PASSES_H
+#define OPT_PASSES_H
+
+#include "opt/BugHost.h"
+
+#include "ir/Module.h"
+
+#include <optional>
+
+namespace spvfuzz {
+
+enum class OptPassKind : uint8_t {
+  FrontendCheck, // diagnostics only; hosts the "frontend" crash bugs
+  SimplifyCfg,
+  DeadBranchElim,
+  ConstantFold,
+  CopyPropagation,
+  LoadStoreForwarding,
+  DeadStoreElim,
+  Inliner,
+  LocalCSE,
+  PhiSimplify,
+  BlockLayout,
+  Dce,
+};
+
+const char *optPassName(OptPassKind Kind);
+
+/// The outcome of one pass: nullopt, or the crash signature of an injected
+/// crash bug that fired.
+using PassCrash = std::optional<std::string>;
+
+/// Runs one pass over \p M in place.
+PassCrash runOptPass(OptPassKind Kind, Module &M, const BugHost &Bugs);
+
+/// Runs a pipeline; stops at the first crash.
+PassCrash runPipeline(const std::vector<OptPassKind> &Pipeline, Module &M,
+                      const BugHost &Bugs);
+
+} // namespace spvfuzz
+
+#endif // OPT_PASSES_H

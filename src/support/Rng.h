@@ -1,0 +1,95 @@
+//===- support/Rng.h - Deterministic random number generation --*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fully deterministic PCG32 random number generator.
+///
+/// All randomized components of the fuzzer are driven through this class so
+/// that a (seed, tool version) pair identifies a test case exactly, as
+/// required for the replay-based reduction of transformation sequences.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_RNG_H
+#define SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace spvfuzz {
+
+/// Deterministic PCG32 generator (O'Neill's PCG-XSH-RR 64/32 variant).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) { reseed(Seed); }
+
+  /// Re-initializes the generator from \p Seed, discarding all state.
+  void reseed(uint64_t Seed) {
+    State = 0;
+    next();
+    State += 0x853c49e6748fea9bULL ^ Seed;
+    next();
+  }
+
+  /// Returns the next raw 32-bit output.
+  uint32_t next() {
+    uint64_t Old = State;
+    State = Old * 6364136223846793005ULL + 1442695040888963407ULL;
+    uint32_t XorShifted = static_cast<uint32_t>(((Old >> 18U) ^ Old) >> 27U);
+    uint32_t Rot = static_cast<uint32_t>(Old >> 59U);
+    return (XorShifted >> Rot) | (XorShifted << ((32U - Rot) & 31U));
+  }
+
+  /// Returns a uniform integer in the inclusive range [\p Lo, \p Hi].
+  uint32_t uniform(uint32_t Lo, uint32_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    uint64_t Span = static_cast<uint64_t>(Hi) - Lo + 1;
+    // Debiased modulo is unnecessary here: statistical perfection is not
+    // required, determinism is.
+    return Lo + static_cast<uint32_t>(next() % Span);
+  }
+
+  /// Returns a uniform index into a container of \p Size elements.
+  size_t index(size_t Size) {
+    assert(Size > 0 && "cannot index an empty container");
+    return static_cast<size_t>(next()) % Size;
+  }
+
+  /// Returns true with probability \p Percent / 100.
+  bool chancePercent(uint32_t Percent) {
+    assert(Percent <= 100 && "percentage out of range");
+    return uniform(0, 99) < Percent;
+  }
+
+  /// Returns true with probability 1/2.
+  bool flip() { return (next() & 1U) != 0; }
+
+  /// Picks a uniformly random element of \p Pool (which must be non-empty).
+  template <typename T> const T &pick(const std::vector<T> &Pool) {
+    return Pool[index(Pool.size())];
+  }
+
+  /// Fisher-Yates shuffles \p Pool in place.
+  template <typename T> void shuffle(std::vector<T> &Pool) {
+    if (Pool.size() < 2)
+      return;
+    for (size_t I = Pool.size() - 1; I > 0; --I)
+      std::swap(Pool[I], Pool[index(I + 1)]);
+  }
+
+  /// Derives an independent child generator; used to give each fuzzer pass
+  /// its own stream so that adding randomness to one pass does not perturb
+  /// the decisions of another.
+  Rng fork() { return Rng((static_cast<uint64_t>(next()) << 32) | next()); }
+
+private:
+  uint64_t State = 0;
+};
+
+} // namespace spvfuzz
+
+#endif // SUPPORT_RNG_H

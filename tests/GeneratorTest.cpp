@@ -1,0 +1,87 @@
+//===- tests/GeneratorTest.cpp - Generator + validator + interpreter ------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Validator.h"
+#include "exec/Interpreter.h"
+#include "gen/Generator.h"
+#include "ir/Text.h"
+
+#include <gtest/gtest.h>
+
+using namespace spvfuzz;
+
+namespace {
+
+TEST(Generator, ProducesValidModules) {
+  for (uint64_t Seed = 0; Seed < 50; ++Seed) {
+    GeneratedProgram Program = generateProgram(Seed);
+    std::vector<std::string> Diags = validateModule(Program.M);
+    EXPECT_TRUE(Diags.empty())
+        << "seed " << Seed << ": " << Diags.front() << "\n"
+        << writeModuleText(Program.M);
+  }
+}
+
+TEST(Generator, ProgramsExecuteToCompletion) {
+  for (uint64_t Seed = 0; Seed < 50; ++Seed) {
+    GeneratedProgram Program = generateProgram(Seed);
+    ExecResult Result = interpret(Program.M, Program.Input);
+    EXPECT_EQ(Result.ExecStatus, ExecResult::Status::Ok)
+        << "seed " << Seed << ": " << Result.str();
+    EXPECT_FALSE(Result.Outputs.empty()) << "seed " << Seed;
+  }
+}
+
+TEST(Generator, ExecutionIsDeterministic) {
+  for (uint64_t Seed = 0; Seed < 10; ++Seed) {
+    GeneratedProgram Program = generateProgram(Seed);
+    ExecResult First = interpret(Program.M, Program.Input);
+    ExecResult Second = interpret(Program.M, Program.Input);
+    EXPECT_EQ(First, Second) << "seed " << Seed;
+  }
+}
+
+TEST(Generator, SameSeedSameProgram) {
+  GeneratedProgram A = generateProgram(42);
+  GeneratedProgram B = generateProgram(42);
+  EXPECT_EQ(writeModuleText(A.M), writeModuleText(B.M));
+}
+
+TEST(Generator, DifferentSeedsDifferentPrograms) {
+  GeneratedProgram A = generateProgram(1);
+  GeneratedProgram B = generateProgram(2);
+  EXPECT_NE(writeModuleText(A.M), writeModuleText(B.M));
+}
+
+TEST(Generator, CorpusHasRequestedSize) {
+  std::vector<GeneratedProgram> Corpus = generateCorpus(21, 7);
+  EXPECT_EQ(Corpus.size(), 21u);
+}
+
+TEST(Generator, ProgramsAreReasonablySized) {
+  // Reference programs should be non-trivial (the paper uses shaders with
+  // hundreds of instructions).
+  size_t Total = 0;
+  for (uint64_t Seed = 0; Seed < 20; ++Seed)
+    Total += generateProgram(Seed).M.instructionCount();
+  EXPECT_GT(Total / 20, 60u);
+}
+
+TEST(Generator, TextRoundTrips) {
+  for (uint64_t Seed = 0; Seed < 10; ++Seed) {
+    GeneratedProgram Program = generateProgram(Seed);
+    std::string Text = writeModuleText(Program.M);
+    Module Reparsed;
+    std::string Error;
+    ASSERT_TRUE(readModuleText(Text, Reparsed, Error)) << Error;
+    EXPECT_EQ(Text, writeModuleText(Reparsed));
+    EXPECT_TRUE(isValidModule(Reparsed));
+    EXPECT_EQ(interpret(Program.M, Program.Input),
+              interpret(Reparsed, Program.Input));
+  }
+}
+
+} // namespace

@@ -1,0 +1,263 @@
+//===- tests/InterpreterTest.cpp - Reference semantics tests --------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+using namespace spvfuzz;
+using namespace spvfuzz::test;
+
+namespace {
+
+/// Builds a module whose main computes Op(LhsValue, RhsValue) and stores
+/// the result to output location 0.
+int32_t evalBinOp(Op Opcode, int32_t Lhs, int32_t Rhs) {
+  Module M;
+  ModuleBuilder Builder(M);
+  Id IntType = Builder.getIntType();
+  Id VoidType = Builder.getVoidType();
+  Id Out = Builder.addOutput(IntType, 0);
+  Id LhsId = Builder.getIntConstant(Lhs);
+  Id RhsId = Builder.getIntConstant(Rhs);
+  Function &Main = Builder.startFunction(VoidType, {});
+  Builder.setEntryPoint(Main.id());
+  Id ResultId = M.takeFreshId();
+  Main.entryBlock().Body.push_back(
+      ModuleBuilder::makeBinOp(Opcode, IntType, ResultId, LhsId, RhsId));
+  Main.entryBlock().Body.push_back(ModuleBuilder::makeStore(Out, ResultId));
+  Main.entryBlock().Body.push_back(ModuleBuilder::makeReturn());
+  EXPECT_TRUE(isValidModule(M));
+  ExecResult Result = interpret(M, ShaderInput());
+  EXPECT_EQ(Result.ExecStatus, ExecResult::Status::Ok);
+  return Result.Outputs.at(0).asInt();
+}
+
+TEST(Interpreter, IntegerArithmetic) {
+  EXPECT_EQ(evalBinOp(Op::IAdd, 3, 4), 7);
+  EXPECT_EQ(evalBinOp(Op::ISub, 3, 4), -1);
+  EXPECT_EQ(evalBinOp(Op::IMul, -3, 4), -12);
+  EXPECT_EQ(evalBinOp(Op::SDiv, 7, 2), 3);
+  EXPECT_EQ(evalBinOp(Op::SDiv, -7, 2), -3);
+  EXPECT_EQ(evalBinOp(Op::SMod, 7, 3), 1);
+  EXPECT_EQ(evalBinOp(Op::SMod, -7, 3), -1);
+}
+
+TEST(Interpreter, TotalSemanticsAtEdgeCases) {
+  // Division and remainder by zero yield zero: MiniSPV has no UB.
+  EXPECT_EQ(evalBinOp(Op::SDiv, 5, 0), 0);
+  EXPECT_EQ(evalBinOp(Op::SMod, 5, 0), 0);
+  EXPECT_EQ(evalBinOp(Op::SDiv, INT32_MIN, -1), 0);
+  EXPECT_EQ(evalBinOp(Op::SMod, INT32_MIN, -1), 0);
+  // Wrap-around on overflow.
+  EXPECT_EQ(evalBinOp(Op::IAdd, INT32_MAX, 1), INT32_MIN);
+  EXPECT_EQ(evalBinOp(Op::ISub, INT32_MIN, 1), INT32_MAX);
+  EXPECT_EQ(evalBinOp(Op::IMul, 1 << 30, 4), 0);
+}
+
+TEST(Interpreter, FixtureComputesHelperOf7) {
+  Fixture F;
+  ExecResult Result = interpret(F.M, F.Input);
+  ASSERT_EQ(Result.ExecStatus, ExecResult::Status::Ok);
+  // U0 = 7 > 2, so out = helper(7) = 7 + 3 = 10.
+  EXPECT_EQ(Result.Outputs.at(0), Value::makeInt(10));
+}
+
+TEST(Interpreter, ElseBranchWhenUniformSmall) {
+  Fixture F;
+  ShaderInput Input = F.Input;
+  Input.Bindings[0] = Value::makeInt(1); // 1 > 2 is false
+  ExecResult Result = interpret(F.M, Input);
+  ASSERT_EQ(Result.ExecStatus, ExecResult::Status::Ok);
+  EXPECT_EQ(Result.Outputs.at(0), Value::makeInt(5));
+}
+
+TEST(Interpreter, MissingUniformDefaultsToZero) {
+  Fixture F;
+  ShaderInput Empty;
+  ExecResult Result = interpret(F.M, Empty);
+  ASSERT_EQ(Result.ExecStatus, ExecResult::Status::Ok);
+  EXPECT_EQ(Result.Outputs.at(0), Value::makeInt(5)); // 0 > 2 is false
+}
+
+TEST(Interpreter, KillTerminatesWholeInvocation) {
+  Fixture F;
+  Module M = F.M;
+  // Replace the helper's body with OpKill: the call kills everything.
+  BasicBlock *Helper = M.findFunction(F.HelperId)->findBlock(F.HelperBlock);
+  Helper->Body.clear();
+  Helper->Body.push_back(ModuleBuilder::makeKill());
+  ASSERT_TRUE(isValidModule(M));
+  ExecResult Result = interpret(M, F.Input);
+  EXPECT_EQ(Result.ExecStatus, ExecResult::Status::Killed);
+  // Two killed executions compare equal regardless of outputs.
+  EXPECT_EQ(Result, interpret(M, F.Input));
+}
+
+TEST(Interpreter, PhiSelectsByIncomingEdge) {
+  Fixture F;
+  Module M = F.M;
+  // Replace the merge-block load with a phi over constants.
+  BasicBlock *Merge = M.findFunction(F.MainId)->findBlock(F.MergeBlock);
+  Id LoadL = Merge->Body[0].Result;
+  Merge->Body[0] =
+      Instruction(Op::Phi, F.IntType, LoadL,
+                  {Operand::id(F.Const2), Operand::id(F.ThenBlock),
+                   Operand::id(F.Const5), Operand::id(F.ElseBlock)});
+  ASSERT_TRUE(isValidModule(M));
+  EXPECT_EQ(interpret(M, F.Input).Outputs.at(0), Value::makeInt(2));
+  ShaderInput Small = F.Input;
+  Small.Bindings[0] = Value::makeInt(0);
+  EXPECT_EQ(interpret(M, Small).Outputs.at(0), Value::makeInt(5));
+}
+
+TEST(Interpreter, LoopsAndStepLimit) {
+  // A counting loop: out = sum of 0..4 stored through a local.
+  Module M;
+  ModuleBuilder Builder(M);
+  Id IntType = Builder.getIntType();
+  Id BoolType = Builder.getBoolType();
+  Id VoidType = Builder.getVoidType();
+  Id Out = Builder.addOutput(IntType, 0);
+  Id Zero = Builder.getIntConstant(0);
+  Id One = Builder.getIntConstant(1);
+  Id Five = Builder.getIntConstant(5);
+  Id IntPtr = Builder.getPointerType(StorageClass::Function, IntType);
+
+  Function &Main = Builder.startFunction(VoidType, {});
+  Builder.setEntryPoint(Main.id());
+  Id Counter = M.takeFreshId(), Acc = M.takeFreshId();
+  Id Header = M.takeFreshId(), Body = M.takeFreshId(), Exit = M.takeFreshId();
+  BasicBlock &Entry = Main.entryBlock();
+  Entry.Body.push_back(ModuleBuilder::makeLocalVariable(IntPtr, Counter, Zero));
+  Entry.Body.push_back(ModuleBuilder::makeLocalVariable(IntPtr, Acc, Zero));
+  Entry.Body.push_back(ModuleBuilder::makeBranch(Header));
+
+  BasicBlock HeaderBlock(Header);
+  Id IvLoad = M.takeFreshId(), Cond = M.takeFreshId();
+  HeaderBlock.Body.push_back(ModuleBuilder::makeLoad(IntType, IvLoad, Counter));
+  HeaderBlock.Body.push_back(
+      ModuleBuilder::makeBinOp(Op::SLessThan, BoolType, Cond, IvLoad, Five));
+  HeaderBlock.Body.push_back(
+      ModuleBuilder::makeBranchConditional(Cond, Body, Exit));
+  Main.Blocks.push_back(std::move(HeaderBlock));
+
+  BasicBlock BodyBlock(Body);
+  Id AccLoad = M.takeFreshId(), AccNext = M.takeFreshId(),
+     IvNext = M.takeFreshId(), IvLoad2 = M.takeFreshId();
+  BodyBlock.Body.push_back(ModuleBuilder::makeLoad(IntType, AccLoad, Acc));
+  BodyBlock.Body.push_back(ModuleBuilder::makeLoad(IntType, IvLoad2, Counter));
+  BodyBlock.Body.push_back(
+      ModuleBuilder::makeBinOp(Op::IAdd, IntType, AccNext, AccLoad, IvLoad2));
+  BodyBlock.Body.push_back(ModuleBuilder::makeStore(Acc, AccNext));
+  BodyBlock.Body.push_back(
+      ModuleBuilder::makeBinOp(Op::IAdd, IntType, IvNext, IvLoad2, One));
+  BodyBlock.Body.push_back(ModuleBuilder::makeStore(Counter, IvNext));
+  BodyBlock.Body.push_back(ModuleBuilder::makeBranch(Header));
+  Main.Blocks.push_back(std::move(BodyBlock));
+
+  BasicBlock ExitBlock(Exit);
+  Id Final = M.takeFreshId();
+  ExitBlock.Body.push_back(ModuleBuilder::makeLoad(IntType, Final, Acc));
+  ExitBlock.Body.push_back(ModuleBuilder::makeStore(Out, Final));
+  ExitBlock.Body.push_back(ModuleBuilder::makeReturn());
+  Main.Blocks.push_back(std::move(ExitBlock));
+
+  ASSERT_TRUE(isValidModule(M)) << validateModule(M).front();
+  ExecResult Result = interpret(M, ShaderInput());
+  ASSERT_EQ(Result.ExecStatus, ExecResult::Status::Ok);
+  EXPECT_EQ(Result.Outputs.at(0), Value::makeInt(10)); // 0+1+2+3+4
+
+  // An infinite loop faults at the step limit (non-termination is
+  // "faulting" per ğ2.2).
+  BasicBlock *HeaderRef = M.findFunction(Main.id())->findBlock(Header);
+  HeaderRef->Body.back() = ModuleBuilder::makeBranch(Body);
+  InterpreterOptions Tight;
+  Tight.StepLimit = 1000;
+  ExecResult Looped = interpret(M, ShaderInput(), Tight);
+  EXPECT_EQ(Looped.ExecStatus, ExecResult::Status::Fault);
+  EXPECT_NE(Looped.FaultMessage.find("step limit"), std::string::npos);
+}
+
+TEST(Interpreter, PrivateGlobalsInitializeAndPersist) {
+  Module M;
+  ModuleBuilder Builder(M);
+  Id IntType = Builder.getIntType();
+  Id VoidType = Builder.getVoidType();
+  Id Out = Builder.addOutput(IntType, 0);
+  Id Nine = Builder.getIntConstant(9);
+  Id G = Builder.addPrivate(IntType, Nine);
+  Function &Main = Builder.startFunction(VoidType, {});
+  Builder.setEntryPoint(Main.id());
+  Id LoadG = M.takeFreshId();
+  Main.entryBlock().Body.push_back(ModuleBuilder::makeLoad(IntType, LoadG, G));
+  Main.entryBlock().Body.push_back(ModuleBuilder::makeStore(Out, LoadG));
+  Main.entryBlock().Body.push_back(ModuleBuilder::makeReturn());
+  ASSERT_TRUE(isValidModule(M));
+  EXPECT_EQ(interpret(M, ShaderInput()).Outputs.at(0), Value::makeInt(9));
+}
+
+TEST(Interpreter, SelectCopyAndComposites) {
+  Module M;
+  ModuleBuilder Builder(M);
+  Id IntType = Builder.getIntType();
+  Id BoolType = Builder.getBoolType();
+  Id VoidType = Builder.getVoidType();
+  Id Vec2 = Builder.getVectorType(IntType, 2);
+  Id Out = Builder.addOutput(IntType, 0);
+  Id C1 = Builder.getIntConstant(1);
+  Id C2 = Builder.getIntConstant(2);
+  Id True = Builder.getBoolConstant(true);
+  (void)BoolType;
+
+  Function &Main = Builder.startFunction(VoidType, {});
+  Builder.setEntryPoint(Main.id());
+  BasicBlock &Entry = Main.entryBlock();
+  Id Sel = M.takeFreshId();
+  Entry.Body.push_back(ModuleBuilder::makeSelect(IntType, Sel, True, C1, C2));
+  Id Copy = M.takeFreshId();
+  Entry.Body.push_back(
+      ModuleBuilder::makeUnaryOp(Op::CopyObject, IntType, Copy, Sel));
+  Id Composite = M.takeFreshId();
+  Entry.Body.push_back(Instruction(Op::CompositeConstruct, Vec2, Composite,
+                                   {Operand::id(Copy), Operand::id(C2)}));
+  Id Extracted = M.takeFreshId();
+  Entry.Body.push_back(Instruction(Op::CompositeExtract, IntType, Extracted,
+                                   {Operand::id(Composite),
+                                    Operand::literal(0)}));
+  Entry.Body.push_back(ModuleBuilder::makeStore(Out, Extracted));
+  Entry.Body.push_back(ModuleBuilder::makeReturn());
+  ASSERT_TRUE(isValidModule(M)) << validateModule(M).front();
+  EXPECT_EQ(interpret(M, ShaderInput()).Outputs.at(0), Value::makeInt(1));
+}
+
+TEST(Interpreter, ExecResultEqualityAndPrinting) {
+  ExecResult A, B;
+  A.Outputs[0] = Value::makeInt(4);
+  B.Outputs[0] = Value::makeInt(5);
+  EXPECT_NE(A, B);
+  B.Outputs[0] = Value::makeInt(4);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.str(), "{0: 4}");
+  ExecResult Killed;
+  Killed.ExecStatus = ExecResult::Status::Killed;
+  EXPECT_EQ(Killed.str(), "<killed>");
+  EXPECT_NE(A, Killed);
+  EXPECT_EQ(Value::makeComposite({Value::makeBool(true)}).str(), "{true}");
+}
+
+TEST(Interpreter, ZeroValueOfTypes) {
+  Fixture F;
+  Module M = F.M;
+  ModuleBuilder Builder(M);
+  Id Vec3 = Builder.getVectorType(F.IntType, 3);
+  Id StructT = Builder.getStructType({F.BoolType, Vec3});
+  Value Zero = zeroValueOfType(M, StructT);
+  ASSERT_EQ(Zero.Elements.size(), 2u);
+  EXPECT_EQ(Zero.Elements[0], Value::makeBool(false));
+  EXPECT_EQ(Zero.Elements[1].Elements.size(), 3u);
+  EXPECT_EQ(Zero.Elements[1].Elements[2], Value::makeInt(0));
+}
+
+} // namespace

@@ -1,0 +1,275 @@
+//===- tests/ReducerDedupTest.cpp - Reducer, dedup, statistics ------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/BaselineReducer.h"
+#include "core/Dedup.h"
+#include "core/Fuzzer.h"
+#include "core/Reducer.h"
+#include "core/Transformations.h"
+#include "gen/Generator.h"
+#include "support/Statistics.h"
+#include "TestHelpers.h"
+
+using namespace spvfuzz;
+using namespace spvfuzz::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+TEST(Statistics, Median) {
+  EXPECT_EQ(median({}), 0.0);
+  EXPECT_EQ(median({3.0}), 3.0);
+  EXPECT_EQ(median({1.0, 9.0}), 5.0);
+  EXPECT_EQ(median({9.0, 1.0, 5.0}), 5.0);
+  EXPECT_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Statistics, MannWhitneyDetectsClearSeparation) {
+  std::vector<double> High = {9, 10, 11, 12, 13, 9, 10, 11, 12, 13};
+  std::vector<double> Low = {1, 2, 3, 2, 1, 3, 2, 1, 2, 3};
+  MannWhitneyResult Result = mannWhitneyU(High, Low);
+  EXPECT_TRUE(Result.AWins);
+  EXPECT_GT(Result.ConfidenceAGreater, 99.0);
+  MannWhitneyResult Reverse = mannWhitneyU(Low, High);
+  EXPECT_FALSE(Reverse.AWins);
+  EXPECT_LT(Reverse.ConfidenceAGreater, 1.0);
+}
+
+TEST(Statistics, MannWhitneyOnTiesIsNeutral) {
+  std::vector<double> Same = {5, 5, 5, 5, 5};
+  MannWhitneyResult Result = mannWhitneyU(Same, Same);
+  EXPECT_NEAR(Result.ConfidenceAGreater, 50.0, 1e-9);
+  // Empty inputs do not crash.
+  EXPECT_EQ(mannWhitneyU({}, Same).ConfidenceAGreater, 0.0);
+}
+
+TEST(Statistics, MannWhitneyWithOverlap) {
+  std::vector<double> A = {3, 4, 5, 6, 7, 5, 4, 6, 5, 5};
+  std::vector<double> B = {2, 4, 4, 5, 6, 4, 3, 5, 5, 4};
+  MannWhitneyResult Result = mannWhitneyU(A, B);
+  EXPECT_GT(Result.ConfidenceAGreater, 50.0);
+  EXPECT_LT(Result.ConfidenceAGreater, 99.9);
+}
+
+//===----------------------------------------------------------------------===//
+// Reducer
+//===----------------------------------------------------------------------===//
+
+/// A scenario on the shared fixture: five transformations of which only
+/// two (the dead block and the kill) matter for a "has OpKill" bug.
+struct ReductionScenario {
+  Fixture F;
+  TransformationSequence Sequence;
+  Id TrueConst, Dead;
+
+  ReductionScenario() {
+    Module &M = F.M;
+    ModuleBuilder Builder(M);
+    TrueConst = Builder.getBoolConstant(true);
+    Dead = M.takeFreshId();
+    const BasicBlock *Merge =
+        M.findFunction(F.MainId)->findBlock(F.MergeBlock);
+    Id LoadL = Merge->Body[0].Result;
+    InstructionDescriptor BeforeStore = describeInstruction(*Merge, 1);
+    Sequence = {
+        std::make_shared<TransformationAddSynonymViaCopyObject>(
+            M.takeFreshId(), LoadL, BeforeStore),
+        std::make_shared<TransformationAddDeadBlock>(Dead, F.ThenBlock,
+                                                     TrueConst),
+        std::make_shared<TransformationAddLoad>(M.takeFreshId(), F.U0,
+                                                BeforeStore),
+        std::make_shared<TransformationReplaceBranchWithKill>(Dead),
+        std::make_shared<TransformationSwapCommutableOperands>(
+            describeInstruction(
+                *M.findFunction(F.HelperId)->findBlock(F.HelperBlock), 0)),
+    };
+  }
+};
+
+InterestingnessTest hasKill() {
+  return [](const Module &Variant, const FactManager &) {
+    for (const Function &Func : Variant.Functions)
+      for (const BasicBlock &Block : Func.Blocks)
+        for (const Instruction &Inst : Block.Body)
+          if (Inst.Opcode == Op::Kill)
+            return true;
+    return false;
+  };
+}
+
+TEST(Reducer, FindsOneMinimalSubsequence) {
+  ReductionScenario S;
+  ReduceResult Result =
+      reduceSequence(S.F.M, S.F.Input, S.Sequence, hasKill());
+  // Exactly the dead block and the kill survive.
+  ASSERT_EQ(Result.Minimized.size(), 2u);
+  EXPECT_EQ(Result.Minimized[0]->kind(), TransformationKind::AddDeadBlock);
+  EXPECT_EQ(Result.Minimized[1]->kind(),
+            TransformationKind::ReplaceBranchWithKill);
+  // The reduced variant is valid, equivalent, and interesting.
+  expectValidAndEquivalent(S.F.M, Result.ReducedVariant, S.F.Input);
+  EXPECT_TRUE(hasKill()(Result.ReducedVariant, Result.ReducedFacts));
+}
+
+TEST(Reducer, OneMinimality) {
+  ReductionScenario S;
+  ReduceResult Result =
+      reduceSequence(S.F.M, S.F.Input, S.Sequence, hasKill());
+  // Removing any single remaining transformation must kill interestingness.
+  for (size_t Drop = 0; Drop < Result.Minimized.size(); ++Drop) {
+    TransformationSequence Candidate;
+    for (size_t I = 0; I < Result.Minimized.size(); ++I)
+      if (I != Drop)
+        Candidate.push_back(Result.Minimized[I]);
+    Module Variant = S.F.M;
+    FactManager Facts;
+    Facts.setKnownInput(S.F.Input);
+    applySequence(Variant, Facts, Candidate);
+    EXPECT_FALSE(hasKill()(Variant, Facts)) << "not 1-minimal at " << Drop;
+  }
+}
+
+TEST(Reducer, EmptySequenceAndAlwaysInteresting) {
+  Fixture F;
+  ReduceResult Result = reduceSequence(
+      F.M, F.Input, {},
+      [](const Module &, const FactManager &) { return true; });
+  EXPECT_TRUE(Result.Minimized.empty());
+  // An always-true test reduces everything away.
+  ReductionScenario S;
+  ReduceResult All = reduceSequence(
+      S.F.M, S.F.Input, S.Sequence,
+      [](const Module &, const FactManager &) { return true; });
+  EXPECT_TRUE(All.Minimized.empty());
+  EXPECT_EQ(writeModuleText(All.ReducedVariant), writeModuleText(S.F.M));
+}
+
+TEST(Reducer, CheckCountIsReasonable) {
+  ReductionScenario S;
+  ReduceResult Result =
+      reduceSequence(S.F.M, S.F.Input, S.Sequence, hasKill());
+  // Delta debugging on 5 elements needs only a handful of checks.
+  EXPECT_LE(Result.Checks, 25u);
+  EXPECT_GE(Result.Checks, 3u);
+}
+
+TEST(BaselineReducer, KeepsWholeGroups) {
+  ReductionScenario S;
+  // Group the five transformations as three pass runs: {0,1}, {2,3}, {4}.
+  std::vector<std::pair<size_t, size_t>> Groups = {{0, 2}, {2, 4}, {4, 5}};
+  ReduceResult Result =
+      reduceByGroups(S.F.M, S.F.Input, S.Sequence, Groups, hasKill());
+  // The kill lives in group {2,3}, whose AddDeadBlock dependency lives in
+  // group {0,1}: both groups must be kept whole (4 transformations),
+  // versus 2 for the fine-grained reducer — the RQ2 effect in miniature.
+  EXPECT_EQ(Result.Minimized.size(), 4u);
+  expectValidAndEquivalent(S.F.M, Result.ReducedVariant, S.F.Input);
+  EXPECT_TRUE(hasKill()(Result.ReducedVariant, Result.ReducedFacts));
+  ReduceResult Fine = reduceSequence(S.F.M, S.F.Input, S.Sequence, hasKill());
+  EXPECT_LT(Fine.Minimized.size(), Result.Minimized.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Deduplication (Figure 6)
+//===----------------------------------------------------------------------===//
+
+using K = TransformationKind;
+
+TEST(Dedup, PaperScenario) {
+  // The ğ2.1 worked example: set A uses {SplitBlock-like trio}, set B uses
+  // {AddStore, AddLoad}, the rest use >= 4 types. Two reports expected,
+  // one from each of A and B.
+  std::vector<std::set<K>> Tests;
+  for (int I = 0; I < 5; ++I)
+    Tests.push_back({K::AddDeadBlock, K::MoveBlockDown, K::InvertBranchCondition});
+  for (int I = 0; I < 5; ++I)
+    Tests.push_back({K::AddStore, K::AddLoad});
+  for (int I = 0; I < 3; ++I)
+    Tests.push_back({K::AddDeadBlock, K::MoveBlockDown, K::AddStore,
+                     K::AddLoad, K::ToggleDontInline});
+  std::vector<size_t> Chosen = deduplicateTests(Tests);
+  ASSERT_EQ(Chosen.size(), 2u);
+  EXPECT_EQ(Tests[Chosen[0]].size(), 2u); // smallest type set first
+  EXPECT_EQ(Tests[Chosen[1]].size(), 3u);
+}
+
+TEST(Dedup, PrefersSmallTypeSets) {
+  std::vector<std::set<K>> Tests = {
+      {K::AddDeadBlock, K::AddStore},
+      {K::AddDeadBlock},
+  };
+  std::vector<size_t> Chosen = deduplicateTests(Tests);
+  ASSERT_EQ(Chosen.size(), 1u);
+  EXPECT_EQ(Chosen[0], 1u);
+}
+
+TEST(Dedup, DisjointTestsAllChosen) {
+  std::vector<std::set<K>> Tests = {
+      {K::AddDeadBlock},
+      {K::AddStore},
+      {K::ToggleDontInline},
+  };
+  EXPECT_EQ(deduplicateTests(Tests).size(), 3u);
+}
+
+TEST(Dedup, EmptyTypeSetsNeverChosen) {
+  std::vector<std::set<K>> Tests = {{}, {K::AddStore}, {}};
+  std::vector<size_t> Chosen = deduplicateTests(Tests);
+  ASSERT_EQ(Chosen.size(), 1u);
+  EXPECT_EQ(Chosen[0], 1u);
+  EXPECT_TRUE(deduplicateTests({{}, {}}).empty());
+  EXPECT_TRUE(deduplicateTests({}).empty());
+}
+
+TEST(Dedup, TypesOfAppliesIgnoreList) {
+  Fixture F;
+  Module M = F.M;
+  ModuleBuilder Builder(M);
+  Id TrueConst = Builder.getBoolConstant(true);
+  TransformationSequence Sequence = {
+      std::make_shared<TransformationAddConstantScalar>(M.takeFreshId(),
+                                                        F.IntType, 0, true),
+      std::make_shared<TransformationAddDeadBlock>(M.takeFreshId(),
+                                                   F.ThenBlock, TrueConst),
+      std::make_shared<TransformationAddDeadBlock>(M.takeFreshId(),
+                                                   F.ElseBlock, TrueConst),
+  };
+  std::set<K> Types = dedupTypesOf(Sequence);
+  // The supporting constant is ignored; duplicates collapse.
+  EXPECT_EQ(Types, std::set<K>{K::AddDeadBlock});
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: fuzz, break, reduce (on a synthetic oracle)
+//===----------------------------------------------------------------------===//
+
+TEST(ReducerEndToEnd, FuzzedSequencesReduceAndStayInteresting) {
+  for (uint64_t Seed : {3u, 17u, 29u}) {
+    GeneratedProgram Program = generateProgram(Seed);
+    FuzzerOptions Options;
+    Options.TransformationLimit = 120;
+    FuzzResult Fuzzed = fuzz(Program.M, Program.Input, {}, Seed, Options);
+    InterestingnessTest Test = hasKill();
+    Module Variant = Fuzzed.Variant;
+    FactManager Facts = Fuzzed.Facts;
+    if (!Test(Variant, Facts))
+      continue; // this seed produced no kill; fine
+    ReduceResult Reduced =
+        reduceSequence(Program.M, Program.Input, Fuzzed.Sequence, Test);
+    EXPECT_LE(Reduced.Minimized.size(), Fuzzed.Sequence.size());
+    EXPECT_TRUE(Test(Reduced.ReducedVariant, Reduced.ReducedFacts));
+    expectValidAndEquivalent(Program.M, Reduced.ReducedVariant,
+                             Program.Input);
+    // The reduced variant is close to the original in size.
+    EXPECT_LT(Reduced.ReducedVariant.instructionCount(),
+              Program.M.instructionCount() + 30);
+  }
+}
+
+} // namespace

@@ -1,0 +1,359 @@
+//===- tools/minispv.cpp - Command-line driver ------------------*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A file-based driver over the library, mirroring the spirv-fuzz /
+/// spirv-reduce command-line workflow:
+///
+///   minispv gen      --seed N -o prog.mvs [--inputs prog.in]
+///   minispv validate prog.mvs
+///   minispv run      prog.mvs --inputs prog.in [--target NAME]
+///   minispv fuzz     prog.mvs --inputs prog.in --seed N -o variant.mvs
+///                    --sequence seq.txt [--donor donor.mvs]... [--baseline]
+///   minispv replay   prog.mvs --inputs prog.in --sequence seq.txt
+///                    -o variant.mvs
+///   minispv reduce   prog.mvs --inputs prog.in --sequence seq.txt
+///                    --target NAME (--signature SIG | --miscompilation)
+///                    -o reduced.mvs --out-sequence min.txt
+///   minispv targets
+///
+/// Module files use the textual assembly of ir/Text.h; input files hold
+/// one "binding kind value" triple per line (e.g. "0 int 7", "2 bool
+/// true"); sequence files hold one serialized transformation per line.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Validator.h"
+#include "campaign/Campaign.h"
+#include "core/FunctionShrinker.h"
+#include "core/Fuzzer.h"
+#include "core/Reducer.h"
+#include "gen/Generator.h"
+#include "ir/Text.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace spvfuzz;
+
+namespace {
+
+[[noreturn]] void fail(const std::string &Message) {
+  fprintf(stderr, "minispv: error: %s\n", Message.c_str());
+  exit(1);
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    fail("cannot open '" + Path + "'");
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+void writeFile(const std::string &Path, const std::string &Contents) {
+  std::ofstream Out(Path);
+  if (!Out)
+    fail("cannot write '" + Path + "'");
+  Out << Contents;
+}
+
+Module readModule(const std::string &Path) {
+  Module M;
+  std::string Error;
+  if (!readModuleText(readFile(Path), M, Error))
+    fail(Path + ": " + Error);
+  return M;
+}
+
+ShaderInput readInputs(const std::string &Path) {
+  ShaderInput Input;
+  std::istringstream In(readFile(Path));
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::istringstream Fields(Line);
+    uint32_t Binding;
+    std::string Kind, ValueText;
+    if (!(Fields >> Binding))
+      continue; // blank line
+    if (!(Fields >> Kind >> ValueText))
+      fail(Path + ": line " + std::to_string(LineNo) +
+           ": expected 'binding kind value'");
+    if (Kind == "int")
+      Input.Bindings[Binding] =
+          Value::makeInt(static_cast<int32_t>(atoll(ValueText.c_str())));
+    else if (Kind == "bool")
+      Input.Bindings[Binding] = Value::makeBool(ValueText == "true");
+    else
+      fail(Path + ": line " + std::to_string(LineNo) + ": unknown kind '" +
+           Kind + "'");
+  }
+  return Input;
+}
+
+std::string formatInputs(const ShaderInput &Input) {
+  std::ostringstream Out;
+  for (const auto &[Binding, V] : Input.Bindings) {
+    if (V.ValueKind == Value::Kind::Bool)
+      Out << Binding << " bool " << (V.asBool() ? "true" : "false") << "\n";
+    else
+      Out << Binding << " int " << V.asInt() << "\n";
+  }
+  return Out.str();
+}
+
+TransformationSequence readSequence(const std::string &Path) {
+  TransformationSequence Sequence;
+  std::string Error;
+  if (!deserializeSequence(readFile(Path), Sequence, Error))
+    fail(Path + ": " + Error);
+  return Sequence;
+}
+
+const Target *findTarget(const std::vector<Target> &Targets,
+                         const std::string &Name) {
+  for (const Target &T : Targets)
+    if (T.name() == Name)
+      return &T;
+  fail("unknown target '" + Name + "' (see 'minispv targets')");
+}
+
+/// Minimal flag parser: positional arguments plus --name [value] pairs.
+struct Args {
+  std::vector<std::string> Positional;
+  std::vector<std::pair<std::string, std::string>> Flags;
+
+  Args(int Argc, char **Argv, const std::vector<std::string> &BoolFlags) {
+    for (int I = 0; I < Argc; ++I) {
+      std::string Arg = Argv[I];
+      if (Arg.empty() || Arg[0] != '-') {
+        Positional.push_back(Arg);
+        continue;
+      }
+      std::string Name = Arg.substr(Arg.rfind("--", 0) == 0 ? 2 : 1);
+      bool IsBool = std::find(BoolFlags.begin(), BoolFlags.end(), Name) !=
+                    BoolFlags.end();
+      if (IsBool) {
+        Flags.push_back({Name, "true"});
+      } else {
+        if (I + 1 >= Argc)
+          fail("flag --" + Name + " needs a value");
+        Flags.push_back({Name, Argv[++I]});
+      }
+    }
+  }
+
+  std::string get(const std::string &Name,
+                  const std::string &Default = "") const {
+    for (const auto &[FlagName, FlagValue] : Flags)
+      if (FlagName == Name)
+        return FlagValue;
+    return Default;
+  }
+  std::vector<std::string> getAll(const std::string &Name) const {
+    std::vector<std::string> Out;
+    for (const auto &[FlagName, FlagValue] : Flags)
+      if (FlagName == Name)
+        Out.push_back(FlagValue);
+    return Out;
+  }
+  bool has(const std::string &Name) const {
+    return !get(Name, "\x01").empty() && get(Name, "\x01") != "\x01";
+  }
+  std::string require(const std::string &Name) const {
+    std::string FlagValue = get(Name);
+    if (FlagValue.empty())
+      fail("missing required flag --" + Name);
+    return FlagValue;
+  }
+};
+
+int cmdGen(const Args &A) {
+  uint64_t Seed = strtoull(A.get("seed", "0").c_str(), nullptr, 10);
+  GeneratedProgram Program = generateProgram(Seed);
+  std::string OutPath = A.require("o");
+  writeFile(OutPath, writeModuleText(Program.M));
+  std::string InputsPath = A.get("inputs", OutPath + ".in");
+  writeFile(InputsPath, formatInputs(Program.Input));
+  printf("wrote %s (%zu instructions) and %s\n", OutPath.c_str(),
+         Program.M.instructionCount(), InputsPath.c_str());
+  return 0;
+}
+
+int cmdValidate(const Args &A) {
+  if (A.Positional.empty())
+    fail("usage: minispv validate <module.mvs>");
+  Module M = readModule(A.Positional[0]);
+  std::vector<std::string> Diags = validateModule(M);
+  if (Diags.empty()) {
+    printf("%s: valid (%zu instructions, %zu functions)\n",
+           A.Positional[0].c_str(), M.instructionCount(),
+           M.Functions.size());
+    return 0;
+  }
+  for (const std::string &Diag : Diags)
+    fprintf(stderr, "%s: %s\n", A.Positional[0].c_str(), Diag.c_str());
+  return 1;
+}
+
+int cmdRun(const Args &A) {
+  if (A.Positional.empty())
+    fail("usage: minispv run <module.mvs> --inputs <file> [--target NAME]");
+  Module M = readModule(A.Positional[0]);
+  ShaderInput Input = readInputs(A.require("inputs"));
+  if (!A.has("target")) {
+    ExecResult Result = interpret(M, Input);
+    printf("reference semantics: %s\n", Result.str().c_str());
+    return Result.ExecStatus == ExecResult::Status::Fault ? 1 : 0;
+  }
+  std::vector<Target> Targets = standardTargets();
+  const Target *T = findTarget(Targets, A.get("target"));
+  TargetRun Run = T->run(M, Input);
+  if (Run.RunKind == TargetRun::Kind::Crash) {
+    printf("%s: CRASH: %s\n", T->name().c_str(), Run.Signature.c_str());
+    return 2;
+  }
+  if (!T->canExecute()) {
+    printf("%s: compiled OK (crash-only target, no execution)\n",
+           T->name().c_str());
+    return 0;
+  }
+  printf("%s: %s\n", T->name().c_str(), Run.Result.str().c_str());
+  return 0;
+}
+
+int cmdFuzz(const Args &A) {
+  if (A.Positional.empty())
+    fail("usage: minispv fuzz <module.mvs> --inputs <file> --seed N "
+         "-o <out> --sequence <out> [--donor <file>]... [--baseline]");
+  Module M = readModule(A.Positional[0]);
+  ShaderInput Input = readInputs(A.require("inputs"));
+  uint64_t Seed = strtoull(A.get("seed", "0").c_str(), nullptr, 10);
+
+  std::vector<Module> DonorModules;
+  for (const std::string &Path : A.getAll("donor"))
+    DonorModules.push_back(readModule(Path));
+  std::vector<const Module *> Donors;
+  for (const Module &Donor : DonorModules)
+    Donors.push_back(&Donor);
+
+  FuzzerOptions Options;
+  Options.TransformationLimit = static_cast<uint32_t>(
+      strtoul(A.get("limit", "2000").c_str(), nullptr, 10));
+  if (A.has("baseline")) {
+    Options.Profile = FuzzerProfile::Baseline;
+    Options.EnableRecommendations = false;
+  }
+  if (A.has("no-recommendations"))
+    Options.EnableRecommendations = false;
+
+  FuzzResult Result = fuzz(M, Input, Donors, Seed, Options);
+  writeFile(A.require("o"), writeModuleText(Result.Variant));
+  writeFile(A.require("sequence"), serializeSequence(Result.Sequence));
+  printf("applied %zu transformations: %zu -> %zu instructions\n",
+         Result.Sequence.size(), M.instructionCount(),
+         Result.Variant.instructionCount());
+  return 0;
+}
+
+int cmdReplay(const Args &A) {
+  if (A.Positional.empty())
+    fail("usage: minispv replay <module.mvs> --inputs <file> "
+         "--sequence <file> -o <out>");
+  Module M = readModule(A.Positional[0]);
+  ShaderInput Input = readInputs(A.require("inputs"));
+  TransformationSequence Sequence = readSequence(A.require("sequence"));
+  FactManager Facts;
+  Facts.setKnownInput(Input);
+  std::vector<size_t> Applied = applySequence(M, Facts, Sequence);
+  writeFile(A.require("o"), writeModuleText(M));
+  printf("applied %zu of %zu transformations\n", Applied.size(),
+         Sequence.size());
+  return 0;
+}
+
+int cmdReduce(const Args &A) {
+  if (A.Positional.empty())
+    fail("usage: minispv reduce <module.mvs> --inputs <file> "
+         "--sequence <file> --target NAME (--signature SIG | "
+         "--miscompilation) -o <out> --out-sequence <out>");
+  Module M = readModule(A.Positional[0]);
+  ShaderInput Input = readInputs(A.require("inputs"));
+  TransformationSequence Sequence = readSequence(A.require("sequence"));
+  std::vector<Target> Targets = standardTargets();
+  const Target *T = findTarget(Targets, A.require("target"));
+
+  std::string Signature = A.has("miscompilation")
+                              ? std::string(MiscompilationSignature)
+                              : A.require("signature");
+  InterestingnessTest Test =
+      makeInterestingnessTest(*T, Signature, M, Input);
+
+  ReduceResult Reduced = reduceSequence(M, Input, Sequence, Test);
+  bool HasAddFunction = false;
+  for (const TransformationPtr &Transformation : Reduced.Minimized)
+    if (Transformation->kind() == TransformationKind::AddFunction)
+      HasAddFunction = true;
+  if (HasAddFunction) {
+    size_t Prior = Reduced.Checks;
+    Reduced = shrinkAddFunctions(M, Input, Reduced.Minimized, Test);
+    Reduced.Checks += Prior;
+  }
+
+  writeFile(A.require("o"), writeModuleText(Reduced.ReducedVariant));
+  writeFile(A.require("out-sequence"),
+            serializeSequence(Reduced.Minimized));
+  printf("reduced to %zu transformations in %zu checks; delta vs original: "
+         "%+ld instructions\n",
+         Reduced.Minimized.size(), Reduced.Checks,
+         static_cast<long>(Reduced.ReducedVariant.instructionCount()) -
+             static_cast<long>(M.instructionCount()));
+  printf("--- original vs reduced variant ---\n%s",
+         diffModuleText(M, Reduced.ReducedVariant).c_str());
+  return 0;
+}
+
+int cmdTargets() {
+  for (const Target &T : standardTargets())
+    printf("%-14s version=%-22s %s\n", T.name().c_str(),
+           T.spec().Version.c_str(),
+           T.canExecute() ? "crashes+miscompilations" : "crashes only");
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    fprintf(stderr,
+            "usage: minispv <gen|validate|run|fuzz|replay|reduce|targets> "
+            "...\n");
+    return 1;
+  }
+  std::string Command = Argv[1];
+  Args A(Argc - 2, Argv + 2, {"baseline", "no-recommendations",
+                              "miscompilation"});
+  if (Command == "gen")
+    return cmdGen(A);
+  if (Command == "validate")
+    return cmdValidate(A);
+  if (Command == "run")
+    return cmdRun(A);
+  if (Command == "fuzz")
+    return cmdFuzz(A);
+  if (Command == "replay")
+    return cmdReplay(A);
+  if (Command == "reduce")
+    return cmdReduce(A);
+  if (Command == "targets")
+    return cmdTargets();
+  fail("unknown command '" + Command + "'");
+}
