@@ -1,0 +1,71 @@
+//===- bench/BenchTelemetry.h - Shared bench telemetry glue -----*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RAII glue that routes the evaluation binaries through the metrics
+/// registry: construction enables the global registry (so campaign
+/// progress reporting and all instrumentation fire), destruction prints a
+/// compact counter-derived footer and honours REPRO_METRICS_OUT=<path> to
+/// dump the full registry as JSON — the same format `minispv report`
+/// renders.
+///
+/// bench_micro deliberately does not use this: its numbers measure the
+/// disabled-telemetry fast path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BENCH_BENCH_TELEMETRY_H
+#define BENCH_BENCH_TELEMETRY_H
+
+#include "support/Telemetry.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace spvfuzz {
+namespace bench {
+
+class BenchTelemetry {
+public:
+  /// Enables the registry; \p FooterCounters are the counters the footer
+  /// reports (in order) when the bench exits.
+  explicit BenchTelemetry(std::vector<std::string> FooterCounters)
+      : FooterCounters(std::move(FooterCounters)) {
+    telemetry::MetricsRegistry::global().setEnabled(true);
+  }
+  BenchTelemetry(const BenchTelemetry &) = delete;
+  BenchTelemetry &operator=(const BenchTelemetry &) = delete;
+
+  ~BenchTelemetry() {
+    telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+    if (!FooterCounters.empty()) {
+      printf("\ntelemetry:");
+      for (const std::string &Name : FooterCounters)
+        printf(" %s=%llu", Name.c_str(),
+               static_cast<unsigned long long>(Metrics.counterValue(Name)));
+      printf("\n");
+    }
+    if (const char *Path = std::getenv("REPRO_METRICS_OUT")) {
+      std::string Error;
+      if (!telemetry::writeGlobalMetrics(Path, Error))
+        fprintf(stderr, "warning: failed to write metrics: %s\n",
+                Error.c_str());
+      else
+        fprintf(stderr, "wrote metrics to %s (render with: minispv report)\n",
+                Path);
+    }
+  }
+
+private:
+  std::vector<std::string> FooterCounters;
+};
+
+} // namespace bench
+} // namespace spvfuzz
+
+#endif // BENCH_BENCH_TELEMETRY_H

@@ -13,11 +13,15 @@
 
 #include "campaign/Experiments.h"
 
+#include "BenchTelemetry.h"
+
 #include <cstdio>
 
 using namespace spvfuzz;
 
 int main() {
+  bench::BenchTelemetry Telemetry(
+      {"campaign.tests", "target.compiles", "exec.runs"});
   BugFindingConfig Config;
   Config.TestsPerTool = envSize("REPRO_TESTS", 600);
   printf("Figure 7: complementarity of spirv-fuzz (A), spirv-fuzz-simple "

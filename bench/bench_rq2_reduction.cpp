@@ -15,6 +15,8 @@
 
 #include "campaign/Experiments.h"
 
+#include "BenchTelemetry.h"
+
 #include <cstdio>
 
 using namespace spvfuzz;
@@ -41,6 +43,9 @@ static void printToolSummary(const ReductionData &Data,
 }
 
 int main() {
+  bench::BenchTelemetry Telemetry({"target.compiles", "campaign.reductions",
+                                   "reducer.checks",
+                                   "baseline_reducer.checks"});
   ReductionConfig Config;
   Config.TestsPerTool = envSize("REPRO_TESTS", 300);
   Config.MaxReductionsPerTool = envSize("REPRO_REDUCTIONS", 120);

@@ -13,11 +13,16 @@
 
 #include "target/Target.h"
 
+#include "BenchTelemetry.h"
+
 #include <cstdio>
 
 using namespace spvfuzz;
 
 int main() {
+  // Inventory only — no campaign runs, so no footer counters; still
+  // honours REPRO_METRICS_OUT for uniformity with the other binaries.
+  bench::BenchTelemetry Telemetry({});
   printf("Table 2: the SPIR-V targets we test (simulated)\n");
   printf("%-14s %-22s %-11s %-8s %-6s %-5s\n", "Target", "Version", "GPU type",
          "Passes", "Bugs", "Exec");

@@ -15,11 +15,15 @@
 
 #include "campaign/Experiments.h"
 
+#include "BenchTelemetry.h"
+
 #include <cstdio>
 
 using namespace spvfuzz;
 
 int main() {
+  bench::BenchTelemetry Telemetry(
+      {"campaign.tests", "target.compiles", "exec.runs"});
   BugFindingConfig Config;
   Config.TestsPerTool = envSize("REPRO_TESTS", 600);
   printf("Table 3: bug-finding ability (%zu tests per tool, %zu groups)\n\n",

@@ -15,11 +15,15 @@
 
 #include "campaign/Experiments.h"
 
+#include "BenchTelemetry.h"
+
 #include <cstdio>
 
 using namespace spvfuzz;
 
 int main() {
+  bench::BenchTelemetry Telemetry(
+      {"target.compiles", "campaign.reductions", "reducer.checks"});
   ReductionConfig Config;
   Config.TestsPerTool = envSize("REPRO_TESTS", 500);
   Config.MaxReductionsPerTool = envSize("REPRO_REDUCTIONS", 260);

@@ -6,6 +6,11 @@
 
 #include "baseline/BaselineReducer.h"
 
+#include "support/Telemetry.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+
 using namespace spvfuzz;
 
 ReduceResult spvfuzz::reduceByGroups(
@@ -14,6 +19,12 @@ ReduceResult spvfuzz::reduceByGroups(
     const std::vector<std::pair<size_t, size_t>> &Groups,
     const InterestingnessTest &Test) {
   ReduceResult Result;
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+  telemetry::TraceSpan Span("reduce.groups");
+  Span.note({"groups", Groups.size()});
+  Span.note({"initial_length", Sequence.size()});
+  if (Metrics.enabled())
+    Metrics.add("baseline_reducer.reductions");
 
   // Which groups are currently kept.
   std::vector<bool> Kept(Groups.size(), true);
@@ -32,6 +43,8 @@ ReduceResult spvfuzz::reduceByGroups(
   auto IsInteresting = [&](const TransformationSequence &Candidate,
                            Module &VariantOut, FactManager &FactsOut) {
     ++Result.Checks;
+    if (Metrics.enabled())
+      Metrics.add("baseline_reducer.checks");
     VariantOut = Original;
     FactsOut = FactManager();
     FactsOut.setKnownInput(Input);
@@ -42,6 +55,11 @@ ReduceResult spvfuzz::reduceByGroups(
   // Linear sweeps from the last group to the first, to a fixpoint.
   bool Changed = true;
   while (Changed) {
+    telemetry::Tracer::global().event(
+        "reduce.groups.sweep",
+        {{"kept_groups",
+          static_cast<uint64_t>(std::count(Kept.begin(), Kept.end(), true))},
+         {"checks", Result.Checks}});
     Changed = false;
     for (size_t G = Groups.size(); G-- > 0;) {
       if (!Kept[G])
@@ -62,5 +80,13 @@ ReduceResult spvfuzz::reduceByGroups(
   Result.ReducedFacts = FactManager();
   Result.ReducedFacts.setKnownInput(Input);
   applySequence(Result.ReducedVariant, Result.ReducedFacts, Result.Minimized);
+  if (Metrics.enabled()) {
+    Metrics.observe("baseline_reducer.checks_per_reduction",
+                    static_cast<double>(Result.Checks));
+    Metrics.observe("baseline_reducer.minimized_length",
+                    static_cast<double>(Result.Minimized.size()));
+  }
+  Span.note({"checks", Result.Checks});
+  Span.note({"minimized_length", Result.Minimized.size()});
   return Result;
 }

@@ -6,6 +6,11 @@
 
 #include "campaign/Campaign.h"
 
+#include "support/Telemetry.h"
+#include "support/Trace.h"
+
+#include <cstdio>
+
 using namespace spvfuzz;
 
 Corpus spvfuzz::makeCorpus(uint64_t Seed, size_t NumReferences,
@@ -77,6 +82,20 @@ TestEvaluation spvfuzz::evaluateTest(const Corpus &C, const ToolConfig &Tool,
     if (VariantRun.Result != OriginalRun.Result)
       Eval.Signatures[T.name()] = MiscompilationSignature;
   }
+
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+  if (Metrics.enabled()) {
+    Metrics.add("campaign.tests");
+    for (const auto &[TargetName, Signature] : Eval.Signatures)
+      Metrics.add("campaign.bugs." + TargetName);
+  }
+  if (telemetry::Tracer::global().enabled()) {
+    telemetry::Tracer::global().event(
+        "campaign.test", {{"tool", Tool.Name},
+                          {"index", TestIndex},
+                          {"sequence_length", Fuzzed.Sequence.size()},
+                          {"bugs", Eval.Signatures.size()}});
+  }
   return Eval;
 }
 
@@ -101,4 +120,67 @@ spvfuzz::makeInterestingnessTest(const Target &T, const std::string &Signature,
     return Run.RunKind == TargetRun::Kind::Executed &&
            Run.Result != Baseline;
   };
+}
+
+//===----------------------------------------------------------------------===//
+// CampaignProgress
+//===----------------------------------------------------------------------===//
+
+CampaignProgress::CampaignProgress(std::string Phase, size_t TotalUnits,
+                                   size_t ReportEvery)
+    : Phase(std::move(Phase)), TotalUnits(TotalUnits),
+      ReportEvery(ReportEvery ? ReportEvery : 1),
+      Active(telemetry::MetricsRegistry::global().enabled()),
+      Start(std::chrono::steady_clock::now()) {}
+
+CampaignProgress::~CampaignProgress() {
+  if (Active && Units > 0)
+    report(/*Final=*/true);
+}
+
+void CampaignProgress::advance() {
+  if (!Active)
+    return;
+  ++Units;
+  if (Units % ReportEvery == 0)
+    report(/*Final=*/false);
+}
+
+void CampaignProgress::recordSignature(const std::string &TargetName,
+                                       const std::string &Signature) {
+  if (!Active)
+    return;
+  ++Bugs;
+  ++BugsPerTarget[TargetName];
+  telemetry::Tracer::global().event(
+      "campaign.bug",
+      {{"phase", Phase}, {"target", TargetName}, {"signature", Signature}});
+}
+
+void CampaignProgress::recordClasses(size_t NumClasses) {
+  if (!Active)
+    return;
+  Classes = NumClasses;
+  telemetry::MetricsRegistry::global().set("campaign.dedup_classes",
+                                           static_cast<double>(NumClasses));
+}
+
+void CampaignProgress::report(bool Final) {
+  double Seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  double PerSec = Seconds > 0.0 ? static_cast<double>(Units) / Seconds : 0.0;
+  telemetry::MetricsRegistry::global().set("campaign.units_per_sec." + Phase,
+                                           PerSec);
+
+  std::string BugSummary;
+  for (const auto &[TargetName, Count] : BugsPerTarget)
+    BugSummary += " " + TargetName + "=" + std::to_string(Count);
+  if (BugSummary.empty())
+    BugSummary = " none";
+  std::fprintf(stderr, "[%s] %zu/%zu units (%.1f/s)%s bugs:%s%s\n",
+               Phase.c_str(), Units, TotalUnits, PerSec,
+               Final ? " [done]" : "", BugSummary.c_str(),
+               Classes ? (" classes=" + std::to_string(Classes)).c_str()
+                       : "");
 }

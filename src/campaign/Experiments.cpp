@@ -9,6 +9,7 @@
 #include "baseline/BaselineReducer.h"
 #include "core/FunctionShrinker.h"
 #include "core/Reducer.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cstdlib>
@@ -67,6 +68,8 @@ BugFindingData spvfuzz::runBugFinding(const BugFindingConfig &Config) {
     for (const Target &T : Targets)
       PerTarget[T.name()].PerGroup.resize(Config.NumGroups);
 
+    CampaignProgress Progress("bug-finding/" + Tool.Name,
+                              Config.TestsPerTool);
     for (size_t TestIndex = 0; TestIndex < Config.TestsPerTool; ++TestIndex) {
       TestEvaluation Eval =
           evaluateTest(C, Tool, Targets, Config.Seed, TestIndex);
@@ -75,7 +78,9 @@ BugFindingData spvfuzz::runBugFinding(const BugFindingConfig &Config) {
         ToolTargetStats &Stats = PerTarget[TargetName];
         Stats.Distinct.insert(Signature);
         Stats.PerGroup[Group].insert(Signature);
+        Progress.recordSignature(TargetName, Signature);
       }
+      Progress.advance();
     }
   }
   return Data;
@@ -179,6 +184,9 @@ ReductionData spvfuzz::runReductions(const ReductionConfig &Config) {
     size_t ReductionsDone = 0;
     // (target, signature) -> count, for the per-signature cap.
     std::map<std::pair<std::string, std::string>, size_t> SignatureCounts;
+    CampaignProgress Progress("reduction/" + Tool.Name,
+                              Config.MaxReductionsPerTool,
+                              /*ReportEvery=*/10);
 
     for (size_t TestIndex = 0;
          TestIndex < Config.TestsPerTool &&
@@ -245,6 +253,9 @@ ReductionData spvfuzz::runReductions(const ReductionConfig &Config) {
         Record.Types = dedupTypesOf(Reduced.Minimized);
         Data.Records.push_back(std::move(Record));
         ++ReductionsDone;
+        Progress.recordSignature(T->name(), Signature);
+        Progress.advance();
+        telemetry::MetricsRegistry::global().add("campaign.reductions");
       }
     }
   }
@@ -272,6 +283,8 @@ DedupData spvfuzz::runDedup(const ReductionConfig &ConfigIn) {
   DedupData Data;
   Data.Total.TargetName = "Total";
   std::set<std::string> TotalSigs, TotalDistinct;
+  CampaignProgress Progress("dedup", Config.TargetNames.size(),
+                            /*ReportEvery=*/1);
 
   for (const std::string &TargetName : Config.TargetNames) {
     // Gather this target's reduced tests in order.
@@ -308,6 +321,8 @@ DedupData spvfuzz::runDedup(const ReductionConfig &ConfigIn) {
     Data.Total.Distinct += Result.Distinct;
     for (const std::string &Sig : Sigs)
       TotalSigs.insert(TargetName + ":" + Sig);
+    Progress.recordClasses(Data.Total.Distinct);
+    Progress.advance();
   }
   Data.Total.Sigs = TotalSigs.size();
   return Data;

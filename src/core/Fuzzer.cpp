@@ -10,6 +10,7 @@
 #include "core/Transformations.h"
 #include "exec/Interpreter.h"
 #include "support/Rng.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <deque>
@@ -192,10 +193,21 @@ private:
   bool maybeApply(TransformationPtr T) {
     if (Result.Sequence.size() >= Options.TransformationLimit)
       return false;
+    telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+    const bool Instrumented = Metrics.enabled();
+    const char *KindName =
+        Instrumented ? transformationKindName(T->kind()) : nullptr;
+    if (Instrumented)
+      Metrics.add(std::string("fuzzer.attempts.") + KindName);
     ModuleAnalysis Analysis(module());
-    if (!T->isApplicable(module(), Analysis, facts()))
+    if (!T->isApplicable(module(), Analysis, facts())) {
+      if (Instrumented)
+        Metrics.add(std::string("fuzzer.precondition_failures.") + KindName);
       return false;
+    }
     T->apply(module(), facts());
+    if (Instrumented)
+      Metrics.add(std::string("fuzzer.applications.") + KindName);
     Result.Sequence.push_back(std::move(T));
     return true;
   }
@@ -569,10 +581,21 @@ private:
       if (!takeOpportunity())
         continue;
       std::vector<Id> Sources;
+      std::vector<Id> PointerSources;
       for (Id Candidate : availableValues(Analysis, Point, InvalidId, false)) {
         Id Type = module().typeOfId(Candidate);
         if (module().isIntTypeId(Type) || module().isBoolTypeId(Type))
           Sources.push_back(Candidate);
+        else if (module().isPointerTypeId(Type))
+          PointerSources.push_back(Candidate);
+      }
+      // Pointers only admit CopyObject synonyms (no arithmetic identities),
+      // but those aliases are what make the alias-sensitive compiler bugs
+      // reachable, so give them their own draw.
+      if (!PointerSources.empty() && Random.chancePercent(35)) {
+        maybeApply(std::make_shared<TransformationAddSynonymViaCopyObject>(
+            freshId(), Random.pick(PointerSources), Point.Before));
+        continue;
       }
       if (Sources.empty())
         continue;

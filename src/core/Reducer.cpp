@@ -6,6 +6,9 @@
 
 #include "core/Reducer.h"
 
+#include "support/Telemetry.h"
+#include "support/Trace.h"
+
 using namespace spvfuzz;
 
 namespace {
@@ -32,9 +35,16 @@ ReduceResult spvfuzz::reduceSequence(const Module &Original,
                                      const InterestingnessTest &Test) {
   ReduceResult Result;
   TransformationSequence Current = Sequence;
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+  telemetry::TraceSpan Span("reduce.sequence");
+  Span.note({"initial_length", Sequence.size()});
+  if (Metrics.enabled())
+    Metrics.add("reducer.reductions");
 
   auto IsInteresting = [&](const TransformationSequence &Candidate) {
     ++Result.Checks;
+    if (Metrics.enabled())
+      Metrics.add("reducer.checks");
     Replay Replayed(Original, Input, Candidate);
     return Test(Replayed.Variant, Replayed.Facts);
   };
@@ -44,6 +54,10 @@ ReduceResult spvfuzz::reduceSequence(const Module &Original,
     ChunkSize = 1;
 
   while (true) {
+    telemetry::Tracer::global().event(
+        "reduce.chunk", {{"chunk_size", ChunkSize},
+                         {"sequence_length", Current.size()},
+                         {"checks", Result.Checks}});
     bool RemovedAny = false;
     if (!Current.empty()) {
       // Work backwards from the last transformation; the leading chunk may
@@ -77,5 +91,13 @@ ReduceResult spvfuzz::reduceSequence(const Module &Original,
   Result.Minimized = std::move(Current);
   Result.ReducedVariant = std::move(Final.Variant);
   Result.ReducedFacts = std::move(Final.Facts);
+  if (Metrics.enabled()) {
+    Metrics.observe("reducer.checks_per_reduction",
+                    static_cast<double>(Result.Checks));
+    Metrics.observe("reducer.minimized_length",
+                    static_cast<double>(Result.Minimized.size()));
+  }
+  Span.note({"checks", Result.Checks});
+  Span.note({"minimized_length", Result.Minimized.size()});
   return Result;
 }

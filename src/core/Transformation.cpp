@@ -6,6 +6,8 @@
 
 #include "core/Transformation.h"
 
+#include "support/Telemetry.h"
+
 #include <sstream>
 
 using namespace spvfuzz;
@@ -186,11 +188,20 @@ std::vector<size_t>
 spvfuzz::applySequence(Module &M, FactManager &Facts,
                        const TransformationSequence &Sequence) {
   std::vector<size_t> Applied;
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+  const bool Instrumented = Metrics.enabled();
   for (size_t I = 0, E = Sequence.size(); I != E; ++I) {
     ModuleAnalysis Analysis(M);
-    if (!Sequence[I]->isApplicable(M, Analysis, Facts))
+    if (!Sequence[I]->isApplicable(M, Analysis, Facts)) {
+      if (Instrumented)
+        Metrics.add(std::string("replay.skipped.") +
+                    transformationKindName(Sequence[I]->kind()));
       continue;
+    }
     Sequence[I]->apply(M, Facts);
+    if (Instrumented)
+      Metrics.add(std::string("replay.applications.") +
+                  transformationKindName(Sequence[I]->kind()));
     Applied.push_back(I);
   }
   return Applied;

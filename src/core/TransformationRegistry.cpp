@@ -6,6 +6,8 @@
 
 #include "core/Transformations.h"
 
+#include "support/Telemetry.h"
+
 using namespace spvfuzz;
 
 namespace spvfuzz {
@@ -14,9 +16,11 @@ TransformationPtr makeTransformation(TransformationKind Kind,
                                      std::string &ErrorOut);
 } // namespace spvfuzz
 
-TransformationPtr spvfuzz::makeTransformation(TransformationKind Kind,
-                                              const ParamMap &Params,
-                                              std::string &ErrorOut) {
+namespace {
+
+TransformationPtr makeTransformationImpl(TransformationKind Kind,
+                                         const ParamMap &Params,
+                                         std::string &ErrorOut) {
   ErrorOut.clear();
   auto Fail = [&ErrorOut, Kind]() -> TransformationPtr {
     ErrorOut = std::string("bad parameters for ") +
@@ -211,4 +215,21 @@ TransformationPtr spvfuzz::makeTransformation(TransformationKind Kind,
     return std::make_shared<TransformationAddParameter>(W0, W1, W2, W3, W4);
   }
   return Fail();
+}
+
+} // namespace
+
+TransformationPtr spvfuzz::makeTransformation(TransformationKind Kind,
+                                              const ParamMap &Params,
+                                              std::string &ErrorOut) {
+  TransformationPtr T = makeTransformationImpl(Kind, Params, ErrorOut);
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+  if (Metrics.enabled()) {
+    if (T)
+      Metrics.add(std::string("registry.deserialized.") +
+                  transformationKindName(Kind));
+    else
+      Metrics.add("registry.deserialize_failures");
+  }
+  return T;
 }

@@ -6,6 +6,8 @@
 
 #include "exec/Interpreter.h"
 
+#include "support/Telemetry.h"
+
 #include <sstream>
 #include <unordered_map>
 
@@ -158,6 +160,9 @@ public:
     }
     return fault("unreachable");
   }
+
+  /// Instruction steps consumed by run() (telemetry accounting).
+  uint64_t stepsExecuted() const { return Steps; }
 
 private:
   enum class RunOutcome { Completed, Killed, Faulted };
@@ -430,5 +435,20 @@ private:
 
 ExecResult spvfuzz::interpret(const Module &M, const ShaderInput &Input,
                               const InterpreterOptions &Options) {
-  return Machine(M, Input, Options).run();
+  Machine Mach(M, Input, Options);
+  ExecResult Result = Mach.run();
+  // Step accounting happens once per run (not per instruction) so that the
+  // interpreter's hot loop is untouched when telemetry is off.
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+  if (Metrics.enabled()) {
+    Metrics.add("exec.runs");
+    Metrics.add("exec.steps", Mach.stepsExecuted());
+    if (Result.ExecStatus == ExecResult::Status::Killed)
+      Metrics.add("exec.killed");
+    else if (Result.ExecStatus == ExecResult::Status::Fault)
+      Metrics.add("exec.faults");
+    Metrics.observe("exec.steps_per_run",
+                    static_cast<double>(Mach.stepsExecuted()));
+  }
+  return Result;
 }

@@ -8,8 +8,10 @@
 
 #include "analysis/Cfg.h"
 #include "ir/ModuleBuilder.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -850,7 +852,7 @@ PassCrash runLocalCse(Module &M, const BugHost &Bugs) {
 // PhiSimplify
 //===----------------------------------------------------------------------===//
 
-PassCrash runPhiSimplify(Module &M, const BugHost &Bugs) {
+PassCrash runPhiSimplify(Module &M, const BugHost & /*Bugs*/) {
   for (Function &Func : M.Functions) {
     for (BasicBlock &Block : Func.Blocks) {
       // Collect simplifiable phis first, then rewrite (the replacement
@@ -1007,8 +1009,9 @@ PassCrash runDce(Module &M, const BugHost &Bugs) {
 
 } // namespace
 
-PassCrash spvfuzz::runOptPass(OptPassKind Kind, Module &M,
-                              const BugHost &Bugs) {
+namespace {
+
+PassCrash dispatchOptPass(OptPassKind Kind, Module &M, const BugHost &Bugs) {
   switch (Kind) {
   case OptPassKind::FrontendCheck:
     return runFrontendCheck(M, Bugs);
@@ -1036,6 +1039,27 @@ PassCrash spvfuzz::runOptPass(OptPassKind Kind, Module &M,
     return runDce(M, Bugs);
   }
   return std::nullopt;
+}
+
+} // namespace
+
+PassCrash spvfuzz::runOptPass(OptPassKind Kind, Module &M,
+                              const BugHost &Bugs) {
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+  if (!Metrics.enabled())
+    return dispatchOptPass(Kind, M, Bugs);
+
+  auto Start = std::chrono::steady_clock::now();
+  PassCrash Crash = dispatchOptPass(Kind, M, Bugs);
+  double Micros = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+  const char *Name = optPassName(Kind);
+  Metrics.add(std::string("opt.pass_runs.") + Name);
+  Metrics.observe(std::string("opt.pass_time_us.") + Name, Micros);
+  if (Crash)
+    Metrics.add(std::string("opt.bug_triggers.") + *Crash);
+  return Crash;
 }
 
 PassCrash spvfuzz::runPipeline(const std::vector<OptPassKind> &Pipeline,

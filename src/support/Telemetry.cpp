@@ -1,0 +1,466 @@
+//===- support/Telemetry.cpp - Metrics registry ---------------------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+using namespace spvfuzz;
+using namespace spvfuzz::telemetry;
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry Instance;
+  return Instance;
+}
+
+void MetricsRegistry::add(std::string_view Name, uint64_t Delta) {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Counters[std::string(Name)] += Delta;
+}
+
+void MetricsRegistry::set(std::string_view Name, double Value) {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Gauges[std::string(Name)] = Value;
+}
+
+void MetricsRegistry::observe(std::string_view Name, double Value) {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Histogram &H = Histograms[std::string(Name)];
+  if (H.Count == 0) {
+    H.Min = Value;
+    H.Max = Value;
+  } else {
+    H.Min = std::min(H.Min, Value);
+    H.Max = std::max(H.Max, Value);
+  }
+  ++H.Count;
+  H.Sum += Value;
+  if (H.Samples.size() < MaxHistogramSamples)
+    H.Samples.push_back(Value);
+}
+
+uint64_t MetricsRegistry::counterValue(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+namespace {
+
+double percentile(const std::vector<double> &Sorted, double Fraction) {
+  if (Sorted.empty())
+    return 0.0;
+  double Rank = Fraction * static_cast<double>(Sorted.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
+  double Weight = Rank - static_cast<double>(Lo);
+  return Sorted[Lo] * (1.0 - Weight) + Sorted[Hi] * Weight;
+}
+
+} // namespace
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  MetricsSnapshot Snapshot;
+  Snapshot.Counters = Counters;
+  Snapshot.Gauges = Gauges;
+  for (const auto &[Name, H] : Histograms) {
+    HistogramStats Stats;
+    Stats.Count = H.Count;
+    Stats.Sum = H.Sum;
+    Stats.Min = H.Min;
+    Stats.Max = H.Max;
+    Stats.Mean = H.Count ? H.Sum / static_cast<double>(H.Count) : 0.0;
+    std::vector<double> Sorted = H.Samples;
+    std::sort(Sorted.begin(), Sorted.end());
+    Stats.P50 = percentile(Sorted, 0.50);
+    Stats.P90 = percentile(Sorted, 0.90);
+    Stats.P99 = percentile(Sorted, 0.99);
+    Snapshot.Histograms[Name] = Stats;
+  }
+  return Snapshot;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Counters.clear();
+  Gauges.clear();
+  Histograms.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// JSON serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendJsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+std::string formatNumber(double Value) {
+  if (std::isfinite(Value) && Value == std::floor(Value) &&
+      std::fabs(Value) < 1e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.0f", Value);
+    return Buf;
+  }
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+  return Buf;
+}
+
+} // namespace
+
+std::string telemetry::metricsToJson(const MetricsSnapshot &Snapshot) {
+  std::string Out = "{\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : Snapshot.Counters) {
+    Out += First ? "\n    " : ",\n    ";
+    First = false;
+    appendJsonString(Out, Name);
+    Out += ": " + std::to_string(Value);
+  }
+  Out += First ? "},\n" : "\n  },\n";
+
+  Out += "  \"gauges\": {";
+  First = true;
+  for (const auto &[Name, Value] : Snapshot.Gauges) {
+    Out += First ? "\n    " : ",\n    ";
+    First = false;
+    appendJsonString(Out, Name);
+    Out += ": " + formatNumber(Value);
+  }
+  Out += First ? "},\n" : "\n  },\n";
+
+  Out += "  \"histograms\": {";
+  First = true;
+  for (const auto &[Name, H] : Snapshot.Histograms) {
+    Out += First ? "\n    " : ",\n    ";
+    First = false;
+    appendJsonString(Out, Name);
+    Out += ": {\"count\": " + std::to_string(H.Count);
+    Out += ", \"sum\": " + formatNumber(H.Sum);
+    Out += ", \"min\": " + formatNumber(H.Min);
+    Out += ", \"max\": " + formatNumber(H.Max);
+    Out += ", \"mean\": " + formatNumber(H.Mean);
+    Out += ", \"p50\": " + formatNumber(H.P50);
+    Out += ", \"p90\": " + formatNumber(H.P90);
+    Out += ", \"p99\": " + formatNumber(H.P99);
+    Out += "}";
+  }
+  Out += First ? "}\n" : "\n  }\n";
+  Out += "}\n";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON parsing (the subset metricsToJson emits)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A recursive-descent parser for the JSON subset the registry emits:
+/// objects, strings and numbers. No arrays, booleans or nulls.
+class MetricsJsonParser {
+public:
+  MetricsJsonParser(const std::string &Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool parse(MetricsSnapshot &Snapshot) {
+    skipSpace();
+    if (!expect('{'))
+      return false;
+    if (peek() == '}')
+      return advance(), true;
+    do {
+      std::string Section;
+      if (!parseString(Section) || !expect(':'))
+        return false;
+      if (Section == "counters") {
+        if (!parseFlatObject([&](const std::string &Name, double Value) {
+              Snapshot.Counters[Name] = static_cast<uint64_t>(Value);
+            }))
+          return false;
+      } else if (Section == "gauges") {
+        if (!parseFlatObject([&](const std::string &Name, double Value) {
+              Snapshot.Gauges[Name] = Value;
+            }))
+          return false;
+      } else if (Section == "histograms") {
+        if (!parseHistograms(Snapshot))
+          return false;
+      } else {
+        return fail("unknown section '" + Section + "'");
+      }
+    } while (consume(','));
+    return expect('}');
+  }
+
+private:
+  bool parseFlatObject(
+      const std::function<void(const std::string &, double)> &Emit) {
+    if (!expect('{'))
+      return false;
+    if (consume('}'))
+      return true;
+    do {
+      std::string Name;
+      double Value = 0.0;
+      if (!parseString(Name) || !expect(':') || !parseNumber(Value))
+        return false;
+      Emit(Name, Value);
+    } while (consume(','));
+    return expect('}');
+  }
+
+  bool parseHistograms(MetricsSnapshot &Snapshot) {
+    if (!expect('{'))
+      return false;
+    if (consume('}'))
+      return true;
+    do {
+      std::string Name;
+      if (!parseString(Name) || !expect(':'))
+        return false;
+      HistogramStats Stats;
+      bool Ok = parseFlatObject([&](const std::string &Field, double Value) {
+        if (Field == "count")
+          Stats.Count = static_cast<uint64_t>(Value);
+        else if (Field == "sum")
+          Stats.Sum = Value;
+        else if (Field == "min")
+          Stats.Min = Value;
+        else if (Field == "max")
+          Stats.Max = Value;
+        else if (Field == "mean")
+          Stats.Mean = Value;
+        else if (Field == "p50")
+          Stats.P50 = Value;
+        else if (Field == "p90")
+          Stats.P90 = Value;
+        else if (Field == "p99")
+          Stats.P99 = Value;
+      });
+      if (!Ok)
+        return false;
+      Snapshot.Histograms[Name] = Stats;
+    } while (consume(','));
+    return expect('}');
+  }
+
+  bool parseString(std::string &Out) {
+    skipSpace();
+    if (peek() != '"')
+      return fail("expected string");
+    ++Pos;
+    Out.clear();
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C == '\\' && Pos < Text.size()) {
+        char E = Text[Pos++];
+        switch (E) {
+        case 'n':
+          Out += '\n';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u':
+          if (Pos + 4 > Text.size())
+            return fail("truncated \\u escape");
+          Out += static_cast<char>(
+              std::strtoul(Text.substr(Pos, 4).c_str(), nullptr, 16));
+          Pos += 4;
+          break;
+        default:
+          Out += E;
+        }
+      } else {
+        Out += C;
+      }
+    }
+    if (Pos >= Text.size())
+      return fail("unterminated string");
+    ++Pos; // closing quote
+    return true;
+  }
+
+  bool parseNumber(double &Out) {
+    skipSpace();
+    size_t End = Pos;
+    while (End < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[End])) ||
+            Text[End] == '-' || Text[End] == '+' || Text[End] == '.' ||
+            Text[End] == 'e' || Text[End] == 'E'))
+      ++End;
+    if (End == Pos)
+      return fail("expected number");
+    Out = std::strtod(Text.substr(Pos, End - Pos).c_str(), nullptr);
+    Pos = End;
+    return true;
+  }
+
+  char peek() {
+    skipSpace();
+    return Pos < Text.size() ? Text[Pos] : '\0';
+  }
+  void advance() { ++Pos; }
+  bool consume(char C) {
+    if (peek() != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+  bool expect(char C) {
+    if (consume(C))
+      return true;
+    return fail(std::string("expected '") + C + "'");
+  }
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+  bool fail(const std::string &Message) {
+    if (Error.empty())
+      Error = Message + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  const std::string &Text;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+bool telemetry::metricsFromJson(const std::string &Json,
+                                MetricsSnapshot &Snapshot,
+                                std::string &Error) {
+  Error.clear();
+  MetricsJsonParser Parser(Json, Error);
+  return Parser.parse(Snapshot);
+}
+
+//===----------------------------------------------------------------------===//
+// Report rendering
+//===----------------------------------------------------------------------===//
+
+std::string telemetry::renderMetricsReport(const MetricsSnapshot &Snapshot) {
+  std::ostringstream Out;
+  char Line[256];
+
+  if (!Snapshot.Counters.empty()) {
+    size_t Width = 7; // strlen("counter")
+    for (const auto &[Name, Value] : Snapshot.Counters)
+      Width = std::max(Width, Name.size());
+    std::snprintf(Line, sizeof(Line), "%-*s  %12s\n",
+                  static_cast<int>(Width), "counter", "value");
+    Out << Line;
+    for (const auto &[Name, Value] : Snapshot.Counters) {
+      std::snprintf(Line, sizeof(Line), "%-*s  %12llu\n",
+                    static_cast<int>(Width), Name.c_str(),
+                    static_cast<unsigned long long>(Value));
+      Out << Line;
+    }
+  }
+
+  if (!Snapshot.Gauges.empty()) {
+    if (!Snapshot.Counters.empty())
+      Out << "\n";
+    size_t Width = 5; // strlen("gauge")
+    for (const auto &[Name, Value] : Snapshot.Gauges)
+      Width = std::max(Width, Name.size());
+    std::snprintf(Line, sizeof(Line), "%-*s  %12s\n",
+                  static_cast<int>(Width), "gauge", "value");
+    Out << Line;
+    for (const auto &[Name, Value] : Snapshot.Gauges) {
+      std::snprintf(Line, sizeof(Line), "%-*s  %12.3f\n",
+                    static_cast<int>(Width), Name.c_str(), Value);
+      Out << Line;
+    }
+  }
+
+  if (!Snapshot.Histograms.empty()) {
+    if (!Snapshot.Counters.empty() || !Snapshot.Gauges.empty())
+      Out << "\n";
+    size_t Width = 9; // strlen("histogram")
+    for (const auto &[Name, H] : Snapshot.Histograms)
+      Width = std::max(Width, Name.size());
+    std::snprintf(Line, sizeof(Line),
+                  "%-*s  %8s %10s %10s %10s %10s %10s %10s\n",
+                  static_cast<int>(Width), "histogram", "count", "min",
+                  "mean", "p50", "p90", "p99", "max");
+    Out << Line;
+    for (const auto &[Name, H] : Snapshot.Histograms) {
+      std::snprintf(Line, sizeof(Line),
+                    "%-*s  %8llu %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+                    static_cast<int>(Width), Name.c_str(),
+                    static_cast<unsigned long long>(H.Count), H.Min, H.Mean,
+                    H.P50, H.P90, H.P99, H.Max);
+      Out << Line;
+    }
+  }
+
+  if (Snapshot.Counters.empty() && Snapshot.Gauges.empty() &&
+      Snapshot.Histograms.empty())
+    Out << "(no metrics recorded)\n";
+  return Out.str();
+}
+
+bool telemetry::writeGlobalMetrics(const std::string &Path,
+                                   std::string &Error) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  Out << metricsToJson(MetricsRegistry::global().snapshot());
+  if (!Out.good()) {
+    Error = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,139 @@
+//===- support/Trace.cpp - Structured span/event tracing ------------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace spvfuzz;
+using namespace spvfuzz::telemetry;
+
+Tracer &Tracer::global() {
+  static Tracer Instance;
+  return Instance;
+}
+
+bool Tracer::open(const std::string &Path, std::string &Error) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Sink.is_open())
+    Sink.close();
+  Sink.open(Path, std::ios::trunc);
+  if (!Sink) {
+    Error = "cannot open '" + Path + "' for writing";
+    Enabled.store(false, std::memory_order_relaxed);
+    return false;
+  }
+  Epoch = std::chrono::steady_clock::now();
+  Enabled.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void Tracer::close() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Enabled.store(false, std::memory_order_relaxed);
+  if (Sink.is_open()) {
+    Sink.flush();
+    Sink.close();
+  }
+}
+
+uint64_t Tracer::nowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+void Tracer::event(std::string_view Name,
+                   std::initializer_list<TraceField> Fields) {
+  if (!enabled())
+    return;
+  writeRecord("event", Name, nowUs(), Fields.begin(), Fields.size(),
+              /*DurUs=*/0, /*HasDur=*/false);
+}
+
+void Tracer::span(std::string_view Name, uint64_t StartUs,
+                  const std::vector<TraceField> &Fields) {
+  if (!enabled())
+    return;
+  uint64_t EndUs = nowUs();
+  uint64_t DurUs = EndUs > StartUs ? EndUs - StartUs : 0;
+  writeRecord("span", Name, StartUs, Fields.data(), Fields.size(), DurUs,
+              /*HasDur=*/true);
+}
+
+namespace {
+
+void appendQuoted(std::string &Out, std::string_view S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void appendNumber(std::string &Out, double Value) {
+  if (std::isfinite(Value) && Value == std::floor(Value) &&
+      std::fabs(Value) < 1e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.0f", Value);
+    Out += Buf;
+    return;
+  }
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+  Out += Buf;
+}
+
+} // namespace
+
+void Tracer::writeRecord(std::string_view Type, std::string_view Name,
+                         uint64_t TsUs, const TraceField *Fields,
+                         size_t NumFields, uint64_t DurUs, bool HasDur) {
+  std::string Line;
+  Line.reserve(128);
+  Line += "{\"type\":";
+  appendQuoted(Line, Type);
+  Line += ",\"ts_us\":" + std::to_string(TsUs);
+  if (HasDur)
+    Line += ",\"dur_us\":" + std::to_string(DurUs);
+  Line += ",\"name\":";
+  appendQuoted(Line, Name);
+  for (size_t I = 0; I < NumFields; ++I) {
+    const TraceField &F = Fields[I];
+    Line += ',';
+    appendQuoted(Line, F.Key);
+    Line += ':';
+    if (F.IsNumber)
+      appendNumber(Line, F.Number);
+    else
+      appendQuoted(Line, F.Text);
+  }
+  Line += "}\n";
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Sink.is_open())
+    Sink << Line;
+}

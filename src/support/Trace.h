@@ -1,0 +1,124 @@
+//===- support/Trace.h - Structured span/event tracing ----------*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A structured tracer that writes one JSON object per line (JSONL) to a
+/// configurable sink (`--trace-out`). Two record shapes:
+///
+///   {"type":"event","ts_us":<t>,"name":"...", <fields>...}
+///   {"type":"span","ts_us":<start>,"dur_us":<d>,"name":"...", <fields>...}
+///
+/// Timestamps are microseconds on the steady clock, relative to the moment
+/// the sink was opened. Spans are emitted on destruction of a TraceSpan
+/// (RAII), so a span line appears *after* any events recorded inside it.
+///
+/// Like the metrics registry, the tracer is disabled until a sink is
+/// opened and instrumentation gates on a relaxed atomic load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_TRACE_H
+#define SUPPORT_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace spvfuzz {
+namespace telemetry {
+
+/// One key/value attribute on a trace record. Values are either text or
+/// numbers (numbers are emitted unquoted).
+struct TraceField {
+  TraceField(std::string_view Key, std::string_view Text)
+      : Key(Key), Text(Text), IsNumber(false) {}
+  TraceField(std::string_view Key, const char *Text)
+      : Key(Key), Text(Text), IsNumber(false) {}
+  template <typename NumberT,
+            typename = std::enable_if_t<std::is_arithmetic_v<NumberT>>>
+  TraceField(std::string_view Key, NumberT Number)
+      : Key(Key), Number(static_cast<double>(Number)), IsNumber(true) {}
+
+  std::string Key;
+  std::string Text;
+  double Number = 0.0;
+  bool IsNumber;
+};
+
+/// The process-wide tracer.
+class Tracer {
+public:
+  static Tracer &global();
+
+  /// Opens (truncating) \p Path as the JSONL sink and enables tracing.
+  /// Returns false and sets \p Error on failure.
+  bool open(const std::string &Path, std::string &Error);
+
+  /// Flushes and closes the sink; tracing is disabled again.
+  void close();
+
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Writes an event record.
+  void event(std::string_view Name,
+             std::initializer_list<TraceField> Fields = {});
+
+  /// Writes a span record covering [\p StartUs, now].
+  void span(std::string_view Name, uint64_t StartUs,
+            const std::vector<TraceField> &Fields);
+
+  /// Microseconds since the sink was opened.
+  uint64_t nowUs() const;
+
+private:
+  void writeRecord(std::string_view Type, std::string_view Name,
+                   uint64_t TsUs, const TraceField *Fields, size_t NumFields,
+                   uint64_t DurUs, bool HasDur);
+
+  std::atomic<bool> Enabled{false};
+  std::mutex Mutex;
+  std::ofstream Sink;
+  std::chrono::steady_clock::time_point Epoch;
+};
+
+/// RAII span: records its start on construction and emits one span record
+/// on destruction. Extra fields can be attached while the span is open.
+class TraceSpan {
+public:
+  explicit TraceSpan(std::string_view Name)
+      : Name(Name), Active(Tracer::global().enabled()),
+        StartUs(Active ? Tracer::global().nowUs() : 0) {}
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+  ~TraceSpan() {
+    if (Active && Tracer::global().enabled())
+      Tracer::global().span(Name, StartUs, Fields);
+  }
+
+  /// Attaches a field to the span record emitted at destruction.
+  void note(TraceField Field) {
+    if (Active)
+      Fields.push_back(std::move(Field));
+  }
+
+private:
+  std::string Name;
+  bool Active;
+  uint64_t StartUs;
+  std::vector<TraceField> Fields;
+};
+
+} // namespace telemetry
+} // namespace spvfuzz
+
+#endif // SUPPORT_TRACE_H

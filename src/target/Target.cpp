@@ -1,0 +1,185 @@
+//===- target/Target.cpp - Simulated compiler targets ---------------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "target/Target.h"
+
+#include "support/Telemetry.h"
+
+using namespace spvfuzz;
+
+PassCrash Target::compile(const Module &M, Module &OptimizedOut) const {
+  OptimizedOut = M;
+  PassCrash Crash = runPipeline(Spec.Pipeline, OptimizedOut, Spec.Bugs);
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+  if (Metrics.enabled()) {
+    Metrics.add("target.compiles");
+    Metrics.add("target.compiles." + Spec.Name);
+    if (Crash)
+      Metrics.add("target.crashes." + Spec.Name);
+  }
+  return Crash;
+}
+
+TargetRun Target::run(const Module &M, const ShaderInput &Input) const {
+  TargetRun Run;
+  Module Optimized;
+  if (PassCrash Crash = compile(M, Optimized)) {
+    Run.RunKind = TargetRun::Kind::Crash;
+    Run.Signature = *Crash;
+    return Run;
+  }
+  Run.RunKind = TargetRun::Kind::Executed;
+  if (Spec.CanExecute) {
+    Run.Result = interpret(Optimized, Input);
+    telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+    if (Metrics.enabled())
+      Metrics.add("target.executions." + Spec.Name);
+  }
+  return Run;
+}
+
+namespace {
+
+Target makeTarget(std::string Name, std::string Version, std::string GpuType,
+                  std::vector<OptPassKind> Pipeline,
+                  std::set<BugPoint> Bugs, bool CanExecute) {
+  TargetSpec Spec;
+  Spec.Name = std::move(Name);
+  Spec.Version = std::move(Version);
+  Spec.GpuType = std::move(GpuType);
+  Spec.Pipeline = std::move(Pipeline);
+  Spec.Bugs = BugHost(std::move(Bugs));
+  Spec.CanExecute = CanExecute;
+  return Target(std::move(Spec));
+}
+
+} // namespace
+
+// Pipeline ordering rules the fleet obeys (each is load-bearing for the
+// "originals never trigger injected bugs" invariant):
+//
+//  * FrontendCheck, where present, runs first: the inliner materializes
+//    single-pair result phis mid-pipeline, which would otherwise trip the
+//    frontend's trivial-phi crash on unfuzzed programs.
+//  * Targets hosting the copy-chain value-numbering bug run LocalCSE
+//    *before* ConstantFold and LoadStoreForwarding (both rewrite
+//    instructions into CopyObjects and can manufacture copy-of-copy chains
+//    on unfuzzed programs) and never run CopyPropagation first.
+//  * No target enables the uniform-branch-fold miscompilation: reference
+//    programs can branch directly on a loaded boolean uniform, so that bug
+//    fires on originals.
+std::vector<Target> spvfuzz::standardTargets() {
+  std::vector<Target> Targets;
+
+  // Offline compiler; crash-only.
+  Targets.push_back(makeTarget(
+      "AMD-LLPC", "vulkan-1.2.154 llpc", "-",
+      {OptPassKind::FrontendCheck, OptPassKind::SimplifyCfg,
+       OptPassKind::DeadBranchElim, OptPassKind::Inliner,
+       OptPassKind::LoadStoreForwarding, OptPassKind::DeadStoreElim,
+       OptPassKind::Dce, OptPassKind::BlockLayout},
+      {BugPoint::CrashKillInCallee, BugPoint::CrashStoreToPrivateGlobal,
+       BugPoint::CrashEqualTargetBranch},
+      /*CanExecute=*/false));
+
+  Targets.push_back(makeTarget(
+      "Mali-G78", "r32p1-01rel0", "ARM Mali-G78",
+      {OptPassKind::FrontendCheck, OptPassKind::SimplifyCfg,
+       OptPassKind::DeadBranchElim, OptPassKind::LoadStoreForwarding,
+       OptPassKind::DeadStoreElim, OptPassKind::PhiSimplify,
+       OptPassKind::BlockLayout},
+      {BugPoint::CrashKillObstructsMerge, BugPoint::CrashEqualTargetBranch,
+       BugPoint::CrashDeadStoreToModuleScope},
+      /*CanExecute=*/true));
+
+  // Miscompile-only: crashes never crowd out the wrong-image bugs here.
+  Targets.push_back(makeTarget(
+      "Mesa", "20.0.8 (iris)", "Intel UHD 630",
+      {OptPassKind::FrontendCheck, OptPassKind::SimplifyCfg,
+       OptPassKind::DeadBranchElim, OptPassKind::ConstantFold,
+       OptPassKind::LoadStoreForwarding, OptPassKind::DeadStoreElim,
+       OptPassKind::BlockLayout, OptPassKind::Dce},
+      {BugPoint::MiscompileAliasBlindForward,
+       BugPoint::MiscompilePhiLayoutOrder},
+      /*CanExecute=*/true));
+
+  // The most crash-diverse driver (and therefore excluded from the dedup
+  // experiment, as in the paper).
+  Targets.push_back(makeTarget(
+      "NVIDIA", "456.71", "GeForce GTX 1070",
+      {OptPassKind::FrontendCheck, OptPassKind::LocalCSE,
+       OptPassKind::SimplifyCfg, OptPassKind::DeadBranchElim,
+       OptPassKind::ConstantFold, OptPassKind::Inliner, OptPassKind::Dce,
+       OptPassKind::BlockLayout},
+      {BugPoint::CrashKillObstructsMerge, BugPoint::CrashTrivialPhi,
+       BugPoint::CrashCompositeFold, BugPoint::CrashUnusedComposite,
+       BugPoint::CrashWideCallArity, BugPoint::CrashPhiManyPredecessors,
+       BugPoint::CrashCopyChainValueNumbering},
+      /*CanExecute=*/true));
+
+  // Two driver generations of the same mobile GPU family: the older
+  // driver's bug set strictly contains the newer one's.
+  Targets.push_back(makeTarget(
+      "Pixel-4", "512.415.0 (old driver)", "Adreno 640",
+      {OptPassKind::FrontendCheck, OptPassKind::SimplifyCfg,
+       OptPassKind::DeadBranchElim, OptPassKind::CopyPropagation,
+       OptPassKind::DeadStoreElim, OptPassKind::Dce},
+      {BugPoint::CrashNegatedConstantBranch, BugPoint::CrashUnusedCallResult,
+       BugPoint::CrashModuleFunctionLimit,
+       BugPoint::CrashStoreToPrivateGlobal},
+      /*CanExecute=*/true));
+
+  Targets.push_back(makeTarget(
+      "Pixel-5", "512.491.0", "Adreno 620",
+      {OptPassKind::FrontendCheck, OptPassKind::SimplifyCfg,
+       OptPassKind::DeadBranchElim, OptPassKind::CopyPropagation,
+       OptPassKind::DeadStoreElim, OptPassKind::Dce},
+      {BugPoint::CrashNegatedConstantBranch,
+       BugPoint::CrashUnusedCallResult},
+      /*CanExecute=*/true));
+
+  // Standalone optimizer; crash-only. Both of its bugs need composite
+  // transformations, which the baseline tool never performs.
+  Targets.push_back(makeTarget(
+      "spirv-opt", "v2021.2", "-",
+      {OptPassKind::SimplifyCfg, OptPassKind::DeadBranchElim,
+       OptPassKind::ConstantFold, OptPassKind::CopyPropagation,
+       OptPassKind::LocalCSE, OptPassKind::LoadStoreForwarding,
+       OptPassKind::DeadStoreElim, OptPassKind::Dce,
+       OptPassKind::PhiSimplify, OptPassKind::BlockLayout},
+      {BugPoint::CrashCompositeFold, BugPoint::CrashUnusedComposite},
+      /*CanExecute=*/false));
+
+  // An older optimizer release with two extra, since-fixed bugs.
+  Targets.push_back(makeTarget(
+      "spirv-opt-old", "v2020.1", "-",
+      {OptPassKind::SimplifyCfg, OptPassKind::DeadBranchElim,
+       OptPassKind::LocalCSE, OptPassKind::ConstantFold,
+       OptPassKind::LoadStoreForwarding, OptPassKind::DeadStoreElim,
+       OptPassKind::Dce, OptPassKind::PhiSimplify,
+       OptPassKind::BlockLayout},
+      {BugPoint::CrashCompositeFold, BugPoint::CrashUnusedComposite,
+       BugPoint::CrashCopyChainValueNumbering,
+       BugPoint::CrashPointerCopyAlias},
+      /*CanExecute=*/false));
+
+  // The CPU rasterizer, kept last so examples can grab Targets.back().
+  // Its single bug is the Figure 3 artefact, so the signature stays pure.
+  Targets.push_back(makeTarget(
+      "SwiftShader", "4.1 (subzero)", "CPU",
+      {OptPassKind::FrontendCheck, OptPassKind::SimplifyCfg,
+       OptPassKind::Inliner, OptPassKind::DeadBranchElim,
+       OptPassKind::ConstantFold, OptPassKind::LocalCSE, OptPassKind::Dce,
+       OptPassKind::BlockLayout},
+      {BugPoint::CrashDontInlineAttribute},
+      /*CanExecute=*/true));
+
+  return Targets;
+}
+
+std::vector<std::string> spvfuzz::gpulessTargetNames() {
+  return {"AMD-LLPC", "spirv-opt", "spirv-opt-old", "SwiftShader"};
+}

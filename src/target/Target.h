@@ -1,0 +1,87 @@
+//===- target/Target.h - Simulated compiler targets -------------*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated device fleet of Table 2. Each target couples an optimizer
+/// pipeline with a set of injected bugs (the controlled ground truth) and,
+/// for targets that can execute, the reference interpreter standing in for
+/// the GPU. Crash-only targets model offline compilers (and the
+/// SwiftShader-style configurations the reduction/dedup experiments run
+/// on GPU-less machines).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TARGET_TARGET_H
+#define TARGET_TARGET_H
+
+#include "exec/Interpreter.h"
+#include "opt/Passes.h"
+
+#include <string>
+#include <vector>
+
+namespace spvfuzz {
+
+/// The outcome of handing one module to one target: either the compiler
+/// crashed with a signature, or compilation succeeded and — on targets
+/// that can execute — the optimized module was run.
+struct TargetRun {
+  enum class Kind : uint8_t {
+    Crash,    ///< the compiler aborted; Signature identifies the bug
+    Executed, ///< compilation succeeded (Result valid iff canExecute())
+  };
+  Kind RunKind = Kind::Executed;
+  std::string Signature;
+  ExecResult Result;
+};
+
+/// Static description of one simulated target (one row of Table 2).
+struct TargetSpec {
+  std::string Name;
+  std::string Version;
+  /// The GPU model, or "-" for targets that only compile.
+  std::string GpuType;
+  /// The optimizer pipeline this target's compiler runs.
+  std::vector<OptPassKind> Pipeline;
+  /// The injected bugs this target's compiler carries.
+  BugHost Bugs;
+  /// Whether the target can execute compiled modules (GPU present).
+  bool CanExecute = true;
+};
+
+/// One simulated target: compiles via its pipeline and, if a GPU is
+/// modelled, executes via the reference interpreter.
+class Target {
+public:
+  explicit Target(TargetSpec Spec) : Spec(std::move(Spec)) {}
+
+  const std::string &name() const { return Spec.Name; }
+  const TargetSpec &spec() const { return Spec; }
+  bool canExecute() const { return Spec.CanExecute; }
+
+  /// Runs the target's pipeline over a copy of \p M, leaving the result in
+  /// \p OptimizedOut. Returns the crash signature if an injected bug fired.
+  PassCrash compile(const Module &M, Module &OptimizedOut) const;
+
+  /// Compiles \p M and, if this target can execute, runs the optimized
+  /// module on \p Input.
+  TargetRun run(const Module &M, const ShaderInput &Input) const;
+
+private:
+  TargetSpec Spec;
+};
+
+/// The nine standard targets of Table 2, SwiftShader last. Exactly three
+/// are crash-only (AMD-LLPC, spirv-opt, spirv-opt-old).
+std::vector<Target> standardTargets();
+
+/// The targets usable on GPU-less machines (the reduction/dedup
+/// experiments' default fleet).
+std::vector<std::string> gpulessTargetNames();
+
+} // namespace spvfuzz
+
+#endif // TARGET_TARGET_H

@@ -11,6 +11,7 @@
 #include "core/Transformations.h"
 #include "gen/Generator.h"
 #include "support/Statistics.h"
+#include "support/Telemetry.h"
 #include "TestHelpers.h"
 
 using namespace spvfuzz;
@@ -47,6 +48,35 @@ TEST(Statistics, MannWhitneyOnTiesIsNeutral) {
   EXPECT_NEAR(Result.ConfidenceAGreater, 50.0, 1e-9);
   // Empty inputs do not crash.
   EXPECT_EQ(mannWhitneyU({}, Same).ConfidenceAGreater, 0.0);
+}
+
+TEST(Statistics, MedianEdgeCases) {
+  // Inputs need not be sorted: the middle pair of an even-sized sample can
+  // arrive at opposite ends.
+  EXPECT_EQ(median({7.0, 1.0, 5.0, 3.0, 11.0, 9.0}), 6.0);
+  EXPECT_EQ(median({2.0, 2.0}), 2.0);
+  // Negative medians are distinguishable from the empty-input default.
+  EXPECT_EQ(median({-4.0, -8.0}), -6.0);
+  EXPECT_EQ(median({}), 0.0);
+}
+
+TEST(Statistics, MannWhitneyDegenerateGroups) {
+  std::vector<double> Same = {5, 5, 5, 5, 5};
+  // All observations tied: zero rank variance, so the normal approximation
+  // would divide by zero; the test must report perfect neutrality and not
+  // claim a win for A.
+  MannWhitneyResult Tied = mannWhitneyU(Same, Same);
+  EXPECT_NEAR(Tied.ConfidenceAGreater, 50.0, 1e-9);
+  EXPECT_FALSE(Tied.AWins);
+  // Either (or both) groups empty: no comparison is possible, and the
+  // zero-initialized result falls out — U = 0, zero confidence, no win.
+  for (const MannWhitneyResult &Result :
+       {mannWhitneyU({}, Same), mannWhitneyU(Same, {}),
+        mannWhitneyU({}, {})}) {
+    EXPECT_EQ(Result.U, 0.0);
+    EXPECT_EQ(Result.ConfidenceAGreater, 0.0);
+    EXPECT_FALSE(Result.AWins);
+  }
 }
 
 TEST(Statistics, MannWhitneyWithOverlap) {
@@ -157,6 +187,24 @@ TEST(Reducer, CheckCountIsReasonable) {
   // Delta debugging on 5 elements needs only a handful of checks.
   EXPECT_LE(Result.Checks, 25u);
   EXPECT_GE(Result.Checks, 3u);
+}
+
+TEST(Reducer, ChecksCounterMatchesResult) {
+  // The telemetry counter and ReduceResult::Checks are incremented at the
+  // same site, so their deltas must agree exactly.
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+  bool WasEnabled = Metrics.enabled();
+  uint64_t ChecksBefore = Metrics.counterValue("reducer.checks");
+  uint64_t ReductionsBefore = Metrics.counterValue("reducer.reductions");
+  Metrics.setEnabled(true);
+  ReductionScenario S;
+  ReduceResult Result =
+      reduceSequence(S.F.M, S.F.Input, S.Sequence, hasKill());
+  Metrics.setEnabled(WasEnabled);
+  EXPECT_EQ(Metrics.counterValue("reducer.checks") - ChecksBefore,
+            static_cast<uint64_t>(Result.Checks));
+  EXPECT_EQ(Metrics.counterValue("reducer.reductions") - ReductionsBefore,
+            1u);
 }
 
 TEST(BaselineReducer, KeepsWholeGroups) {

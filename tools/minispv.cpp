@@ -19,10 +19,15 @@
 ///                    --target NAME (--signature SIG | --miscompilation)
 ///                    -o reduced.mvs --out-sequence min.txt
 ///   minispv targets
+///   minispv report   metrics.json
 ///
 /// Module files use the textual assembly of ir/Text.h; input files hold
 /// one "binding kind value" triple per line (e.g. "0 int 7", "2 bool
 /// true"); sequence files hold one serialized transformation per line.
+///
+/// Every command accepts `--metrics-out m.json` (write a telemetry metrics
+/// dump on exit) and `--trace-out t.jsonl` (stream span/event records);
+/// `minispv report` renders a metrics dump as a table.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +38,8 @@
 #include "core/Reducer.h"
 #include "gen/Generator.h"
 #include "ir/Text.h"
+#include "support/Telemetry.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstring>
@@ -80,21 +87,41 @@ ShaderInput readInputs(const std::string &Path) {
   while (std::getline(In, Line)) {
     ++LineNo;
     std::istringstream Fields(Line);
-    uint32_t Binding;
-    std::string Kind, ValueText;
-    if (!(Fields >> Binding))
+    auto failLine = [&](const std::string &Message) {
+      fail(Path + ": line " + std::to_string(LineNo) + ": " + Message);
+    };
+    std::string First;
+    if (!(Fields >> First))
       continue; // blank line
+    uint32_t Binding;
+    {
+      // The binding must be a bare non-negative integer; "abc int 3" used
+      // to be skipped as if it were blank.
+      char *End = nullptr;
+      unsigned long Parsed = strtoul(First.c_str(), &End, 10);
+      if (End == First.c_str() || *End != '\0')
+        failLine("expected a numeric binding, got '" + First + "'");
+      Binding = static_cast<uint32_t>(Parsed);
+    }
+    std::string Kind, ValueText;
     if (!(Fields >> Kind >> ValueText))
-      fail(Path + ": line " + std::to_string(LineNo) +
-           ": expected 'binding kind value'");
-    if (Kind == "int")
-      Input.Bindings[Binding] =
-          Value::makeInt(static_cast<int32_t>(atoll(ValueText.c_str())));
-    else if (Kind == "bool")
+      failLine("expected 'binding kind value'");
+    std::string Trailing;
+    if (Fields >> Trailing)
+      failLine("trailing garbage '" + Trailing + "'");
+    if (Kind == "int") {
+      char *End = nullptr;
+      long long Parsed = strtoll(ValueText.c_str(), &End, 10);
+      if (End == ValueText.c_str() || *End != '\0')
+        failLine("expected an integer value, got '" + ValueText + "'");
+      Input.Bindings[Binding] = Value::makeInt(static_cast<int32_t>(Parsed));
+    } else if (Kind == "bool") {
+      if (ValueText != "true" && ValueText != "false")
+        failLine("expected 'true' or 'false', got '" + ValueText + "'");
       Input.Bindings[Binding] = Value::makeBool(ValueText == "true");
-    else
-      fail(Path + ": line " + std::to_string(LineNo) + ": unknown kind '" +
-           Kind + "'");
+    } else {
+      failLine("unknown kind '" + Kind + "'");
+    }
   }
   return Input;
 }
@@ -329,18 +356,19 @@ int cmdTargets() {
   return 0;
 }
 
-} // namespace
+int cmdReport(const Args &A) {
+  if (A.Positional.empty())
+    fail("usage: minispv report <metrics.json>");
+  telemetry::MetricsSnapshot Snapshot;
+  std::string Error;
+  if (!telemetry::metricsFromJson(readFile(A.Positional[0]), Snapshot,
+                                  Error))
+    fail(A.Positional[0] + ": " + Error);
+  printf("%s", telemetry::renderMetricsReport(Snapshot).c_str());
+  return 0;
+}
 
-int main(int Argc, char **Argv) {
-  if (Argc < 2) {
-    fprintf(stderr,
-            "usage: minispv <gen|validate|run|fuzz|replay|reduce|targets> "
-            "...\n");
-    return 1;
-  }
-  std::string Command = Argv[1];
-  Args A(Argc - 2, Argv + 2, {"baseline", "no-recommendations",
-                              "miscompilation"});
+int dispatch(const std::string &Command, const Args &A) {
   if (Command == "gen")
     return cmdGen(A);
   if (Command == "validate")
@@ -355,5 +383,43 @@ int main(int Argc, char **Argv) {
     return cmdReduce(A);
   if (Command == "targets")
     return cmdTargets();
+  if (Command == "report")
+    return cmdReport(A);
   fail("unknown command '" + Command + "'");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    fprintf(stderr,
+            "usage: minispv "
+            "<gen|validate|run|fuzz|replay|reduce|targets|report> "
+            "[--metrics-out m.json] [--trace-out t.jsonl] ...\n");
+    return 1;
+  }
+  std::string Command = Argv[1];
+  Args A(Argc - 2, Argv + 2, {"baseline", "no-recommendations",
+                              "miscompilation"});
+
+  std::string MetricsOut = A.get("metrics-out");
+  std::string TraceOut = A.get("trace-out");
+  if (!MetricsOut.empty())
+    telemetry::MetricsRegistry::global().setEnabled(true);
+  if (!TraceOut.empty()) {
+    std::string Error;
+    if (!telemetry::Tracer::global().open(TraceOut, Error))
+      fail(Error);
+  }
+
+  int Code = dispatch(Command, A);
+
+  if (!MetricsOut.empty()) {
+    std::string Error;
+    if (!telemetry::writeGlobalMetrics(MetricsOut, Error))
+      fail(Error);
+    fprintf(stderr, "minispv: wrote metrics to %s\n", MetricsOut.c_str());
+  }
+  telemetry::Tracer::global().close();
+  return Code;
 }
