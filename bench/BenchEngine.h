@@ -1,0 +1,65 @@
+//===- bench/BenchEngine.h - Shared engine glue for benches -----*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for routing the evaluation binaries through the
+/// CampaignEngine: `--jobs N` / REPRO_JOBS parsing and a scope timer. The
+/// timer reports to stderr so stdout stays byte-identical across job
+/// counts — `diff <(bench --jobs 1) <(bench --jobs 8)` is the bit-identical
+/// parallelism check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BENCH_BENCH_ENGINE_H
+#define BENCH_BENCH_ENGINE_H
+
+#include "campaign/CampaignEngine.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace spvfuzz {
+namespace bench {
+
+/// Worker-thread count: `--jobs N` (or `-j N`) on the command line wins,
+/// then REPRO_JOBS, then serial.
+inline size_t parseJobs(int Argc, char **Argv) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (!std::strcmp(Argv[I], "--jobs") || !std::strcmp(Argv[I], "-j"))
+      return static_cast<size_t>(std::strtoull(Argv[I + 1], nullptr, 10));
+  if (const char *Env = std::getenv("REPRO_JOBS"))
+    return static_cast<size_t>(std::strtoull(Env, nullptr, 10));
+  return 1;
+}
+
+/// Prints "engine: jobs=N elapsed=X.XXs" to stderr at scope exit; running
+/// the same bench at two job counts and comparing the elapsed lines is the
+/// speedup measurement of EXPERIMENTS.md.
+class EngineTimer {
+public:
+  explicit EngineTimer(size_t Jobs)
+      : Jobs(Jobs), Start(std::chrono::steady_clock::now()) {}
+  EngineTimer(const EngineTimer &) = delete;
+  EngineTimer &operator=(const EngineTimer &) = delete;
+  ~EngineTimer() {
+    double Seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - Start)
+                         .count();
+    std::fprintf(stderr, "engine: jobs=%zu elapsed=%.2fs\n", Jobs, Seconds);
+  }
+
+private:
+  size_t Jobs;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace bench
+} // namespace spvfuzz
+
+#endif // BENCH_BENCH_ENGINE_H

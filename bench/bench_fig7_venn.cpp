@@ -13,21 +13,26 @@
 
 #include "campaign/Experiments.h"
 
+#include "BenchEngine.h"
 #include "BenchTelemetry.h"
 
 #include <cstdio>
 
 using namespace spvfuzz;
 
-int main() {
+int main(int argc, char **argv) {
   bench::BenchTelemetry Telemetry(
       {"campaign.tests", "target.compiles", "exec.runs"});
+  size_t Jobs = bench::parseJobs(argc, argv);
+  CampaignEngine Engine(
+      ExecutionPolicy{}.withJobs(Jobs).withTransformationLimit(250));
   BugFindingConfig Config;
   Config.TestsPerTool = envSize("REPRO_TESTS", 600);
   printf("Figure 7: complementarity of spirv-fuzz (A), spirv-fuzz-simple "
          "(B), glsl-fuzz (C)\n(%zu tests per tool)\n\n",
          Config.TestsPerTool);
-  BugFindingData Data = runBugFinding(Config);
+  bench::EngineTimer Timer(Jobs);
+  BugFindingData Data = Engine.runBugFinding(Config);
 
   printf("%-14s %6s %6s %6s %6s %6s %6s %6s\n", "Target", "A", "B", "C",
          "AB", "AC", "BC", "ABC");

@@ -15,6 +15,7 @@
 
 #include "campaign/Experiments.h"
 
+#include "BenchEngine.h"
 #include "BenchTelemetry.h"
 
 #include <cstdio>
@@ -42,17 +43,21 @@ static void printToolSummary(const ReductionData &Data,
          TotalChecks / static_cast<double>(Records.size()));
 }
 
-int main() {
+int main(int argc, char **argv) {
   bench::BenchTelemetry Telemetry({"target.compiles", "campaign.reductions",
                                    "reducer.checks",
                                    "baseline_reducer.checks"});
+  size_t Jobs = bench::parseJobs(argc, argv);
+  CampaignEngine Engine(
+      ExecutionPolicy{}.withJobs(Jobs).withTransformationLimit(150));
   ReductionConfig Config;
   Config.TestsPerTool = envSize("REPRO_TESTS", 300);
   Config.MaxReductionsPerTool = envSize("REPRO_REDUCTIONS", 120);
   printf("RQ2: test-case reduction quality (up to %zu reductions per tool, "
          "GPU-less targets)\n\n",
          Config.MaxReductionsPerTool);
-  ReductionData Data = runReductions(Config);
+  bench::EngineTimer Timer(Jobs);
+  ReductionData Data = Engine.runReductions(Config);
 
   printToolSummary(Data, "spirv-fuzz");
   printToolSummary(Data, "glsl-fuzz");

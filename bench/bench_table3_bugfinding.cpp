@@ -15,20 +15,25 @@
 
 #include "campaign/Experiments.h"
 
+#include "BenchEngine.h"
 #include "BenchTelemetry.h"
 
 #include <cstdio>
 
 using namespace spvfuzz;
 
-int main() {
+int main(int argc, char **argv) {
   bench::BenchTelemetry Telemetry(
       {"campaign.tests", "target.compiles", "exec.runs"});
+  size_t Jobs = bench::parseJobs(argc, argv);
+  CampaignEngine Engine(
+      ExecutionPolicy{}.withJobs(Jobs).withTransformationLimit(250));
   BugFindingConfig Config;
   Config.TestsPerTool = envSize("REPRO_TESTS", 600);
   printf("Table 3: bug-finding ability (%zu tests per tool, %zu groups)\n\n",
          Config.TestsPerTool, Config.NumGroups);
-  BugFindingData Data = runBugFinding(Config);
+  bench::EngineTimer Timer(Jobs);
+  BugFindingData Data = Engine.runBugFinding(Config);
 
   printf("%-14s | %-17s | %-17s | %-17s | %-22s | %-20s\n", "",
          "spirv-fuzz", "spirv-fuzz-simple", "glsl-fuzz",

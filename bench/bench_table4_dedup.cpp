@@ -15,15 +15,19 @@
 
 #include "campaign/Experiments.h"
 
+#include "BenchEngine.h"
 #include "BenchTelemetry.h"
 
 #include <cstdio>
 
 using namespace spvfuzz;
 
-int main() {
+int main(int argc, char **argv) {
   bench::BenchTelemetry Telemetry(
       {"target.compiles", "campaign.reductions", "reducer.checks"});
+  size_t Jobs = bench::parseJobs(argc, argv);
+  CampaignEngine Engine(
+      ExecutionPolicy{}.withJobs(Jobs).withTransformationLimit(150));
   ReductionConfig Config;
   Config.TestsPerTool = envSize("REPRO_TESTS", 500);
   Config.MaxReductionsPerTool = envSize("REPRO_REDUCTIONS", 260);
@@ -31,7 +35,8 @@ int main() {
   printf("Table 4: effectiveness of test-case deduplication "
          "(cap %zu reduced tests per signature)\n\n",
          Config.CapPerSignature);
-  DedupData Data = runDedup(Config);
+  bench::EngineTimer Timer(Jobs);
+  DedupData Data = Engine.runDedup(Config);
 
   printf("%-14s %-7s %-6s %-9s %-10s %-6s\n", "Target", "Tests", "Sigs",
          "Reports", "Distinct", "Dups");

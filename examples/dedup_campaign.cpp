@@ -12,7 +12,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "campaign/Campaign.h"
+#include "campaign/CampaignEngine.h"
 #include "core/Dedup.h"
 #include "core/Reducer.h"
 
@@ -21,14 +21,14 @@
 using namespace spvfuzz;
 
 int main() {
-  Corpus C = makeCorpus(/*Seed=*/11);
-  std::vector<Target> Targets = standardTargets();
+  CampaignEngine Engine(
+      ExecutionPolicy{}.withSeed(11).withTransformationLimit(200));
   const Target *NVidia = nullptr;
-  for (const Target &T : Targets)
+  for (const Target &T : Engine.targets())
     if (T.name() == "NVIDIA")
       NVidia = &T;
 
-  ToolConfig Tool = standardTools(/*TransformationLimit=*/200)[0];
+  const ToolConfig &Tool = Engine.tools()[0];
   printf("Campaign: %s vs %s, collecting crash-triggering tests...\n\n",
          Tool.Name.c_str(), NVidia->name().c_str());
 
@@ -42,15 +42,15 @@ int main() {
   for (size_t TestIndex = 0;
        TestIndex < 400 && ReducedTests.size() < 25; ++TestIndex) {
     size_t ReferenceIndex = 0;
-    FuzzResult Fuzzed = regenerateTest(C, Tool, /*CampaignSeed=*/11,
-                                       TestIndex, ReferenceIndex);
-    const GeneratedProgram &Reference = C.References[ReferenceIndex];
+    FuzzResult Fuzzed = Engine.regenerate(Tool, TestIndex, ReferenceIndex);
+    const GeneratedProgram &Reference =
+        Engine.corpus().References[ReferenceIndex];
     TargetRun Run = NVidia->run(Fuzzed.Variant, Reference.Input);
     if (Run.RunKind != TargetRun::Kind::Crash)
       continue;
 
-    InterestingnessTest Test = makeInterestingnessTest(
-        *NVidia, Run.Signature, Reference.M, Reference.Input);
+    InterestingnessTest Test =
+        makeCrashInterestingness(*NVidia, Run.Signature, Reference.Input);
     ReduceResult Reduced =
         reduceSequence(Reference.M, Reference.Input, Fuzzed.Sequence, Test);
     ReducedTests.push_back(

@@ -14,7 +14,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "campaign/Campaign.h"
+#include "campaign/CampaignEngine.h"
 #include "core/Reducer.h"
 #include "ir/Text.h"
 
@@ -23,21 +23,21 @@
 using namespace spvfuzz;
 
 int main() {
-  Corpus C = makeCorpus(/*Seed=*/7);
-  std::vector<Target> Targets = standardTargets();
+  CampaignEngine Engine(
+      ExecutionPolicy{}.withSeed(7).withTransformationLimit(250));
   const Target *SwiftShader = nullptr;
-  for (const Target &T : Targets)
+  for (const Target &T : Engine.targets())
     if (T.name() == "SwiftShader")
       SwiftShader = &T;
 
-  ToolConfig Tool = standardTools(/*TransformationLimit=*/250)[0];
+  const ToolConfig &Tool = Engine.tools()[0];
   printf("Hunting for a SwiftShader bug with %s...\n", Tool.Name.c_str());
 
   for (size_t TestIndex = 0; TestIndex < 500; ++TestIndex) {
     size_t ReferenceIndex = 0;
-    FuzzResult Fuzzed =
-        regenerateTest(C, Tool, /*CampaignSeed=*/7, TestIndex, ReferenceIndex);
-    const GeneratedProgram &Reference = C.References[ReferenceIndex];
+    FuzzResult Fuzzed = Engine.regenerate(Tool, TestIndex, ReferenceIndex);
+    const GeneratedProgram &Reference =
+        Engine.corpus().References[ReferenceIndex];
 
     TargetRun Run = SwiftShader->run(Fuzzed.Variant, Reference.Input);
     std::string Signature;

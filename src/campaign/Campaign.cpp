@@ -13,20 +13,27 @@
 
 using namespace spvfuzz;
 
-Corpus spvfuzz::makeCorpus(uint64_t Seed, size_t NumReferences,
-                           size_t NumDonors) {
+Corpus spvfuzz::makeCorpus(const CorpusSpec &Spec) {
+  uint64_t Seed = Spec.Seed.value_or(2021);
   Corpus C;
-  C.References = generateCorpus(NumReferences, Seed);
-  C.DonorPrograms = generateCorpus(NumDonors, Seed + 0x9e3779b9ULL);
+  C.References = generateCorpus(Spec.NumReferences, Seed);
+  C.DonorPrograms = generateCorpus(Spec.NumDonors, Seed + 0x9e3779b9ULL);
   for (const GeneratedProgram &Donor : C.DonorPrograms)
     C.Donors.push_back(&Donor.M);
   return C;
 }
 
-std::vector<ToolConfig>
-spvfuzz::standardTools(uint32_t TransformationLimit) {
+Corpus spvfuzz::makeCorpus(uint64_t Seed, size_t NumReferences,
+                           size_t NumDonors) {
+  return makeCorpus(CorpusSpec{}
+                        .withSeed(Seed)
+                        .withReferences(NumReferences)
+                        .withDonors(NumDonors));
+}
+
+std::vector<ToolConfig> spvfuzz::standardTools(const ToolsetSpec &Spec) {
   FuzzerOptions Full;
-  Full.TransformationLimit = TransformationLimit;
+  Full.TransformationLimit = Spec.TransformationLimit.value_or(300);
   Full.Profile = FuzzerProfile::Full;
   Full.EnableRecommendations = true;
 
@@ -37,13 +44,44 @@ spvfuzz::standardTools(uint32_t TransformationLimit) {
   Baseline.Profile = FuzzerProfile::Baseline;
   Baseline.EnableRecommendations = false;
 
-  return {{"spirv-fuzz", Full},
-          {"spirv-fuzz-simple", Simple},
-          {"glsl-fuzz", Baseline}};
+  // Seed streams are fixed by canonical position so that filtering the tool
+  // list does not change any surviving tool's per-test seed sequence.
+  std::vector<ToolConfig> All = {{"spirv-fuzz", Full, 0},
+                                 {"spirv-fuzz-simple", Simple, 1},
+                                 {"glsl-fuzz", Baseline, 2}};
+  if (Spec.Names.empty())
+    return All;
+  std::vector<ToolConfig> Filtered;
+  for (const ToolConfig &Tool : All)
+    for (const std::string &Name : Spec.Names)
+      if (Tool.Name == Name) {
+        Filtered.push_back(Tool);
+        break;
+      }
+  return Filtered;
+}
+
+std::vector<ToolConfig> spvfuzz::standardTools(uint32_t TransformationLimit) {
+  return standardTools(
+      ToolsetSpec{}.withTransformationLimit(TransformationLimit));
+}
+
+static uint64_t splitmix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+uint64_t spvfuzz::testSeed(uint64_t CampaignSeed, uint32_t SeedStream,
+                           size_t TestIndex) {
+  uint64_t X = splitmix64(CampaignSeed);
+  X = splitmix64(X ^ SeedStream);
+  return splitmix64(X ^ static_cast<uint64_t>(TestIndex));
 }
 
 uint64_t spvfuzz::testSeed(uint64_t CampaignSeed, size_t TestIndex) {
-  return CampaignSeed * 0x100000001b3ULL + TestIndex * 2654435761ULL + 17;
+  return testSeed(CampaignSeed, /*SeedStream=*/0, TestIndex);
 }
 
 FuzzResult spvfuzz::regenerateTest(const Corpus &C, const ToolConfig &Tool,
@@ -52,26 +90,28 @@ FuzzResult spvfuzz::regenerateTest(const Corpus &C, const ToolConfig &Tool,
   ReferenceIndexOut = TestIndex % C.References.size();
   const GeneratedProgram &Reference = C.References[ReferenceIndexOut];
   return fuzz(Reference.M, Reference.Input, C.Donors,
-              testSeed(CampaignSeed, TestIndex), Tool.Options);
+              testSeed(CampaignSeed, Tool.SeedStream, TestIndex),
+              Tool.Options);
 }
 
 TestEvaluation spvfuzz::evaluateTest(const Corpus &C, const ToolConfig &Tool,
-                                     const std::vector<Target> &Targets,
-                                     uint64_t CampaignSeed,
-                                     size_t TestIndex) {
+                                     const std::vector<const Target *> &Targets,
+                                     uint64_t CampaignSeed, size_t TestIndex,
+                                     bool CrashesOnly) {
   TestEvaluation Eval;
-  Eval.Seed = testSeed(CampaignSeed, TestIndex);
+  Eval.Seed = testSeed(CampaignSeed, Tool.SeedStream, TestIndex);
   FuzzResult Fuzzed =
       regenerateTest(C, Tool, CampaignSeed, TestIndex, Eval.ReferenceIndex);
   const GeneratedProgram &Reference = C.References[Eval.ReferenceIndex];
 
-  for (const Target &T : Targets) {
+  for (const Target *TP : Targets) {
+    const Target &T = *TP;
     TargetRun VariantRun = T.run(Fuzzed.Variant, Reference.Input);
     if (VariantRun.RunKind == TargetRun::Kind::Crash) {
       Eval.Signatures[T.name()] = VariantRun.Signature;
       continue;
     }
-    if (!T.canExecute())
+    if (CrashesOnly || !T.canExecute())
       continue;
     // Differential check (Theorem 2.6): the variant's result through the
     // implementation must match the original's result through the same
@@ -99,27 +139,24 @@ TestEvaluation spvfuzz::evaluateTest(const Corpus &C, const ToolConfig &Tool,
   return Eval;
 }
 
+TestEvaluation spvfuzz::evaluateTest(const Corpus &C, const ToolConfig &Tool,
+                                     const std::vector<Target> &Targets,
+                                     uint64_t CampaignSeed, size_t TestIndex) {
+  std::vector<const Target *> Pointers;
+  Pointers.reserve(Targets.size());
+  for (const Target &T : Targets)
+    Pointers.push_back(&T);
+  return evaluateTest(C, Tool, Pointers, CampaignSeed, TestIndex,
+                      /*CrashesOnly=*/false);
+}
+
 InterestingnessTest
 spvfuzz::makeInterestingnessTest(const Target &T, const std::string &Signature,
                                  const Module &Original,
                                  const ShaderInput &Input) {
-  if (Signature != MiscompilationSignature) {
-    // Crash: the candidate must reproduce this exact signature (ğ3.4).
-    return [&T, Signature, Input](const Module &Variant, const FactManager &) {
-      TargetRun Run = T.run(Variant, Input);
-      return Run.RunKind == TargetRun::Kind::Crash &&
-             Run.Signature == Signature;
-    };
-  }
-  // Miscompilation: compare the images rendered via the variant and the
-  // original (ğ3.4), i.e. the executed results through the target.
-  TargetRun OriginalRun = T.run(Original, Input);
-  ExecResult Baseline = OriginalRun.Result;
-  return [&T, Baseline, Input](const Module &Variant, const FactManager &) {
-    TargetRun Run = T.run(Variant, Input);
-    return Run.RunKind == TargetRun::Kind::Executed &&
-           Run.Result != Baseline;
-  };
+  if (Signature != MiscompilationSignature)
+    return makeCrashInterestingness(T, Signature, Input);
+  return makeMiscompilationInterestingness(T, Original, Input);
 }
 
 //===----------------------------------------------------------------------===//

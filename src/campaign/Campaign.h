@@ -24,6 +24,11 @@
 #include <map>
 #include <optional>
 
+/// Marks the pre-CampaignEngine entry points kept for one release.
+#ifndef SPVFUZZ_DEPRECATED
+#define SPVFUZZ_DEPRECATED(Msg) [[deprecated(Msg)]]
+#endif
+
 namespace spvfuzz {
 
 /// The shared signature all miscompilations contribute (ğ4.1: "all
@@ -37,19 +42,68 @@ struct Corpus {
   std::vector<const Module *> Donors;
 };
 
-/// Builds a corpus with the paper's counts: 21 references, 43 donors.
+/// Builder for a corpus. Defaults are the paper's counts (21 references,
+/// 43 donors); an unset Seed is filled in by the consumer (CampaignEngine
+/// uses its ExecutionPolicy seed; bare makeCorpus falls back to 2021).
+struct CorpusSpec {
+  std::optional<uint64_t> Seed;
+  size_t NumReferences = 21;
+  size_t NumDonors = 43;
+
+  CorpusSpec &withSeed(uint64_t Value) {
+    Seed = Value;
+    return *this;
+  }
+  CorpusSpec &withReferences(size_t Count) {
+    NumReferences = Count;
+    return *this;
+  }
+  CorpusSpec &withDonors(size_t Count) {
+    NumDonors = Count;
+    return *this;
+  }
+};
+
+/// Builds the corpus described by \p Spec.
+Corpus makeCorpus(const CorpusSpec &Spec);
+
+SPVFUZZ_DEPRECATED("use makeCorpus(CorpusSpec)")
 Corpus makeCorpus(uint64_t Seed, size_t NumReferences = 21,
                   size_t NumDonors = 43);
 
-/// One tool configuration of the evaluation.
+/// One tool configuration of the evaluation. SeedStream gives each tool an
+/// independent per-test seed sequence (see testSeed); standardTools assigns
+/// stable streams so a tool's tests do not depend on which other tools run.
 struct ToolConfig {
   std::string Name;
   FuzzerOptions Options;
+  uint32_t SeedStream = 0;
 };
 
-/// The three configurations of Table 3: spirv-fuzz, spirv-fuzz-simple
-/// (recommendations disabled) and glsl-fuzz (the baseline profile).
-/// \p TransformationLimit scales fuzzing volume for the experiments.
+/// Builder for the tool list. Defaults to the three configurations of
+/// Table 3 — spirv-fuzz, spirv-fuzz-simple (recommendations disabled) and
+/// glsl-fuzz (the baseline profile). An unset TransformationLimit is filled
+/// in by the consumer (CampaignEngine uses its ExecutionPolicy limit; bare
+/// standardTools falls back to 300).
+struct ToolsetSpec {
+  std::optional<uint32_t> TransformationLimit;
+  /// Restrict to these tool names; empty keeps all three.
+  std::vector<std::string> Names;
+
+  ToolsetSpec &withTransformationLimit(uint32_t Limit) {
+    TransformationLimit = Limit;
+    return *this;
+  }
+  ToolsetSpec &withTool(std::string Name) {
+    Names.push_back(std::move(Name));
+    return *this;
+  }
+};
+
+/// Builds the tool list described by \p Spec.
+std::vector<ToolConfig> standardTools(const ToolsetSpec &Spec);
+
+SPVFUZZ_DEPRECATED("use standardTools(ToolsetSpec)")
 std::vector<ToolConfig> standardTools(uint32_t TransformationLimit = 300);
 
 /// One generated test evaluated against the full target set.
@@ -62,7 +116,15 @@ struct TestEvaluation {
 };
 
 /// Generates test number \p TestIndex for \p Tool (deterministic in
-/// (\p CampaignSeed, \p TestIndex)) and evaluates it on all \p Targets.
+/// (\p CampaignSeed, \p Tool.SeedStream, \p TestIndex)) and evaluates it on
+/// all \p Targets. With \p CrashesOnly, the differential (miscompilation)
+/// check is skipped and only crash signatures are recorded.
+TestEvaluation evaluateTest(const Corpus &C, const ToolConfig &Tool,
+                            const std::vector<const Target *> &Targets,
+                            uint64_t CampaignSeed, size_t TestIndex,
+                            bool CrashesOnly = false);
+
+/// Convenience overload over a value vector of targets.
 TestEvaluation evaluateTest(const Corpus &C, const ToolConfig &Tool,
                             const std::vector<Target> &Targets,
                             uint64_t CampaignSeed, size_t TestIndex);
@@ -74,15 +136,21 @@ FuzzResult regenerateTest(const Corpus &C, const ToolConfig &Tool,
                           uint64_t CampaignSeed, size_t TestIndex,
                           size_t &ReferenceIndexOut);
 
-/// Builds the interestingness test for a bug found on \p T: for crashes,
-/// "the target still crashes with this exact signature"; for
-/// miscompilations, "the executed result still differs from the target's
-/// result on the original program".
+/// Builds the interestingness test for a bug found on \p T: dispatches to
+/// makeCrashInterestingness / makeMiscompilationInterestingness on whether
+/// \p Signature is MiscompilationSignature.
 InterestingnessTest
 makeInterestingnessTest(const Target &T, const std::string &Signature,
                         const Module &Original, const ShaderInput &Input);
 
-/// Derives the deterministic per-test fuzzer seed.
+/// Derives the deterministic per-test fuzzer seed: a splitmix64 chain over
+/// (CampaignSeed, SeedStream, TestIndex). Each (seed, stream) pair yields an
+/// independent sequence, so every tool can own its own stream and per-test
+/// jobs can be scheduled in any order without seed collisions.
+uint64_t testSeed(uint64_t CampaignSeed, uint32_t SeedStream,
+                  size_t TestIndex);
+
+SPVFUZZ_DEPRECATED("use testSeed(CampaignSeed, SeedStream, TestIndex)")
 uint64_t testSeed(uint64_t CampaignSeed, size_t TestIndex);
 
 /// Campaign-level progress reporting: tracks throughput (units/sec), bugs

@@ -1,0 +1,402 @@
+//===- campaign/CampaignEngine.cpp - Parallel campaign engine --------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "campaign/CampaignEngine.h"
+
+#include "baseline/BaselineReducer.h"
+#include "core/FunctionShrinker.h"
+#include "core/Reducer.h"
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+using namespace spvfuzz;
+
+CampaignEngine::CampaignEngine(ExecutionPolicy PolicyIn, CorpusSpec CorpusOpts,
+                               ToolsetSpec ToolOpts)
+    : Policy(PolicyIn), Start(std::chrono::steady_clock::now()) {
+  if (!CorpusOpts.Seed)
+    CorpusOpts.Seed = Policy.Seed;
+  if (!ToolOpts.TransformationLimit)
+    ToolOpts.TransformationLimit = Policy.TransformationLimit;
+  CorpusData = makeCorpus(CorpusOpts);
+  Tools = standardTools(ToolOpts);
+  Targets = standardTargets();
+  if (Policy.Jobs != 1)
+    Pool = std::make_unique<ThreadPool>(Policy.Jobs);
+}
+
+CampaignEngine::~CampaignEngine() = default;
+
+const ToolConfig *CampaignEngine::findTool(const std::string &Name) const {
+  for (const ToolConfig &Tool : Tools)
+    if (Tool.Name == Name)
+      return &Tool;
+  return nullptr;
+}
+
+FuzzResult CampaignEngine::regenerate(const ToolConfig &Tool, size_t TestIndex,
+                                      size_t &ReferenceIndexOut) const {
+  return regenerateTest(CorpusData, Tool, Policy.Seed, TestIndex,
+                        ReferenceIndexOut);
+}
+
+bool CampaignEngine::deadlineExpired() const {
+  if (Policy.Deadline.count() <= 0)
+    return false;
+  return cancelled() ||
+         std::chrono::steady_clock::now() - Start >= Policy.Deadline;
+}
+
+bool CampaignEngine::checkDeadline() {
+  if (Policy.Deadline.count() <= 0)
+    return false;
+  if (cancelled())
+    return true;
+  if (std::chrono::steady_clock::now() - Start < Policy.Deadline)
+    return false;
+  CancelFlag.store(true, std::memory_order_relaxed);
+  if (Pool)
+    Pool->requestCancel();
+  return true;
+}
+
+template <typename ResultT>
+std::vector<ResultT>
+CampaignEngine::runJobs(std::vector<std::function<ResultT()>> Jobs) {
+  std::vector<ResultT> Results;
+  Results.reserve(Jobs.size());
+  if (!Pool) {
+    for (std::function<ResultT()> &Job : Jobs)
+      Results.push_back(Job());
+    return Results;
+  }
+  std::vector<std::future<ResultT>> Futures;
+  Futures.reserve(Jobs.size());
+  for (std::function<ResultT()> &Job : Jobs)
+    Futures.push_back(Pool->submit(std::move(Job)));
+  for (std::future<ResultT> &Future : Futures)
+    Results.push_back(Future.get());
+  return Results;
+}
+
+std::vector<TestEvaluation>
+CampaignEngine::evaluateTests(const ToolConfig &Tool, size_t Count,
+                              bool CrashesOnly) {
+  std::vector<const Target *> TargetPtrs;
+  TargetPtrs.reserve(Targets.size());
+  for (const Target &T : Targets)
+    TargetPtrs.push_back(&T);
+
+  std::vector<TestEvaluation> Evals;
+  Evals.reserve(Count);
+  for (size_t WaveStart = 0; WaveStart < Count; WaveStart += ShardSize) {
+    if (checkDeadline())
+      break;
+    size_t WaveEnd = std::min(Count, WaveStart + ShardSize);
+    std::vector<std::function<std::optional<TestEvaluation>()>> Jobs;
+    Jobs.reserve(WaveEnd - WaveStart);
+    for (size_t Index = WaveStart; Index < WaveEnd; ++Index)
+      Jobs.push_back(
+          [this, &Tool, &TargetPtrs, Index,
+           CrashesOnly]() -> std::optional<TestEvaluation> {
+            if (cancelled())
+              return std::nullopt;
+            return evaluateTest(CorpusData, Tool, TargetPtrs, Policy.Seed,
+                                Index, CrashesOnly);
+          });
+    bool Truncated = false;
+    for (std::optional<TestEvaluation> &Result : runJobs(std::move(Jobs))) {
+      if (!Result) {
+        Truncated = true;
+        break;
+      }
+      Evals.push_back(std::move(*Result));
+    }
+    if (Truncated)
+      break;
+  }
+  return Evals;
+}
+
+//===----------------------------------------------------------------------===//
+// Table 3 + Figure 7 (RQ1)
+//===----------------------------------------------------------------------===//
+
+BugFindingData CampaignEngine::runBugFinding(const BugFindingConfig &Config) {
+  BugFindingData Data;
+  Data.Config = Config;
+  for (const Target &T : Targets)
+    Data.TargetNames.push_back(T.name());
+
+  size_t GroupSize =
+      std::max<size_t>(1, Config.TestsPerTool / Config.NumGroups);
+
+  for (const ToolConfig &Tool : Tools) {
+    Data.ToolNames.push_back(Tool.Name);
+    std::map<std::string, ToolTargetStats> &PerTarget = Data.Stats[Tool.Name];
+    for (const Target &T : Targets)
+      PerTarget[T.name()].PerGroup.resize(Config.NumGroups);
+
+    CampaignProgress Progress("bug-finding/" + Tool.Name,
+                              Config.TestsPerTool);
+    std::vector<TestEvaluation> Evals =
+        evaluateTests(Tool, Config.TestsPerTool);
+    for (size_t TestIndex = 0; TestIndex < Evals.size(); ++TestIndex) {
+      size_t Group = std::min(Config.NumGroups - 1, TestIndex / GroupSize);
+      for (const auto &[TargetName, Signature] :
+           Evals[TestIndex].Signatures) {
+        ToolTargetStats &Stats = PerTarget[TargetName];
+        Stats.Distinct.insert(Signature);
+        Stats.PerGroup[Group].insert(Signature);
+        Progress.recordSignature(TargetName, Signature);
+      }
+      Progress.advance();
+    }
+  }
+  return Data;
+}
+
+//===----------------------------------------------------------------------===//
+// Reductions (RQ2)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One reduction accepted by the serial cap/budget decision loop.
+struct ReductionTask {
+  size_t TestIndex = 0;
+  const Target *T = nullptr;
+  std::string Signature;
+};
+
+} // namespace
+
+ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
+  ReductionData Data;
+
+  std::vector<std::string> WantedTargets = Config.TargetNames;
+  if (WantedTargets.empty())
+    WantedTargets = gpulessTargetNames();
+  std::vector<std::string> WantedTools = Config.ToolNames;
+  if (WantedTools.empty())
+    WantedTools = {"spirv-fuzz", "glsl-fuzz"};
+
+  std::vector<const Target *> Wanted;
+  for (const Target &T : Targets)
+    if (std::find(WantedTargets.begin(), WantedTargets.end(), T.name()) !=
+        WantedTargets.end())
+      Wanted.push_back(&T);
+
+  // Per test: the (target, signature) pairs that expose a bug, in target
+  // order. nullopt marks a job cut short by the deadline.
+  using ScanResult = std::optional<std::vector<std::pair<size_t, std::string>>>;
+
+  for (const ToolConfig &Tool : Tools) {
+    if (std::find(WantedTools.begin(), WantedTools.end(), Tool.Name) ==
+        WantedTools.end())
+      continue;
+    size_t ReductionsDone = 0;
+    // (target, signature) -> count, for the per-signature cap.
+    std::map<std::pair<std::string, std::string>, size_t> SignatureCounts;
+    CampaignProgress Progress("reduction/" + Tool.Name,
+                              Config.MaxReductionsPerTool,
+                              /*ReportEvery=*/10);
+
+    for (size_t WaveStart = 0; WaveStart < Config.TestsPerTool &&
+                               ReductionsDone < Config.MaxReductionsPerTool;
+         WaveStart += ShardSize) {
+      if (checkDeadline())
+        break;
+      size_t WaveEnd = std::min(Config.TestsPerTool, WaveStart + ShardSize);
+
+      // Phase 1 (parallel): scan this wave's tests for bugs.
+      std::vector<std::function<ScanResult()>> ScanJobs;
+      ScanJobs.reserve(WaveEnd - WaveStart);
+      for (size_t Index = WaveStart; Index < WaveEnd; ++Index)
+        ScanJobs.push_back([this, &Tool, &Wanted, &Config,
+                            Index]() -> ScanResult {
+          if (cancelled())
+            return std::nullopt;
+          size_t ReferenceIndex = 0;
+          FuzzResult Fuzzed = regenerate(Tool, Index, ReferenceIndex);
+          const GeneratedProgram &Reference = CorpusData.References[ReferenceIndex];
+          std::vector<std::pair<size_t, std::string>> Found;
+          for (size_t TargetIdx = 0; TargetIdx < Wanted.size(); ++TargetIdx) {
+            const Target &T = *Wanted[TargetIdx];
+            TargetRun Run = T.run(Fuzzed.Variant, Reference.Input);
+            if (Run.RunKind == TargetRun::Kind::Crash) {
+              Found.emplace_back(TargetIdx, Run.Signature);
+              continue;
+            }
+            if (Config.CrashesOnly || !T.canExecute())
+              continue;
+            TargetRun OriginalRun = T.run(Reference.M, Reference.Input);
+            if (OriginalRun.RunKind == TargetRun::Kind::Executed &&
+                Run.Result != OriginalRun.Result)
+              Found.emplace_back(TargetIdx, MiscompilationSignature);
+          }
+          return Found;
+        });
+      std::vector<ScanResult> Scans = runJobs(std::move(ScanJobs));
+
+      // Phase 2 (serial, in test-index order): apply the per-signature cap
+      // and the per-tool budget exactly as the serial driver would.
+      std::vector<ReductionTask> Accepted;
+      bool Truncated = false;
+      for (size_t Offset = 0; Offset < Scans.size(); ++Offset) {
+        if (!Scans[Offset]) {
+          Truncated = true;
+          break;
+        }
+        for (const auto &[TargetIdx, Signature] : *Scans[Offset]) {
+          if (ReductionsDone >= Config.MaxReductionsPerTool)
+            break;
+          const Target *T = Wanted[TargetIdx];
+          auto Key = std::make_pair(T->name(), Signature);
+          if (SignatureCounts[Key] >= Config.CapPerSignature)
+            continue;
+          ++SignatureCounts[Key];
+          Accepted.push_back({WaveStart + Offset, T, Signature});
+          ++ReductionsDone;
+        }
+      }
+
+      // Phase 3 (parallel): run the accepted reductions; aggregate records
+      // in acceptance order.
+      std::vector<std::function<std::optional<ReductionRecord>()>> ReduceJobs;
+      ReduceJobs.reserve(Accepted.size());
+      for (const ReductionTask &Task : Accepted)
+        ReduceJobs.push_back([this, &Tool,
+                              Task]() -> std::optional<ReductionRecord> {
+          if (cancelled())
+            return std::nullopt;
+          size_t ReferenceIndex = 0;
+          FuzzResult Fuzzed = regenerate(Tool, Task.TestIndex, ReferenceIndex);
+          const GeneratedProgram &Reference =
+              CorpusData.References[ReferenceIndex];
+
+          InterestingnessTest Test = makeInterestingnessTest(
+              *Task.T, Task.Signature, Reference.M, Reference.Input);
+          ReduceResult Reduced =
+              Tool.Name == "glsl-fuzz"
+                  ? reduceByGroups(Reference.M, Reference.Input,
+                                   Fuzzed.Sequence, Fuzzed.PassGroups, Test)
+                  : reduceSequence(Reference.M, Reference.Input,
+                                   Fuzzed.Sequence, Test);
+          if (Tool.Name != "glsl-fuzz") {
+            // The ğ3.4 spirv-reduce step: shrink any surviving AddFunction
+            // payloads.
+            bool HasAddFunction = false;
+            for (const TransformationPtr &Tr : Reduced.Minimized)
+              if (Tr->kind() == TransformationKind::AddFunction)
+                HasAddFunction = true;
+            if (HasAddFunction) {
+              size_t PriorChecks = Reduced.Checks;
+              Reduced = shrinkAddFunctions(Reference.M, Reference.Input,
+                                           Reduced.Minimized, Test);
+              Reduced.Checks += PriorChecks;
+            }
+          }
+
+          ReductionRecord Record;
+          Record.Tool = Tool.Name;
+          Record.TargetName = Task.T->name();
+          Record.Signature = Task.Signature;
+          Record.TestIndex = Task.TestIndex;
+          Record.OriginalCount = Reference.M.instructionCount();
+          Record.UnreducedCount = Fuzzed.Variant.instructionCount();
+          Record.ReducedCount = Reduced.ReducedVariant.instructionCount();
+          Record.MinimizedLength = Reduced.Minimized.size();
+          Record.Checks = Reduced.Checks;
+          Record.Types = dedupTypesOf(Reduced.Minimized);
+          return Record;
+        });
+      for (std::optional<ReductionRecord> &Record :
+           runJobs(std::move(ReduceJobs))) {
+        if (!Record) {
+          Truncated = true;
+          break;
+        }
+        Progress.recordSignature(Record->TargetName, Record->Signature);
+        Progress.advance();
+        telemetry::MetricsRegistry::global().add("campaign.reductions");
+        Data.Records.push_back(std::move(*Record));
+      }
+      if (Truncated)
+        break;
+    }
+  }
+  return Data;
+}
+
+//===----------------------------------------------------------------------===//
+// Table 4 (RQ3)
+//===----------------------------------------------------------------------===//
+
+DedupData CampaignEngine::runDedup(const ReductionConfig &ConfigIn) {
+  ReductionConfig Config = ConfigIn;
+  Config.CrashesOnly = true; // ğ4.3: crash bugs give reliable ground truth
+  Config.ToolNames = {"spirv-fuzz"};
+  if (Config.TargetNames.empty()) {
+    // All targets except NVIDIA (which was excluded in the paper because
+    // of driver-induced machine freezes).
+    for (const Target &T : Targets)
+      if (T.name() != "NVIDIA")
+        Config.TargetNames.push_back(T.name());
+  }
+
+  ReductionData Reductions = runReductions(Config);
+
+  DedupData Data;
+  Data.Total.TargetName = "Total";
+  std::set<std::string> TotalSigs;
+  CampaignProgress Progress("dedup", Config.TargetNames.size(),
+                            /*ReportEvery=*/1);
+
+  for (const std::string &TargetName : Config.TargetNames) {
+    // Gather this target's reduced tests in order.
+    std::vector<const ReductionRecord *> Tests;
+    for (const ReductionRecord &Record : Reductions.Records)
+      if (Record.TargetName == TargetName)
+        Tests.push_back(&Record);
+    if (Tests.empty())
+      continue;
+
+    std::vector<std::set<TransformationKind>> TestTypes;
+    std::set<std::string> Sigs;
+    for (const ReductionRecord *Record : Tests) {
+      TestTypes.push_back(Record->Types);
+      Sigs.insert(Record->Signature);
+    }
+    std::vector<size_t> Chosen = deduplicateTests(TestTypes);
+    std::set<std::string> Covered;
+    for (size_t Index : Chosen)
+      Covered.insert(Tests[Index]->Signature);
+
+    DedupTargetResult Result;
+    Result.TargetName = TargetName;
+    Result.Tests = Tests.size();
+    Result.Sigs = Sigs.size();
+    Result.Reports = Chosen.size();
+    Result.Distinct = Covered.size();
+    Result.Dups = Result.Reports - Result.Distinct;
+    Data.PerTarget.push_back(Result);
+
+    Data.Total.Tests += Result.Tests;
+    Data.Total.Reports += Result.Reports;
+    Data.Total.Dups += Result.Dups;
+    Data.Total.Distinct += Result.Distinct;
+    for (const std::string &Sig : Sigs)
+      TotalSigs.insert(TargetName + ":" + Sig);
+    Progress.recordClasses(Data.Total.Distinct);
+    Progress.advance();
+  }
+  Data.Total.Sigs = TotalSigs.size();
+  return Data;
+}

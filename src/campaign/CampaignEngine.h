@@ -1,0 +1,147 @@
+//===- campaign/CampaignEngine.h - Parallel campaign engine -----*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign execution engine: owns the corpus, the tool configurations,
+/// the target set and a worker pool, and fans per-test jobs out over the
+/// pool. Each job owns one test end to end — fuzzing the variant from its
+/// deterministic per-job seed (testSeed over (CampaignSeed, SeedStream,
+/// TestIndex)) and evaluating it on every target — and results are always
+/// aggregated in test-index order, so an N-thread run is bit-identical to
+/// the serial run: same TestEvaluations, same reduction records, same dedup
+/// classes, same metrics counter totals. See DESIGN.md, "Concurrency
+/// model".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAMPAIGN_CAMPAIGNENGINE_H
+#define CAMPAIGN_CAMPAIGNENGINE_H
+
+#include "campaign/Campaign.h"
+#include "campaign/Experiments.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+
+namespace spvfuzz {
+
+/// How a campaign executes: parallelism, the campaign seed, the fuzzing
+/// volume per test and an optional wall-clock budget. One ExecutionPolicy
+/// constructs one CampaignEngine; the per-experiment structs
+/// (BugFindingConfig, ReductionConfig) keep only scale knobs.
+struct ExecutionPolicy {
+  /// Worker threads. 1 (the default) runs every job inline on the calling
+  /// thread; 0 means one worker per hardware thread. Any value yields
+  /// bit-identical campaign results.
+  size_t Jobs = 1;
+  /// The campaign seed: derives the corpus and every per-test fuzzer seed.
+  uint64_t Seed = 2021;
+  /// Transformations applied per generated test (paper: 2000).
+  uint32_t TransformationLimit = 300;
+  /// Soft wall-clock budget measured from engine construction; zero means
+  /// unlimited. A run that hits the deadline stops issuing work and returns
+  /// truncated results — deadline-limited runs are therefore *not*
+  /// deterministic across thread counts.
+  std::chrono::milliseconds Deadline{0};
+
+  ExecutionPolicy &withJobs(size_t Count) {
+    Jobs = Count;
+    return *this;
+  }
+  ExecutionPolicy &withSeed(uint64_t Value) {
+    Seed = Value;
+    return *this;
+  }
+  ExecutionPolicy &withTransformationLimit(uint32_t Limit) {
+    TransformationLimit = Limit;
+    return *this;
+  }
+  ExecutionPolicy &withDeadline(std::chrono::milliseconds Budget) {
+    Deadline = Budget;
+    return *this;
+  }
+};
+
+/// The campaign engine. Replaces the loose free-function drivers
+/// (runBugFinding / runReductions / runDedup), which remain as thin
+/// deprecated wrappers for one release.
+class CampaignEngine {
+public:
+  /// Builds the corpus, tools and targets up front. An unset CorpusSpec
+  /// seed defaults to the policy seed; an unset ToolsetSpec transformation
+  /// limit defaults to the policy limit. The deadline clock starts here.
+  explicit CampaignEngine(ExecutionPolicy Policy = ExecutionPolicy{},
+                          CorpusSpec CorpusOpts = CorpusSpec{},
+                          ToolsetSpec ToolOpts = ToolsetSpec{});
+  CampaignEngine(const CampaignEngine &) = delete;
+  CampaignEngine &operator=(const CampaignEngine &) = delete;
+  ~CampaignEngine();
+
+  const ExecutionPolicy &policy() const { return Policy; }
+  const Corpus &corpus() const { return CorpusData; }
+  const std::vector<ToolConfig> &tools() const { return Tools; }
+  const std::vector<Target> &targets() const { return Targets; }
+
+  /// Looks a tool up by name; nullptr if the engine does not have it.
+  const ToolConfig *findTool(const std::string &Name) const;
+
+  /// Deterministically re-runs the fuzzer behind (\p Tool, \p TestIndex).
+  FuzzResult regenerate(const ToolConfig &Tool, size_t TestIndex,
+                        size_t &ReferenceIndexOut) const;
+
+  /// Evaluates tests [0, \p Count) of \p Tool on every target, in parallel
+  /// per the policy. The result vector is in test-index order regardless of
+  /// Jobs; it is shorter than \p Count only if the deadline expired.
+  std::vector<TestEvaluation> evaluateTests(const ToolConfig &Tool,
+                                            size_t Count,
+                                            bool CrashesOnly = false);
+
+  /// Table 3 / Figure 7 driver (RQ1).
+  BugFindingData runBugFinding(const BugFindingConfig &Config);
+
+  /// ğ4.2 reduction-quality driver (RQ2). Cap and budget decisions
+  /// (CapPerSignature, MaxReductionsPerTool) are applied serially, in
+  /// test-index order, on the aggregation thread, so the set of reductions
+  /// run is identical at any job count.
+  ReductionData runReductions(const ReductionConfig &Config);
+
+  /// Table 4 driver (RQ3): crash-only reductions + Figure 6 dedup.
+  DedupData runDedup(const ReductionConfig &Config);
+
+  /// True once the policy deadline (if any) has passed.
+  bool deadlineExpired() const;
+
+  /// Tests evaluated per scheduling wave. Fixed — independent of Jobs — so
+  /// early-stop and cap decisions always see the same evaluated set.
+  static constexpr size_t ShardSize = 32;
+
+private:
+  /// Runs one wave: inline when the policy is serial, else submitted to the
+  /// pool with futures collected in submission order.
+  template <typename ResultT>
+  std::vector<ResultT> runJobs(std::vector<std::function<ResultT()>> Jobs);
+
+  /// Returns true (and latches cancellation) once the deadline has passed.
+  bool checkDeadline();
+  bool cancelled() const {
+    return CancelFlag.load(std::memory_order_relaxed);
+  }
+
+  ExecutionPolicy Policy;
+  Corpus CorpusData;
+  std::vector<ToolConfig> Tools;
+  std::vector<Target> Targets;
+  std::unique_ptr<ThreadPool> Pool; // null when Jobs == 1
+  std::chrono::steady_clock::time_point Start;
+  std::atomic<bool> CancelFlag{false};
+};
+
+} // namespace spvfuzz
+
+#endif // CAMPAIGN_CAMPAIGNENGINE_H

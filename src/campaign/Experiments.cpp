@@ -6,10 +6,7 @@
 
 #include "campaign/Experiments.h"
 
-#include "baseline/BaselineReducer.h"
-#include "core/FunctionShrinker.h"
-#include "core/Reducer.h"
-#include "support/Telemetry.h"
+#include "campaign/CampaignEngine.h"
 
 #include <algorithm>
 #include <cstdlib>
@@ -50,40 +47,10 @@ ToolTargetStats BugFindingData::allTargets(const std::string &Tool) const {
 }
 
 BugFindingData spvfuzz::runBugFinding(const BugFindingConfig &Config) {
-  BugFindingData Data;
-  Data.Config = Config;
-
-  Corpus C = makeCorpus(Config.Seed);
-  std::vector<Target> Targets = standardTargets();
-  std::vector<ToolConfig> Tools = standardTools(Config.TransformationLimit);
-
-  for (const Target &T : Targets)
-    Data.TargetNames.push_back(T.name());
-
-  size_t GroupSize = std::max<size_t>(1, Config.TestsPerTool / Config.NumGroups);
-
-  for (const ToolConfig &Tool : Tools) {
-    Data.ToolNames.push_back(Tool.Name);
-    std::map<std::string, ToolTargetStats> &PerTarget = Data.Stats[Tool.Name];
-    for (const Target &T : Targets)
-      PerTarget[T.name()].PerGroup.resize(Config.NumGroups);
-
-    CampaignProgress Progress("bug-finding/" + Tool.Name,
-                              Config.TestsPerTool);
-    for (size_t TestIndex = 0; TestIndex < Config.TestsPerTool; ++TestIndex) {
-      TestEvaluation Eval =
-          evaluateTest(C, Tool, Targets, Config.Seed, TestIndex);
-      size_t Group = std::min(Config.NumGroups - 1, TestIndex / GroupSize);
-      for (const auto &[TargetName, Signature] : Eval.Signatures) {
-        ToolTargetStats &Stats = PerTarget[TargetName];
-        Stats.Distinct.insert(Signature);
-        Stats.PerGroup[Group].insert(Signature);
-        Progress.recordSignature(TargetName, Signature);
-      }
-      Progress.advance();
-    }
-  }
-  return Data;
+  // Deprecated wrapper: the serial, seed-2021, limit-250 behaviour of the
+  // pre-engine API.
+  CampaignEngine Engine(ExecutionPolicy{}.withTransformationLimit(250));
+  return Engine.runBugFinding(Config);
 }
 
 VennCounts spvfuzz::vennForTarget(const BugFindingData &Data,
@@ -159,171 +126,19 @@ double ReductionData::medianUnreducedDelta(
 }
 
 ReductionData spvfuzz::runReductions(const ReductionConfig &Config) {
-  ReductionData Data;
-  Corpus C = makeCorpus(Config.Seed);
-  std::vector<Target> AllTargets = standardTargets();
-  std::vector<ToolConfig> AllTools = standardTools(Config.TransformationLimit);
-
-  std::vector<std::string> WantedTargets = Config.TargetNames;
-  if (WantedTargets.empty())
-    WantedTargets = gpulessTargetNames();
-  std::vector<std::string> WantedTools = Config.ToolNames;
-  if (WantedTools.empty())
-    WantedTools = {"spirv-fuzz", "glsl-fuzz"};
-
-  std::vector<const Target *> Targets;
-  for (const Target &T : AllTargets)
-    if (std::find(WantedTargets.begin(), WantedTargets.end(), T.name()) !=
-        WantedTargets.end())
-      Targets.push_back(&T);
-
-  for (const ToolConfig &Tool : AllTools) {
-    if (std::find(WantedTools.begin(), WantedTools.end(), Tool.Name) ==
-        WantedTools.end())
-      continue;
-    size_t ReductionsDone = 0;
-    // (target, signature) -> count, for the per-signature cap.
-    std::map<std::pair<std::string, std::string>, size_t> SignatureCounts;
-    CampaignProgress Progress("reduction/" + Tool.Name,
-                              Config.MaxReductionsPerTool,
-                              /*ReportEvery=*/10);
-
-    for (size_t TestIndex = 0;
-         TestIndex < Config.TestsPerTool &&
-         ReductionsDone < Config.MaxReductionsPerTool;
-         ++TestIndex) {
-      size_t ReferenceIndex = 0;
-      FuzzResult Fuzzed =
-          regenerateTest(C, Tool, Config.Seed, TestIndex, ReferenceIndex);
-      const GeneratedProgram &Reference = C.References[ReferenceIndex];
-
-      for (const Target *T : Targets) {
-        if (ReductionsDone >= Config.MaxReductionsPerTool)
-          break;
-        TargetRun Run = T->run(Fuzzed.Variant, Reference.Input);
-        std::string Signature;
-        if (Run.RunKind == TargetRun::Kind::Crash) {
-          Signature = Run.Signature;
-        } else if (T->canExecute() && !Config.CrashesOnly) {
-          TargetRun OriginalRun = T->run(Reference.M, Reference.Input);
-          if (OriginalRun.RunKind == TargetRun::Kind::Executed &&
-              Run.Result != OriginalRun.Result)
-            Signature = MiscompilationSignature;
-        }
-        if (Signature.empty())
-          continue;
-        auto Key = std::make_pair(T->name(), Signature);
-        if (SignatureCounts[Key] >= Config.CapPerSignature)
-          continue;
-        ++SignatureCounts[Key];
-
-        InterestingnessTest Test = makeInterestingnessTest(
-            *T, Signature, Reference.M, Reference.Input);
-        ReduceResult Reduced =
-            Tool.Name == "glsl-fuzz"
-                ? reduceByGroups(Reference.M, Reference.Input, Fuzzed.Sequence,
-                                 Fuzzed.PassGroups, Test)
-                : reduceSequence(Reference.M, Reference.Input, Fuzzed.Sequence,
-                                 Test);
-        if (Tool.Name != "glsl-fuzz") {
-          // The ğ3.4 spirv-reduce step: shrink any surviving AddFunction
-          // payloads.
-          bool HasAddFunction = false;
-          for (const TransformationPtr &T : Reduced.Minimized)
-            if (T->kind() == TransformationKind::AddFunction)
-              HasAddFunction = true;
-          if (HasAddFunction) {
-            size_t PriorChecks = Reduced.Checks;
-            Reduced = shrinkAddFunctions(Reference.M, Reference.Input,
-                                         Reduced.Minimized, Test);
-            Reduced.Checks += PriorChecks;
-          }
-        }
-
-        ReductionRecord Record;
-        Record.Tool = Tool.Name;
-        Record.TargetName = T->name();
-        Record.Signature = Signature;
-        Record.TestIndex = TestIndex;
-        Record.OriginalCount = Reference.M.instructionCount();
-        Record.UnreducedCount = Fuzzed.Variant.instructionCount();
-        Record.ReducedCount = Reduced.ReducedVariant.instructionCount();
-        Record.MinimizedLength = Reduced.Minimized.size();
-        Record.Checks = Reduced.Checks;
-        Record.Types = dedupTypesOf(Reduced.Minimized);
-        Data.Records.push_back(std::move(Record));
-        ++ReductionsDone;
-        Progress.recordSignature(T->name(), Signature);
-        Progress.advance();
-        telemetry::MetricsRegistry::global().add("campaign.reductions");
-      }
-    }
-  }
-  return Data;
+  // Deprecated wrapper: the serial, seed-2021, limit-150 behaviour of the
+  // pre-engine API.
+  CampaignEngine Engine(ExecutionPolicy{}.withTransformationLimit(150));
+  return Engine.runReductions(Config);
 }
 
 //===----------------------------------------------------------------------===//
 // Table 4 (RQ3)
 //===----------------------------------------------------------------------===//
 
-DedupData spvfuzz::runDedup(const ReductionConfig &ConfigIn) {
-  ReductionConfig Config = ConfigIn;
-  Config.CrashesOnly = true; // ğ4.3: crash bugs give reliable ground truth
-  Config.ToolNames = {"spirv-fuzz"};
-  if (Config.TargetNames.empty()) {
-    // All targets except NVIDIA (which was excluded in the paper because
-    // of driver-induced machine freezes).
-    for (const Target &T : standardTargets())
-      if (T.name() != "NVIDIA")
-        Config.TargetNames.push_back(T.name());
-  }
-
-  ReductionData Reductions = runReductions(Config);
-
-  DedupData Data;
-  Data.Total.TargetName = "Total";
-  std::set<std::string> TotalSigs, TotalDistinct;
-  CampaignProgress Progress("dedup", Config.TargetNames.size(),
-                            /*ReportEvery=*/1);
-
-  for (const std::string &TargetName : Config.TargetNames) {
-    // Gather this target's reduced tests in order.
-    std::vector<const ReductionRecord *> Tests;
-    for (const ReductionRecord &Record : Reductions.Records)
-      if (Record.TargetName == TargetName)
-        Tests.push_back(&Record);
-    if (Tests.empty())
-      continue;
-
-    std::vector<std::set<TransformationKind>> TestTypes;
-    std::set<std::string> Sigs;
-    for (const ReductionRecord *Record : Tests) {
-      TestTypes.push_back(Record->Types);
-      Sigs.insert(Record->Signature);
-    }
-    std::vector<size_t> Chosen = deduplicateTests(TestTypes);
-    std::set<std::string> Covered;
-    for (size_t Index : Chosen)
-      Covered.insert(Tests[Index]->Signature);
-
-    DedupTargetResult Result;
-    Result.TargetName = TargetName;
-    Result.Tests = Tests.size();
-    Result.Sigs = Sigs.size();
-    Result.Reports = Chosen.size();
-    Result.Distinct = Covered.size();
-    Result.Dups = Result.Reports - Result.Distinct;
-    Data.PerTarget.push_back(Result);
-
-    Data.Total.Tests += Result.Tests;
-    Data.Total.Reports += Result.Reports;
-    Data.Total.Dups += Result.Dups;
-    Data.Total.Distinct += Result.Distinct;
-    for (const std::string &Sig : Sigs)
-      TotalSigs.insert(TargetName + ":" + Sig);
-    Progress.recordClasses(Data.Total.Distinct);
-    Progress.advance();
-  }
-  Data.Total.Sigs = TotalSigs.size();
-  return Data;
+DedupData spvfuzz::runDedup(const ReductionConfig &Config) {
+  // Deprecated wrapper: the serial, seed-2021, limit-150 behaviour of the
+  // pre-engine API.
+  CampaignEngine Engine(ExecutionPolicy{}.withTransformationLimit(150));
+  return Engine.runDedup(Config);
 }

@@ -30,11 +30,11 @@ size_t envSize(const char *Name, size_t Default);
 // Table 3 + Figure 7 (RQ1)
 //===----------------------------------------------------------------------===//
 
+/// Scale knobs for Table 3 / Figure 7. Seed and fuzzing volume live in the
+/// engine's ExecutionPolicy, not here.
 struct BugFindingConfig {
   size_t TestsPerTool = 400; // paper: 10,000
   size_t NumGroups = 10;     // disjoint groups for the MWU populations
-  uint64_t Seed = 2021;
-  uint32_t TransformationLimit = 250; // paper: 2000
 };
 
 struct ToolTargetStats {
@@ -61,6 +61,7 @@ struct BugFindingData {
   ToolTargetStats allTargets(const std::string &Tool) const;
 };
 
+SPVFUZZ_DEPRECATED("construct a CampaignEngine and call runBugFinding")
 BugFindingData runBugFinding(const BugFindingConfig &Config);
 
 /// The seven regions of a three-set Venn diagram (Figure 7).
@@ -79,12 +80,12 @@ VennCounts vennForTarget(const BugFindingData &Data,
 // ğ4.2 reduction quality (RQ2)
 //===----------------------------------------------------------------------===//
 
+/// Scale knobs for RQ2/RQ3. Seed and fuzzing volume live in the engine's
+/// ExecutionPolicy, not here.
 struct ReductionConfig {
   size_t TestsPerTool = 300;
   size_t CapPerSignature = 8; // paper: 100
   size_t MaxReductionsPerTool = 50;
-  uint64_t Seed = 2021;
-  uint32_t TransformationLimit = 150;
   /// Restrict to these targets; empty = the GPU-less set of ğ4.2.
   std::vector<std::string> TargetNames;
   /// Restrict to these tools; empty = spirv-fuzz and glsl-fuzz.
@@ -121,6 +122,7 @@ struct ReductionData {
   static double medianUnreducedDelta(const std::vector<ReductionRecord> &Rs);
 };
 
+SPVFUZZ_DEPRECATED("construct a CampaignEngine and call runReductions")
 ReductionData runReductions(const ReductionConfig &Config);
 
 //===----------------------------------------------------------------------===//
@@ -143,6 +145,7 @@ struct DedupData {
 
 /// Runs reductions for crash bugs on every target except NVIDIA (as in the
 /// paper) and applies the Figure 6 algorithm to the reduced tests.
+SPVFUZZ_DEPRECATED("construct a CampaignEngine and call runDedup")
 DedupData runDedup(const ReductionConfig &Config);
 
 } // namespace spvfuzz

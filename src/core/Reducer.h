@@ -51,6 +51,50 @@ ReduceResult reduceSequence(const Module &Original, const ShaderInput &Input,
                             const TransformationSequence &Sequence,
                             const InterestingnessTest &Test);
 
+//===----------------------------------------------------------------------===//
+// Interestingness-test factories
+//===----------------------------------------------------------------------===//
+//
+// The two interestingness shapes of ğ3.4, shared by the campaign drivers
+// and the minispv CLI instead of per-call-site lambdas. They are templates
+// over the target type because core sits below target in the library
+// layering; any TargetT whose `run(Module, ShaderInput)` returns a record
+// with `RunKind`, `Signature` and `Result` fits (target/Target.h's Target
+// in practice). The target is captured by pointer and must outlive the
+// returned test.
+
+/// Crash interestingness: the candidate variant must still crash \p T with
+/// exactly \p Signature.
+template <typename TargetT>
+InterestingnessTest makeCrashInterestingness(const TargetT &T,
+                                             std::string Signature,
+                                             ShaderInput Input) {
+  return [Target = &T, Signature = std::move(Signature),
+          Input = std::move(Input)](const Module &Variant,
+                                    const FactManager &) {
+    auto Run = Target->run(Variant, Input);
+    using RunT = decltype(Run);
+    return Run.RunKind == RunT::Kind::Crash && Run.Signature == Signature;
+  };
+}
+
+/// Miscompilation interestingness: the candidate variant, executed through
+/// \p T, must still produce a result different from \p Reference's result
+/// through the same target (the ğ3.4 image comparison). \p Reference's
+/// baseline result is computed once, at construction.
+template <typename TargetT>
+InterestingnessTest
+makeMiscompilationInterestingness(const TargetT &T, const Module &Reference,
+                                  const ShaderInput &Input) {
+  auto Baseline = T.run(Reference, Input).Result;
+  return [Target = &T, Baseline = std::move(Baseline),
+          Input](const Module &Variant, const FactManager &) {
+    auto Run = Target->run(Variant, Input);
+    using RunT = decltype(Run);
+    return Run.RunKind == RunT::Kind::Executed && Run.Result != Baseline;
+  };
+}
+
 } // namespace spvfuzz
 
 #endif // CORE_REDUCER_H

@@ -37,6 +37,32 @@ void MetricsRegistry::set(std::string_view Name, double Value) {
   Gauges[std::string(Name)] = Value;
 }
 
+namespace {
+
+/// Index of the log2 bucket holding \p Value (see NumHistogramBuckets).
+size_t bucketIndex(double Value) {
+  if (!(Value >= 1.0))
+    return 0; // negatives, zero, sub-1 values and NaN
+  int Exponent = 0;
+  std::frexp(Value, &Exponent); // Value = f * 2^Exponent, f in [0.5, 1)
+  // Value >= 1 implies Exponent >= 1; bucket i covers [2^(i-1), 2^i).
+  size_t Index = static_cast<size_t>(Exponent);
+  return std::min(Index, MetricsRegistry::NumHistogramBuckets - 1);
+}
+
+/// Inclusive-ish bounds of bucket \p Index for interpolation.
+void bucketBounds(size_t Index, double &Lo, double &Hi) {
+  if (Index == 0) {
+    Lo = 0.0;
+    Hi = 1.0;
+    return;
+  }
+  Lo = std::ldexp(1.0, static_cast<int>(Index) - 1);
+  Hi = std::ldexp(1.0, static_cast<int>(Index));
+}
+
+} // namespace
+
 void MetricsRegistry::observe(std::string_view Name, double Value) {
   if (!enabled())
     return;
@@ -45,14 +71,14 @@ void MetricsRegistry::observe(std::string_view Name, double Value) {
   if (H.Count == 0) {
     H.Min = Value;
     H.Max = Value;
+    H.Buckets.assign(NumHistogramBuckets, 0);
   } else {
     H.Min = std::min(H.Min, Value);
     H.Max = std::max(H.Max, Value);
   }
   ++H.Count;
   H.Sum += Value;
-  if (H.Samples.size() < MaxHistogramSamples)
-    H.Samples.push_back(Value);
+  ++H.Buckets[bucketIndex(Value)];
 }
 
 uint64_t MetricsRegistry::counterValue(const std::string &Name) const {
@@ -63,14 +89,30 @@ uint64_t MetricsRegistry::counterValue(const std::string &Name) const {
 
 namespace {
 
-double percentile(const std::vector<double> &Sorted, double Fraction) {
-  if (Sorted.empty())
+/// Percentile estimate from log2 buckets: walk to the bucket where the
+/// cumulative count crosses the target rank, interpolate linearly within
+/// it, and clamp to the exactly-tracked [Min, Max].
+double bucketPercentile(const std::vector<uint64_t> &Buckets, uint64_t Count,
+                        double Min, double Max, double Fraction) {
+  if (Count == 0 || Buckets.empty())
     return 0.0;
-  double Rank = Fraction * static_cast<double>(Sorted.size() - 1);
-  size_t Lo = static_cast<size_t>(Rank);
-  size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
-  double Weight = Rank - static_cast<double>(Lo);
-  return Sorted[Lo] * (1.0 - Weight) + Sorted[Hi] * Weight;
+  double TargetRank = Fraction * static_cast<double>(Count);
+  uint64_t Cumulative = 0;
+  for (size_t Index = 0; Index < Buckets.size(); ++Index) {
+    if (Buckets[Index] == 0)
+      continue;
+    if (static_cast<double>(Cumulative + Buckets[Index]) >= TargetRank) {
+      double Lo = 0.0, Hi = 0.0;
+      bucketBounds(Index, Lo, Hi);
+      double WithinBucket =
+          (TargetRank - static_cast<double>(Cumulative)) /
+          static_cast<double>(Buckets[Index]);
+      double Estimate = Lo + WithinBucket * (Hi - Lo);
+      return std::min(Max, std::max(Min, Estimate));
+    }
+    Cumulative += Buckets[Index];
+  }
+  return Max;
 }
 
 } // namespace
@@ -87,11 +129,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     Stats.Min = H.Min;
     Stats.Max = H.Max;
     Stats.Mean = H.Count ? H.Sum / static_cast<double>(H.Count) : 0.0;
-    std::vector<double> Sorted = H.Samples;
-    std::sort(Sorted.begin(), Sorted.end());
-    Stats.P50 = percentile(Sorted, 0.50);
-    Stats.P90 = percentile(Sorted, 0.90);
-    Stats.P99 = percentile(Sorted, 0.99);
+    Stats.P50 = bucketPercentile(H.Buckets, H.Count, H.Min, H.Max, 0.50);
+    Stats.P90 = bucketPercentile(H.Buckets, H.Count, H.Min, H.Max, 0.90);
+    Stats.P99 = bucketPercentile(H.Buckets, H.Count, H.Min, H.Max, 0.99);
     Snapshot.Histograms[Name] = Stats;
   }
   return Snapshot;
@@ -102,6 +142,31 @@ void MetricsRegistry::reset() {
   Counters.clear();
   Gauges.clear();
   Histograms.clear();
+}
+
+void MetricsRegistry::mergeFrom(const MetricsRegistry &Other) {
+  if (&Other == this)
+    return;
+  std::scoped_lock Lock(Mutex, Other.Mutex);
+  for (const auto &[Name, Value] : Other.Counters)
+    Counters[Name] += Value;
+  for (const auto &[Name, Value] : Other.Gauges)
+    Gauges[Name] = Value;
+  for (const auto &[Name, TheirHistogram] : Other.Histograms) {
+    if (TheirHistogram.Count == 0)
+      continue;
+    Histogram &Ours = Histograms[Name];
+    if (Ours.Count == 0) {
+      Ours = TheirHistogram;
+      continue;
+    }
+    Ours.Min = std::min(Ours.Min, TheirHistogram.Min);
+    Ours.Max = std::max(Ours.Max, TheirHistogram.Max);
+    Ours.Count += TheirHistogram.Count;
+    Ours.Sum += TheirHistogram.Sum;
+    for (size_t I = 0; I < Ours.Buckets.size(); ++I)
+      Ours.Buckets[I] += TheirHistogram.Buckets[I];
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -32,9 +32,10 @@
 namespace spvfuzz {
 namespace telemetry {
 
-/// Summary of one histogram at snapshot time. Percentiles are computed
-/// over the retained samples (sample retention is capped; count/sum/min/max
-/// remain exact past the cap).
+/// Summary of one histogram at snapshot time. Percentiles are estimated
+/// from fixed log2-spaced buckets (count/sum/min/max are exact), so they
+/// are independent of observation order and of how per-worker registries
+/// were merged.
 struct HistogramStats {
   uint64_t Count = 0;
   double Sum = 0.0;
@@ -86,9 +87,21 @@ public:
   /// Drops all recorded values (the enabled flag is left untouched).
   void reset();
 
-  /// Maximum number of samples a histogram retains for percentile
-  /// estimation; count/sum/min/max stay exact beyond this.
-  static constexpr size_t MaxHistogramSamples = 1 << 14;
+  /// Folds \p Other's metrics into this registry: counters add, histograms
+  /// merge bucket-wise, gauges take \p Other's value on conflict. Histogram
+  /// merging is associative and commutative (bucket counts are summed), so
+  /// per-worker registries can be combined in any order — or any tree
+  /// shape — and produce the same p50/p90/p99 snapshots. (Sum is a
+  /// floating-point accumulation, associative up to rounding.) The enabled
+  /// flags of both registries are ignored: merging is a bookkeeping step,
+  /// not instrumentation.
+  void mergeFrom(const MetricsRegistry &Other);
+
+  /// Histogram bucket layout: bucket 0 holds values < 1 (including
+  /// non-positive values); bucket i in [1, 64] holds [2^(i-1), 2^i); the
+  /// last bucket holds anything >= 2^64. Percentiles interpolate linearly
+  /// within a bucket and are clamped to [Min, Max].
+  static constexpr size_t NumHistogramBuckets = 66;
 
 private:
   struct Histogram {
@@ -96,7 +109,7 @@ private:
     double Sum = 0.0;
     double Min = 0.0;
     double Max = 0.0;
-    std::vector<double> Samples;
+    std::vector<uint64_t> Buckets; // NumHistogramBuckets, lazily sized
   };
 
   std::atomic<bool> Enabled{false};

@@ -1,0 +1,259 @@
+//===- tests/CampaignEngineTest.cpp - Engine determinism tests ------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine's headline guarantee: a campaign run with N worker threads is
+/// bit-identical to the serial run — same TestEvaluations, same reduction
+/// records, same dedup classes, same metrics counter totals. Also covers
+/// the ExecutionPolicy defaults, deadline truncation, and the deprecated
+/// free-function wrappers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "campaign/CampaignEngine.h"
+#include "support/Telemetry.h"
+
+#include "gtest/gtest.h"
+
+#include <chrono>
+#include <thread>
+
+using namespace spvfuzz;
+
+namespace {
+
+// A laptop-friendly campaign: a small corpus and modest fuzzing volume so
+// each determinism test runs a full parallel-vs-serial comparison in
+// seconds.
+CorpusSpec smallCorpus() {
+  return CorpusSpec{}.withReferences(4).withDonors(6);
+}
+
+CampaignEngine makeEngine(size_t Jobs) {
+  return CampaignEngine(
+      ExecutionPolicy{}.withJobs(Jobs).withTransformationLimit(120),
+      smallCorpus());
+}
+
+void expectSameEvaluations(const std::vector<TestEvaluation> &A,
+                           const std::vector<TestEvaluation> &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Seed, B[I].Seed) << "test " << I;
+    EXPECT_EQ(A[I].ReferenceIndex, B[I].ReferenceIndex) << "test " << I;
+    EXPECT_EQ(A[I].Signatures, B[I].Signatures) << "test " << I;
+  }
+}
+
+TEST(CampaignEngine, PolicyDefaultsFlowIntoCorpusAndTools) {
+  CampaignEngine Engine(
+      ExecutionPolicy{}.withSeed(5).withTransformationLimit(123));
+  // The corpus picks up the policy seed, the tools the policy limit.
+  Corpus Expected = makeCorpus(CorpusSpec{}.withSeed(5));
+  ASSERT_EQ(Engine.corpus().References.size(), Expected.References.size());
+  EXPECT_EQ(Engine.corpus().References[0].M.instructionCount(),
+            Expected.References[0].M.instructionCount());
+  ASSERT_EQ(Engine.tools().size(), 3u);
+  for (const ToolConfig &Tool : Engine.tools())
+    EXPECT_EQ(Tool.Options.TransformationLimit, 123u);
+  EXPECT_EQ(Engine.targets().size(), 9u);
+  ASSERT_NE(Engine.findTool("glsl-fuzz"), nullptr);
+  EXPECT_EQ(Engine.findTool("glsl-fuzz")->SeedStream, 2u);
+  EXPECT_EQ(Engine.findTool("no-such-tool"), nullptr);
+}
+
+TEST(CampaignEngine, EvaluationsAreIdenticalAcrossJobCounts) {
+  CampaignEngine Serial = makeEngine(1);
+  CampaignEngine Parallel = makeEngine(8);
+  for (const ToolConfig &Tool : Serial.tools()) {
+    std::vector<TestEvaluation> A = Serial.evaluateTests(Tool, 48);
+    std::vector<TestEvaluation> B = Parallel.evaluateTests(Tool, 48);
+    ASSERT_EQ(A.size(), 48u) << Tool.Name;
+    expectSameEvaluations(A, B);
+  }
+}
+
+TEST(CampaignEngine, EvaluationsMatchFreeFunction) {
+  // The engine's parallel path computes exactly what the single-test
+  // entry point computes.
+  CampaignEngine Engine = makeEngine(4);
+  const ToolConfig &Tool = Engine.tools()[0];
+  std::vector<TestEvaluation> Evals = Engine.evaluateTests(Tool, 16);
+  ASSERT_EQ(Evals.size(), 16u);
+  for (size_t I = 0; I < Evals.size(); ++I) {
+    TestEvaluation Expected = evaluateTest(Engine.corpus(), Tool,
+                                           Engine.targets(),
+                                           Engine.policy().Seed, I);
+    EXPECT_EQ(Evals[I].Seed, Expected.Seed);
+    EXPECT_EQ(Evals[I].ReferenceIndex, Expected.ReferenceIndex);
+    EXPECT_EQ(Evals[I].Signatures, Expected.Signatures);
+  }
+}
+
+TEST(CampaignEngine, BugFindingIsIdenticalAcrossJobCounts) {
+  BugFindingConfig Config;
+  Config.TestsPerTool = 60;
+  Config.NumGroups = 5;
+
+  CampaignEngine Serial = makeEngine(1);
+  BugFindingData A = Serial.runBugFinding(Config);
+  CampaignEngine Parallel = makeEngine(8);
+  BugFindingData B = Parallel.runBugFinding(Config);
+
+  EXPECT_EQ(A.ToolNames, B.ToolNames);
+  EXPECT_EQ(A.TargetNames, B.TargetNames);
+  ASSERT_EQ(A.Stats.size(), B.Stats.size());
+  for (const auto &[Tool, PerTarget] : A.Stats) {
+    ASSERT_TRUE(B.Stats.count(Tool)) << Tool;
+    for (const auto &[TargetName, Stats] : PerTarget) {
+      ASSERT_TRUE(B.Stats.at(Tool).count(TargetName))
+          << Tool << "/" << TargetName;
+      const ToolTargetStats &Other = B.Stats.at(Tool).at(TargetName);
+      EXPECT_EQ(Stats.Distinct, Other.Distinct) << Tool << "/" << TargetName;
+      EXPECT_EQ(Stats.PerGroup, Other.PerGroup) << Tool << "/" << TargetName;
+    }
+  }
+  // And the campaign found something, so the comparison is not vacuous.
+  size_t TotalDistinct = 0;
+  for (const auto &[Tool, PerTarget] : A.Stats)
+    for (const auto &[TargetName, Stats] : PerTarget)
+      TotalDistinct += Stats.Distinct.size();
+  EXPECT_GT(TotalDistinct, 0u);
+}
+
+TEST(CampaignEngine, ReductionsAreIdenticalAcrossJobCounts) {
+  ReductionConfig Config;
+  Config.TestsPerTool = 60;
+  Config.CapPerSignature = 2;
+  Config.MaxReductionsPerTool = 8;
+
+  CampaignEngine Serial = makeEngine(1);
+  ReductionData A = Serial.runReductions(Config);
+  CampaignEngine Parallel = makeEngine(8);
+  ReductionData B = Parallel.runReductions(Config);
+
+  ASSERT_EQ(A.Records.size(), B.Records.size());
+  EXPECT_GT(A.Records.size(), 0u);
+  for (size_t I = 0; I < A.Records.size(); ++I) {
+    const ReductionRecord &X = A.Records[I], &Y = B.Records[I];
+    EXPECT_EQ(X.Tool, Y.Tool) << "record " << I;
+    EXPECT_EQ(X.TargetName, Y.TargetName) << "record " << I;
+    EXPECT_EQ(X.Signature, Y.Signature) << "record " << I;
+    EXPECT_EQ(X.TestIndex, Y.TestIndex) << "record " << I;
+    EXPECT_EQ(X.OriginalCount, Y.OriginalCount) << "record " << I;
+    EXPECT_EQ(X.UnreducedCount, Y.UnreducedCount) << "record " << I;
+    EXPECT_EQ(X.ReducedCount, Y.ReducedCount) << "record " << I;
+    EXPECT_EQ(X.MinimizedLength, Y.MinimizedLength) << "record " << I;
+    EXPECT_EQ(X.Checks, Y.Checks) << "record " << I;
+    EXPECT_EQ(X.Types, Y.Types) << "record " << I;
+  }
+}
+
+TEST(CampaignEngine, DedupClassesAreIdenticalAcrossJobCounts) {
+  ReductionConfig Config;
+  Config.TestsPerTool = 60;
+  Config.CapPerSignature = 3;
+  Config.MaxReductionsPerTool = 10;
+
+  CampaignEngine Serial = makeEngine(1);
+  DedupData A = Serial.runDedup(Config);
+  CampaignEngine Parallel = makeEngine(8);
+  DedupData B = Parallel.runDedup(Config);
+
+  ASSERT_EQ(A.PerTarget.size(), B.PerTarget.size());
+  for (size_t I = 0; I < A.PerTarget.size(); ++I) {
+    EXPECT_EQ(A.PerTarget[I].TargetName, B.PerTarget[I].TargetName);
+    EXPECT_EQ(A.PerTarget[I].Tests, B.PerTarget[I].Tests);
+    EXPECT_EQ(A.PerTarget[I].Sigs, B.PerTarget[I].Sigs);
+    EXPECT_EQ(A.PerTarget[I].Reports, B.PerTarget[I].Reports);
+    EXPECT_EQ(A.PerTarget[I].Distinct, B.PerTarget[I].Distinct);
+    EXPECT_EQ(A.PerTarget[I].Dups, B.PerTarget[I].Dups);
+  }
+  EXPECT_EQ(A.Total.Tests, B.Total.Tests);
+  EXPECT_EQ(A.Total.Reports, B.Total.Reports);
+  EXPECT_EQ(A.Total.Distinct, B.Total.Distinct);
+  EXPECT_GT(A.Total.Tests, 0u);
+}
+
+TEST(CampaignEngine, MetricsCounterTotalsAreIdenticalAcrossJobCounts) {
+  // Counter totals are commutative sums, so they must not depend on how
+  // jobs interleave. (Each gtest binary test runs in its own process, so
+  // resetting the global registry here cannot race another test.)
+  using telemetry::MetricsRegistry;
+  BugFindingConfig Config;
+  Config.TestsPerTool = 40;
+  Config.NumGroups = 4;
+
+  MetricsRegistry::global().setEnabled(true);
+  MetricsRegistry::global().reset();
+  {
+    CampaignEngine Serial = makeEngine(1);
+    Serial.runBugFinding(Config);
+  }
+  std::map<std::string, uint64_t> SerialCounters =
+      MetricsRegistry::global().snapshot().Counters;
+
+  MetricsRegistry::global().reset();
+  {
+    CampaignEngine Parallel = makeEngine(8);
+    Parallel.runBugFinding(Config);
+  }
+  std::map<std::string, uint64_t> ParallelCounters =
+      MetricsRegistry::global().snapshot().Counters;
+  MetricsRegistry::global().reset();
+  MetricsRegistry::global().setEnabled(false);
+
+  EXPECT_EQ(SerialCounters, ParallelCounters);
+  EXPECT_FALSE(SerialCounters.empty());
+}
+
+TEST(CampaignEngine, DeadlineTruncatesWork) {
+  CampaignEngine Engine(ExecutionPolicy{}
+                            .withJobs(2)
+                            .withTransformationLimit(120)
+                            .withDeadline(std::chrono::milliseconds(1)),
+                        smallCorpus());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(Engine.deadlineExpired());
+  // An expired deadline means no new work is issued.
+  std::vector<TestEvaluation> Evals =
+      Engine.evaluateTests(Engine.tools()[0], 64);
+  EXPECT_TRUE(Evals.empty());
+  BugFindingData Data = Engine.runBugFinding(BugFindingConfig{});
+  for (const auto &[Tool, PerTarget] : Data.Stats)
+    for (const auto &[TargetName, Stats] : PerTarget)
+      EXPECT_TRUE(Stats.Distinct.empty()) << Tool << "/" << TargetName;
+}
+
+TEST(CampaignEngine, NoDeadlineNeverExpires) {
+  CampaignEngine Engine(ExecutionPolicy{}.withTransformationLimit(120),
+                        smallCorpus());
+  EXPECT_FALSE(Engine.deadlineExpired());
+}
+
+TEST(CampaignEngine, DeprecatedWrappersMatchEngineResults) {
+  // The old free functions must keep producing the engine's answers for
+  // one release. They pin their historical transformation limits (250 for
+  // bug finding), so compare against an engine configured the same way.
+  BugFindingConfig Config;
+  Config.TestsPerTool = 30;
+  Config.NumGroups = 3;
+
+  CampaignEngine Engine(ExecutionPolicy{}.withTransformationLimit(250));
+  BugFindingData FromEngine = Engine.runBugFinding(Config);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  BugFindingData FromWrapper = runBugFinding(Config);
+#pragma GCC diagnostic pop
+  ASSERT_EQ(FromEngine.Stats.size(), FromWrapper.Stats.size());
+  for (const auto &[Tool, PerTarget] : FromEngine.Stats)
+    for (const auto &[TargetName, Stats] : PerTarget)
+      EXPECT_EQ(Stats.Distinct,
+                FromWrapper.Stats.at(Tool).at(TargetName).Distinct)
+          << Tool << "/" << TargetName;
+}
+
+} // namespace

@@ -12,6 +12,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "campaign/CampaignEngine.h"
 #include "campaign/Experiments.h"
 #include "core/FunctionShrinker.h"
 #include "core/TransformationUtil.h"
@@ -25,28 +26,53 @@ using namespace spvfuzz::test;
 namespace {
 
 TEST(Campaign, CorpusHasPaperCounts) {
-  Corpus C = makeCorpus(5);
+  Corpus C = makeCorpus(CorpusSpec{}.withSeed(5));
   EXPECT_EQ(C.References.size(), 21u);
   EXPECT_EQ(C.DonorPrograms.size(), 43u);
   EXPECT_EQ(C.Donors.size(), 43u);
 }
 
 TEST(Campaign, StandardToolsMatchTableThreeConfigurations) {
-  std::vector<ToolConfig> Tools = standardTools();
+  std::vector<ToolConfig> Tools = standardTools(ToolsetSpec{});
   ASSERT_EQ(Tools.size(), 3u);
   EXPECT_EQ(Tools[0].Name, "spirv-fuzz");
   EXPECT_TRUE(Tools[0].Options.EnableRecommendations);
   EXPECT_EQ(Tools[0].Options.Profile, FuzzerProfile::Full);
+  EXPECT_EQ(Tools[0].SeedStream, 0u);
   EXPECT_EQ(Tools[1].Name, "spirv-fuzz-simple");
   EXPECT_FALSE(Tools[1].Options.EnableRecommendations);
   EXPECT_EQ(Tools[1].Options.Profile, FuzzerProfile::Full);
+  EXPECT_EQ(Tools[1].SeedStream, 1u);
   EXPECT_EQ(Tools[2].Name, "glsl-fuzz");
   EXPECT_EQ(Tools[2].Options.Profile, FuzzerProfile::Baseline);
+  EXPECT_EQ(Tools[2].SeedStream, 2u);
+}
+
+TEST(Campaign, ToolsetSpecFilteringKeepsSeedStreams) {
+  std::vector<ToolConfig> Filtered =
+      standardTools(ToolsetSpec{}.withTool("glsl-fuzz"));
+  ASSERT_EQ(Filtered.size(), 1u);
+  EXPECT_EQ(Filtered[0].Name, "glsl-fuzz");
+  // Filtering must not reassign the stream: the surviving tool's per-test
+  // seeds are independent of which other tools run.
+  EXPECT_EQ(Filtered[0].SeedStream, 2u);
+}
+
+TEST(Campaign, TestSeedStreamsAreIndependent) {
+  // Distinct (seed, stream, index) triples give distinct seeds, and the
+  // two-argument compatibility form is stream 0.
+  EXPECT_NE(testSeed(5, 0, 3), testSeed(5, 1, 3));
+  EXPECT_NE(testSeed(5, 0, 3), testSeed(5, 0, 4));
+  EXPECT_NE(testSeed(5, 0, 3), testSeed(6, 0, 3));
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_EQ(testSeed(5, 3), testSeed(5, 0, 3));
+#pragma GCC diagnostic pop
 }
 
 TEST(Campaign, TestRegenerationIsDeterministic) {
-  Corpus C = makeCorpus(5);
-  ToolConfig Tool = standardTools(150)[0];
+  Corpus C = makeCorpus(CorpusSpec{}.withSeed(5));
+  ToolConfig Tool = standardTools(ToolsetSpec{}.withTransformationLimit(150))[0];
   size_t RefA = 0, RefB = 0;
   FuzzResult A = regenerateTest(C, Tool, 99, 7, RefA);
   FuzzResult B = regenerateTest(C, Tool, 99, 7, RefB);
@@ -57,8 +83,9 @@ TEST(Campaign, TestRegenerationIsDeterministic) {
 }
 
 TEST(Campaign, BaselineProfileAvoidsFineGrainedKinds) {
-  Corpus C = makeCorpus(5);
-  ToolConfig Baseline = standardTools(250)[2];
+  Corpus C = makeCorpus(CorpusSpec{}.withSeed(5));
+  ToolConfig Baseline =
+      standardTools(ToolsetSpec{}.withTransformationLimit(250))[2];
   for (size_t TestIndex = 0; TestIndex < 10; ++TestIndex) {
     size_t Ref = 0;
     FuzzResult Fuzzed = regenerateTest(C, Baseline, 1, TestIndex, Ref);
@@ -73,8 +100,9 @@ TEST(Campaign, BaselineProfileAvoidsFineGrainedKinds) {
 }
 
 TEST(Campaign, EvaluateTestFindsSomeBugOverManySeeds) {
-  Corpus C = makeCorpus(5);
-  ToolConfig Tool = standardTools(250)[0];
+  Corpus C = makeCorpus(CorpusSpec{}.withSeed(5));
+  ToolConfig Tool =
+      standardTools(ToolsetSpec{}.withTransformationLimit(250))[0];
   std::vector<Target> Targets = standardTargets();
   size_t Bugs = 0;
   for (size_t TestIndex = 0; TestIndex < 20; ++TestIndex)
@@ -166,10 +194,11 @@ TEST(Experiments, EnvSizeParsesOverrides) {
 }
 
 TEST(Experiments, SmallBugFindingRunHasPaperShape) {
+  CampaignEngine Engine(ExecutionPolicy{}.withTransformationLimit(250));
   BugFindingConfig Config;
   Config.TestsPerTool = 60;
   Config.NumGroups = 6;
-  BugFindingData Data = runBugFinding(Config);
+  BugFindingData Data = Engine.runBugFinding(Config);
   ASSERT_EQ(Data.ToolNames.size(), 3u);
   ASSERT_EQ(Data.TargetNames.size(), 9u);
 
@@ -192,11 +221,12 @@ TEST(Experiments, SmallBugFindingRunHasPaperShape) {
 }
 
 TEST(Experiments, SmallReductionRunHasPaperShape) {
+  CampaignEngine Engine(ExecutionPolicy{}.withTransformationLimit(150));
   ReductionConfig Config;
   Config.TestsPerTool = 40;
   Config.MaxReductionsPerTool = 15;
   Config.CapPerSignature = 3;
-  ReductionData Data = runReductions(Config);
+  ReductionData Data = Engine.runReductions(Config);
   std::vector<ReductionRecord> SpirvRecords = Data.forTool("spirv-fuzz");
   std::vector<ReductionRecord> GlslRecords = Data.forTool("glsl-fuzz");
   ASSERT_FALSE(SpirvRecords.empty());
@@ -210,11 +240,12 @@ TEST(Experiments, SmallReductionRunHasPaperShape) {
 }
 
 TEST(Experiments, SmallDedupRunHasPaperShape) {
+  CampaignEngine Engine(ExecutionPolicy{}.withTransformationLimit(150));
   ReductionConfig Config;
   Config.TestsPerTool = 50;
   Config.MaxReductionsPerTool = 40;
   Config.CapPerSignature = 3;
-  DedupData Data = runDedup(Config);
+  DedupData Data = Engine.runDedup(Config);
   ASSERT_FALSE(Data.PerTarget.empty());
   // NVIDIA is excluded (as in the paper).
   for (const DedupTargetResult &Row : Data.PerTarget)

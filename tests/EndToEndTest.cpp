@@ -38,8 +38,10 @@ TEST(EndToEnd, FigureThreeDontInlineDelta) {
   static std::vector<Target> Targets = standardTargets();
   const Target *SwiftShader = targetNamed(Targets, "SwiftShader");
   ASSERT_NE(SwiftShader, nullptr);
-  Corpus C = makeCorpus(3, /*NumReferences=*/6, /*NumDonors=*/4);
-  ToolConfig Tool = standardTools(250)[0];
+  Corpus C = makeCorpus(
+      CorpusSpec{}.withSeed(3).withReferences(6).withDonors(4));
+  ToolConfig Tool =
+      standardTools(ToolsetSpec{}.withTransformationLimit(250))[0];
   const char *Signature = bugSignature(BugPoint::CrashDontInlineAttribute);
 
   bool Found = false;
@@ -74,13 +76,14 @@ TEST(EndToEnd, MiscompilationDetectedAndReduced) {
   static std::vector<Target> Targets = standardTargets();
   const Target *Mesa = targetNamed(Targets, "Mesa");
   ASSERT_NE(Mesa, nullptr);
-  Corpus C = makeCorpus(2021);
-  ToolConfig Tool = standardTools(250)[0];
+  Corpus C = makeCorpus(CorpusSpec{}.withSeed(11));
+  ToolConfig Tool =
+      standardTools(ToolsetSpec{}.withTransformationLimit(250))[0];
 
   bool Found = false;
   for (size_t TestIndex = 0; TestIndex < 400 && !Found; ++TestIndex) {
     size_t Ref = 0;
-    FuzzResult Fuzzed = regenerateTest(C, Tool, 2021, TestIndex, Ref);
+    FuzzResult Fuzzed = regenerateTest(C, Tool, 11, TestIndex, Ref);
     const GeneratedProgram &Reference = C.References[Ref];
     TargetRun Run = Mesa->run(Fuzzed.Variant, Reference.Input);
     if (Run.RunKind != TargetRun::Kind::Executed)
@@ -154,8 +157,10 @@ TEST(EndToEnd, BugReportSurvivesTextAndSequenceRoundTrip) {
   // crash — this is what makes reports actionable.
   static std::vector<Target> Targets = standardTargets();
   const Target *NVidia = targetNamed(Targets, "NVIDIA");
-  Corpus C = makeCorpus(7, 6, 4);
-  ToolConfig Tool = standardTools(250)[0];
+  Corpus C = makeCorpus(
+      CorpusSpec{}.withSeed(7).withReferences(6).withDonors(4));
+  ToolConfig Tool =
+      standardTools(ToolsetSpec{}.withTransformationLimit(250))[0];
 
   for (size_t TestIndex = 0; TestIndex < 120; ++TestIndex) {
     size_t Ref = 0;

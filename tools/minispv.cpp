@@ -18,6 +18,8 @@
 ///   minispv reduce   prog.mvs --inputs prog.in --sequence seq.txt
 ///                    --target NAME (--signature SIG | --miscompilation)
 ///                    -o reduced.mvs --out-sequence min.txt
+///   minispv campaign [--jobs N] [--tests N] [--seed N] [--limit N]
+///                    [--deadline-ms N]
 ///   minispv targets
 ///   minispv report   metrics.json
 ///
@@ -33,6 +35,7 @@
 
 #include "analysis/Validator.h"
 #include "campaign/Campaign.h"
+#include "campaign/CampaignEngine.h"
 #include "core/FunctionShrinker.h"
 #include "core/Fuzzer.h"
 #include "core/Reducer.h"
@@ -318,11 +321,10 @@ int cmdReduce(const Args &A) {
   std::vector<Target> Targets = standardTargets();
   const Target *T = findTarget(Targets, A.require("target"));
 
-  std::string Signature = A.has("miscompilation")
-                              ? std::string(MiscompilationSignature)
-                              : A.require("signature");
   InterestingnessTest Test =
-      makeInterestingnessTest(*T, Signature, M, Input);
+      A.has("miscompilation")
+          ? makeMiscompilationInterestingness(*T, M, Input)
+          : makeCrashInterestingness(*T, A.require("signature"), Input);
 
   ReduceResult Reduced = reduceSequence(M, Input, Sequence, Test);
   bool HasAddFunction = false;
@@ -345,6 +347,43 @@ int cmdReduce(const Args &A) {
              static_cast<long>(M.instructionCount()));
   printf("--- original vs reduced variant ---\n%s",
          diffModuleText(M, Reduced.ReducedVariant).c_str());
+  return 0;
+}
+
+int cmdCampaign(const Args &A) {
+  size_t Jobs = strtoull(A.get("jobs", "1").c_str(), nullptr, 10);
+  ExecutionPolicy Policy =
+      ExecutionPolicy{}
+          .withJobs(Jobs)
+          .withSeed(strtoull(A.get("seed", "2021").c_str(), nullptr, 10))
+          .withTransformationLimit(static_cast<uint32_t>(
+              strtoul(A.get("limit", "250").c_str(), nullptr, 10)))
+          .withDeadline(std::chrono::milliseconds(
+              strtoull(A.get("deadline-ms", "0").c_str(), nullptr, 10)));
+  CampaignEngine Engine(Policy);
+  BugFindingConfig Config;
+  Config.TestsPerTool =
+      strtoull(A.get("tests", "100").c_str(), nullptr, 10);
+
+  printf("campaign: %zu tests per tool, seed %llu, limit %u, jobs %zu\n",
+         Config.TestsPerTool,
+         static_cast<unsigned long long>(Policy.Seed),
+         Policy.TransformationLimit, Policy.Jobs);
+  BugFindingData Data = Engine.runBugFinding(Config);
+
+  for (const std::string &Tool : Data.ToolNames) {
+    ToolTargetStats All = Data.allTargets(Tool);
+    printf("%-18s %zu distinct bugs", Tool.c_str(), All.Distinct.size());
+    std::string Detail;
+    for (const std::string &TargetName : Data.TargetNames) {
+      size_t Count = Data.Stats[Tool][TargetName].Distinct.size();
+      if (Count)
+        Detail += " " + TargetName + "=" + std::to_string(Count);
+    }
+    printf("%s\n", Detail.empty() ? " (none)" : Detail.c_str());
+  }
+  if (Engine.deadlineExpired())
+    printf("note: deadline hit; results are truncated\n");
   return 0;
 }
 
@@ -381,6 +420,8 @@ int dispatch(const std::string &Command, const Args &A) {
     return cmdReplay(A);
   if (Command == "reduce")
     return cmdReduce(A);
+  if (Command == "campaign")
+    return cmdCampaign(A);
   if (Command == "targets")
     return cmdTargets();
   if (Command == "report")
@@ -394,7 +435,7 @@ int main(int Argc, char **Argv) {
   if (Argc < 2) {
     fprintf(stderr,
             "usage: minispv "
-            "<gen|validate|run|fuzz|replay|reduce|targets|report> "
+            "<gen|validate|run|fuzz|replay|reduce|campaign|targets|report> "
             "[--metrics-out m.json] [--trace-out t.jsonl] ...\n");
     return 1;
   }
