@@ -44,9 +44,11 @@ static void printToolSummary(const ReductionData &Data,
 }
 
 int main(int argc, char **argv) {
-  bench::BenchTelemetry Telemetry({"target.compiles", "campaign.reductions",
-                                   "reducer.checks",
-                                   "baseline_reducer.checks"});
+  bench::BenchTelemetry Telemetry(
+      {"target.compiles", "campaign.reductions", "reducer.checks",
+       "baseline_reducer.checks", "reducer.speculative_checks",
+       "evalcache.hits", "evalcache.misses", "replaycache.replays",
+       "replaycache.transformations_skipped"});
   size_t Jobs = bench::parseJobs(argc, argv);
   CampaignEngine Engine(
       ExecutionPolicy{}.withJobs(Jobs).withTransformationLimit(150));

@@ -11,6 +11,10 @@
 /// must be dominated by definitions) and by several transformations
 /// (MoveBlockDown, PropagateInstructionUp).
 ///
+/// Dominance queries are answered in O(1) from a DFS interval numbering of
+/// the tree computed at construction time: A dominates B iff A's interval
+/// contains B's.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ANALYSIS_DOMINATORS_H
@@ -27,8 +31,8 @@ public:
   /// Returns the immediate dominator of \p Block, or InvalidId for the
   /// entry block and for unreachable blocks.
   Id immediateDominator(Id Block) const {
-    auto It = Idom.find(Block);
-    return It == Idom.end() ? InvalidId : It->second;
+    auto It = Nodes.find(Block);
+    return It == Nodes.end() ? InvalidId : It->second.Idom;
   }
 
   /// True if \p A dominates \p B (reflexively). Unreachable blocks
@@ -39,8 +43,14 @@ public:
   bool strictlyDominates(Id A, Id B) const { return A != B && dominates(A, B); }
 
 private:
+  struct Node {
+    Id Idom = InvalidId;
+    uint32_t In = 0; // DFS entry time in the dominator tree
+    uint32_t Out = 0; // DFS exit time
+  };
+
   Id Entry = InvalidId;
-  std::unordered_map<Id, Id> Idom;
+  std::unordered_map<Id, Node> Nodes; // reachable blocks only
 };
 
 } // namespace spvfuzz

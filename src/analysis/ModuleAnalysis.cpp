@@ -8,40 +8,69 @@
 
 using namespace spvfuzz;
 
-ModuleAnalysis::ModuleAnalysis(const Module &M) {
-  auto CountUses = [&](const Instruction &Inst) {
-    Inst.forEachUsedId([&](Id Used) { ++Uses[Used]; });
+ModuleAnalysis::ModuleAnalysis(const Module &M) : M(&M) {
+  // Ids are dense (below M.Bound), so the def table is a flat vector filled
+  // with plain stores — this runs once per transformation attempt on both
+  // the fuzzing and replay hot paths. Out-of-bound ids (only possible in a
+  // module the validator will reject anyway) are ignored rather than
+  // indexed.
+  Defs.assign(M.Bound, DefInfo{});
+  auto Set = [this](Id TheId, DefInfo Info) {
+    if (TheId < Defs.size())
+      Defs[TheId] = Info;
   };
-
-  for (const Instruction &Inst : M.GlobalInsts) {
-    Defs[Inst.Result] = DefInfo{DefInfo::Kind::Global, InvalidId, InvalidId, 0};
-    CountUses(Inst);
-  }
+  for (const Instruction &Inst : M.GlobalInsts)
+    Set(Inst.Result,
+        DefInfo{DefInfo::Kind::Global, InvalidId, InvalidId, 0, &Inst});
+  FuncsById.reserve(M.Functions.size());
+  BlockSizes.reserve(M.Functions.size());
   for (const Function &Func : M.Functions) {
-    Defs[Func.Def.Result] =
-        DefInfo{DefInfo::Kind::FunctionDef, Func.id(), InvalidId, 0};
-    CountUses(Func.Def);
-    for (const Instruction &Param : Func.Params) {
-      Defs[Param.Result] =
-          DefInfo{DefInfo::Kind::Param, Func.id(), InvalidId, 0};
-      CountUses(Param);
-    }
+    FuncsById[Func.id()] = &Func;
+    Set(Func.Def.Result,
+        DefInfo{DefInfo::Kind::FunctionDef, Func.id(), InvalidId, 0,
+                &Func.Def});
+    for (const Instruction &Param : Func.Params)
+      Set(Param.Result,
+          DefInfo{DefInfo::Kind::Param, Func.id(), InvalidId, 0, &Param});
+    std::unordered_map<Id, size_t> &FuncBlockSizes = BlockSizes[Func.id()];
+    FuncBlockSizes.reserve(Func.Blocks.size());
     for (const BasicBlock &Block : Func.Blocks) {
-      Defs[Block.LabelId] =
-          DefInfo{DefInfo::Kind::Label, Func.id(), Block.LabelId, 0};
-      BlockSizes[Func.id()][Block.LabelId] = Block.Body.size();
+      Set(Block.LabelId,
+          DefInfo{DefInfo::Kind::Label, Func.id(), Block.LabelId, 0,
+                  nullptr});
+      FuncBlockSizes[Block.LabelId] = Block.Body.size();
       for (size_t I = 0, E = Block.Body.size(); I != E; ++I) {
         const Instruction &Inst = Block.Body[I];
         if (Inst.Result != InvalidId)
-          Defs[Inst.Result] =
-              DefInfo{DefInfo::Kind::Body, Func.id(), Block.LabelId, I};
-        CountUses(Inst);
+          Set(Inst.Result, DefInfo{DefInfo::Kind::Body, Func.id(),
+                                   Block.LabelId, I, &Inst});
       }
     }
-    Cfgs[Func.id()] = std::make_unique<Cfg>(Func);
-    DomTrees[Func.id()] =
-        std::make_unique<DominatorTree>(Func, *Cfgs[Func.id()]);
   }
+}
+
+size_t ModuleAnalysis::useCount(Id TheId) const {
+  if (!UsesBuilt) {
+    UsesBuilt = true;
+    Uses.assign(M->Bound, 0);
+    auto CountUses = [&](const Instruction &Inst) {
+      Inst.forEachUsedId([&](Id Used) {
+        if (Used < Uses.size())
+          ++Uses[Used];
+      });
+    };
+    for (const Instruction &Inst : M->GlobalInsts)
+      CountUses(Inst);
+    for (const Function &Func : M->Functions) {
+      CountUses(Func.Def);
+      for (const Instruction &Param : Func.Params)
+        CountUses(Param);
+      for (const BasicBlock &Block : Func.Blocks)
+        for (const Instruction &Inst : Block.Body)
+          CountUses(Inst);
+    }
+  }
+  return TheId < Uses.size() ? Uses[TheId] : 0;
 }
 
 bool ModuleAnalysis::idAvailableBefore(Id ValueId, Id FuncId, Id BlockId,
@@ -50,6 +79,8 @@ bool ModuleAnalysis::idAvailableBefore(Id ValueId, Id FuncId, Id BlockId,
   if (!Info)
     return false;
   switch (Info->DefKind) {
+  case DefInfo::Kind::None:
+    return false; // unreachable: defInfo() filters empty slots
   case DefInfo::Kind::Global:
     return true;
   case DefInfo::Kind::FunctionDef:
@@ -80,12 +111,23 @@ bool ModuleAnalysis::idAvailableAtEnd(Id ValueId, Id FuncId, Id BlockId) const {
 
 const Cfg &ModuleAnalysis::cfg(Id FuncId) const {
   auto It = Cfgs.find(FuncId);
-  assert(It != Cfgs.end() && "unknown function");
+  if (It == Cfgs.end()) {
+    auto FuncIt = FuncsById.find(FuncId);
+    assert(FuncIt != FuncsById.end() && "unknown function");
+    It = Cfgs.emplace(FuncId, std::make_unique<Cfg>(*FuncIt->second)).first;
+  }
   return *It->second;
 }
 
 const DominatorTree &ModuleAnalysis::domTree(Id FuncId) const {
   auto It = DomTrees.find(FuncId);
-  assert(It != DomTrees.end() && "unknown function");
+  if (It == DomTrees.end()) {
+    auto FuncIt = FuncsById.find(FuncId);
+    assert(FuncIt != FuncsById.end() && "unknown function");
+    It = DomTrees
+             .emplace(FuncId, std::make_unique<DominatorTree>(*FuncIt->second,
+                                                              cfg(FuncId)))
+             .first;
+  }
   return *It->second;
 }

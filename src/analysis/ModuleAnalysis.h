@@ -11,6 +11,13 @@
 /// dominating position), which is MiniSPV's (and SPIR-V's) core scoping
 /// rule. Invalidated by any module mutation; rebuild after transforming.
 ///
+/// An analysis is constructed once per transformation attempt on both the
+/// fuzzing and replay hot paths, so construction builds only the def-site
+/// index eagerly; use counts, CFGs and dominator trees are computed
+/// on first query (most precondition checks never ask for them). The lazy
+/// state makes a ModuleAnalysis instance single-threaded: construct one
+/// per thread, never share.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ANALYSIS_MODULEANALYSIS_H
@@ -28,17 +35,33 @@ public:
   explicit ModuleAnalysis(const Module &M);
 
   struct DefInfo {
-    enum class Kind { Global, FunctionDef, Param, Body, Label };
-    Kind DefKind = Kind::Global;
+    enum class Kind { None, Global, FunctionDef, Param, Body, Label };
+    Kind DefKind = Kind::None;
     Id FuncId = InvalidId;  // for Param/Body/Label/FunctionDef
     Id BlockId = InvalidId; // for Body/Label
     size_t Index = 0;       // for Body: index into the block
+    /// The defining instruction; nullptr for labels (which, as in
+    /// Module::findDef, have no instruction). Valid while the analysed
+    /// module is unchanged.
+    const Instruction *Inst = nullptr;
   };
 
-  /// Returns the definition site of \p TheId, or nullptr.
+  /// Returns the definition site of \p TheId, or nullptr. Ids are dense
+  /// (always below Module::Bound), so the table is a flat vector and the
+  /// lookup is an index, not a hash.
   const DefInfo *defInfo(Id TheId) const {
-    auto It = Defs.find(TheId);
-    return It == Defs.end() ? nullptr : &It->second;
+    if (TheId >= Defs.size())
+      return nullptr;
+    const DefInfo &Info = Defs[TheId];
+    return Info.DefKind == DefInfo::Kind::None ? nullptr : &Info;
+  }
+
+  /// O(1) equivalent of Module::findDef over the analysed module: the
+  /// defining instruction of \p TheId, or nullptr for unknown ids and
+  /// labels.
+  const Instruction *def(Id TheId) const {
+    const DefInfo *Info = defInfo(TheId);
+    return Info ? Info->Inst : nullptr;
   }
 
   /// True if \p ValueId may be used by the instruction at position
@@ -53,21 +76,23 @@ public:
   bool idAvailableAtEnd(Id ValueId, Id FuncId, Id BlockId) const;
 
   /// Number of id uses of \p TheId across the module (including phi and
-  /// branch operands and result types).
-  size_t useCount(Id TheId) const {
-    auto It = Uses.find(TheId);
-    return It == Uses.end() ? 0 : It->second;
-  }
+  /// branch operands and result types). Counted on first call.
+  size_t useCount(Id TheId) const;
 
+  /// Built on first query per function.
   const Cfg &cfg(Id FuncId) const;
   const DominatorTree &domTree(Id FuncId) const;
 
 private:
-  std::unordered_map<Id, DefInfo> Defs;
-  std::unordered_map<Id, size_t> Uses;
-  std::unordered_map<Id, std::unique_ptr<Cfg>> Cfgs;
-  std::unordered_map<Id, std::unique_ptr<DominatorTree>> DomTrees;
+  const Module *M = nullptr;
+  std::vector<DefInfo> Defs; // indexed by id, sized to the module bound
+  std::unordered_map<Id, const Function *> FuncsById;
   std::unordered_map<Id, std::unordered_map<Id, size_t>> BlockSizes;
+  // Lazily materialized query state (see file comment: single-threaded).
+  mutable bool UsesBuilt = false;
+  mutable std::vector<size_t> Uses; // indexed by id
+  mutable std::unordered_map<Id, std::unique_ptr<Cfg>> Cfgs;
+  mutable std::unordered_map<Id, std::unique_ptr<DominatorTree>> DomTrees;
 };
 
 } // namespace spvfuzz

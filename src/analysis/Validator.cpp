@@ -80,7 +80,7 @@ private:
       error("entry point " + idStr(M.EntryPointId) + " is not a function");
       return;
     }
-    if (!M.isVoidTypeId(Entry->returnTypeId()))
+    if (!typeIdHasOpcode(Entry->returnTypeId(), Op::TypeVoid))
       error("entry point must return void");
     if (!Entry->Params.empty())
       error("entry point must have no parameters");
@@ -88,14 +88,29 @@ private:
 
   // --- Global section ------------------------------------------------------
 
+  // All def/type queries go through the analysis's O(1) def index (the
+  // module is constant for the lifetime of a validation run); results are
+  // identical to the Module::findDef-based queries, only cheaper.
   bool isTypeId(Id TheId) {
-    const Instruction *Def = M.findDef(TheId);
+    const Instruction *Def = Analysis->def(TheId);
     return Def && isTypeDecl(Def->Opcode);
   }
 
   bool isConstantId(Id TheId) {
-    const Instruction *Def = M.findDef(TheId);
+    const Instruction *Def = Analysis->def(TheId);
     return Def && isConstantDecl(Def->Opcode);
+  }
+
+  bool typeIdHasOpcode(Id TypeId, Op Opcode) {
+    const Instruction *Def = Analysis->def(TypeId);
+    return Def && Def->Opcode == Opcode;
+  }
+
+  std::pair<StorageClass, Id> pointerInfo(Id PointerTypeId) {
+    const Instruction *Def = Analysis->def(PointerTypeId);
+    assert(Def && Def->Opcode == Op::TypePointer && "not a pointer type");
+    return {static_cast<StorageClass>(Def->literalOperand(0)),
+            Def->idOperand(1)};
   }
 
   void checkGlobals() {
@@ -126,7 +141,8 @@ private:
           break;
         }
         Id Component = Inst.idOperand(0);
-        if (!M.isIntTypeId(Component) && !M.isBoolTypeId(Component))
+        if (!typeIdHasOpcode(Component, Op::TypeInt) &&
+            !typeIdHasOpcode(Component, Op::TypeBool))
           error("vector component type must be scalar");
         uint32_t Count = Inst.literalOperand(1);
         if (Count < 2 || Count > 4)
@@ -134,16 +150,16 @@ private:
         break;
       }
       case Op::TypeStruct:
-        for (const Operand &Op : Inst.Operands)
-          if (!Op.isId() || !isTypeId(Op.asId()) ||
-              M.isPointerTypeId(Op.asId()))
+        for (const Operand &Member : Inst.Operands)
+          if (!Member.isId() || !isTypeId(Member.asId()) ||
+              typeIdHasOpcode(Member.asId(), Op::TypePointer))
             error("struct members must be non-pointer types");
         break;
       case Op::TypePointer:
         if (Inst.Operands.size() != 2 || !Inst.Operands[0].isLiteral() ||
             !isTypeId(Inst.idOperand(1)))
           error("malformed OpTypePointer");
-        else if (M.isPointerTypeId(Inst.idOperand(1)))
+        else if (typeIdHasOpcode(Inst.idOperand(1), Op::TypePointer))
           error("pointers to pointers are not supported");
         break;
       case Op::TypeFunction:
@@ -153,11 +169,12 @@ private:
         break;
       case Op::ConstantTrue:
       case Op::ConstantFalse:
-        if (!M.isBoolTypeId(Inst.ResultType))
+        if (!typeIdHasOpcode(Inst.ResultType, Op::TypeBool))
           error("boolean constant must have bool type");
         break;
       case Op::Constant:
-        if (!M.isIntTypeId(Inst.ResultType) || Inst.Operands.size() != 1 ||
+        if (!typeIdHasOpcode(Inst.ResultType, Op::TypeInt) ||
+            Inst.Operands.size() != 1 ||
             !Inst.Operands[0].isLiteral())
           error("malformed OpConstant");
         break;
@@ -186,7 +203,7 @@ private:
     }
     for (size_t I = 0; I != MemberTypes.size(); ++I) {
       Id Component = Inst.idOperand(I);
-      if (!isConstantId(Component) || M.typeOfId(Component) != MemberTypes[I])
+      if (!isConstantId(Component) || typeOf(Component) != MemberTypes[I])
         error("OpConstantComposite component " + std::to_string(I) +
               " has wrong type or is not a constant");
     }
@@ -202,11 +219,11 @@ private:
       error("Function-storage variable in global section");
       return;
     }
-    if (!M.isPointerTypeId(Inst.ResultType)) {
+    if (!typeIdHasOpcode(Inst.ResultType, Op::TypePointer)) {
       error("OpVariable result type must be a pointer");
       return;
     }
-    auto [PtrSC, Pointee] = M.pointerInfo(Inst.ResultType);
+    auto [PtrSC, Pointee] = pointerInfo(Inst.ResultType);
     if (PtrSC != SC)
       error("variable/pointer storage class mismatch");
     switch (SC) {
@@ -218,7 +235,7 @@ private:
     case StorageClass::Private:
       if (Inst.Operands.size() == 2) {
         Id Init = Inst.idOperand(1);
-        if (!isConstantId(Init) || M.typeOfId(Init) != Pointee)
+        if (!isConstantId(Init) || typeOf(Init) != Pointee)
           error("bad Private variable initializer");
       } else if (Inst.Operands.size() != 1) {
         error("malformed Private variable");
@@ -231,7 +248,7 @@ private:
 
   /// Fills \p Out with the member types of a vector or struct type.
   bool compositeMemberTypes(Id TypeId, std::vector<Id> &Out) {
-    const Instruction *Def = M.findDef(TypeId);
+    const Instruction *Def = Analysis->def(TypeId);
     if (!Def)
       return false;
     if (Def->Opcode == Op::TypeVector) {
@@ -250,7 +267,7 @@ private:
 
   void checkFunction(const Function &Func) {
     std::string Where = "function " + idStr(Func.id()) + ": ";
-    const Instruction *FuncType = M.findDef(Func.functionTypeId());
+    const Instruction *FuncType = Analysis->def(Func.functionTypeId());
     if (!FuncType || FuncType->Opcode != Op::TypeFunction) {
       error(Where + "bad function type");
       return;
@@ -323,7 +340,10 @@ private:
     }
   }
 
-  Id typeOf(Id ValueId) { return M.typeOfId(ValueId); }
+  Id typeOf(Id ValueId) {
+    const Instruction *Def = Analysis->def(ValueId);
+    return Def ? Def->ResultType : InvalidId;
+  }
 
   void checkValueOperand(const std::string &Where, const Function &Func,
                          const BasicBlock &Block, size_t Index, Id ValueId) {
@@ -388,11 +408,11 @@ private:
         error(Where + "local variables must have Function storage");
         break;
       }
-      if (!M.isPointerTypeId(Inst.ResultType)) {
+      if (!typeIdHasOpcode(Inst.ResultType, Op::TypePointer)) {
         error(Where + "variable result type must be a pointer");
         break;
       }
-      auto [SC, Pointee] = M.pointerInfo(Inst.ResultType);
+      auto [SC, Pointee] = pointerInfo(Inst.ResultType);
       if (SC != StorageClass::Function)
         error(Where + "pointer storage class mismatch");
       if (Inst.Operands.size() == 2) {
@@ -410,11 +430,11 @@ private:
       Id Pointer = Inst.idOperand(0);
       checkValueOperand(Where, Func, Block, Index, Pointer);
       Id PtrType = typeOf(Pointer);
-      if (!M.isPointerTypeId(PtrType)) {
+      if (!typeIdHasOpcode(PtrType, Op::TypePointer)) {
         error(Where + "load from non-pointer");
         break;
       }
-      auto [SC, Pointee] = M.pointerInfo(PtrType);
+      auto [SC, Pointee] = pointerInfo(PtrType);
       if (SC == StorageClass::Output)
         error(Where + "load from Output variable");
       if (Pointee != Inst.ResultType)
@@ -427,11 +447,11 @@ private:
       Id Pointer = Inst.idOperand(0);
       checkValueOperand(Where, Func, Block, Index, Pointer);
       Id PtrType = typeOf(Pointer);
-      if (!M.isPointerTypeId(PtrType)) {
+      if (!typeIdHasOpcode(PtrType, Op::TypePointer)) {
         error(Where + "store to non-pointer");
         break;
       }
-      auto [SC, Pointee] = M.pointerInfo(PtrType);
+      auto [SC, Pointee] = pointerInfo(PtrType);
       if (SC == StorageClass::Uniform)
         error(Where + "store to Uniform variable");
       RequireValue(1, Pointee);
@@ -582,7 +602,7 @@ private:
       checkLabelOperand(Where, Func, Inst.idOperand(2));
       break;
     case Op::Return:
-      if (!M.isVoidTypeId(Func.returnTypeId()))
+      if (!typeIdHasOpcode(Func.returnTypeId(), Op::TypeVoid))
         error(Where + "value-returning function returns void");
       break;
     case Op::ReturnValue:

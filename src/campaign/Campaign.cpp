@@ -154,9 +154,7 @@ InterestingnessTest
 spvfuzz::makeInterestingnessTest(const Target &T, const std::string &Signature,
                                  const Module &Original,
                                  const ShaderInput &Input) {
-  if (Signature != MiscompilationSignature)
-    return makeCrashInterestingness(T, Signature, Input);
-  return makeMiscompilationInterestingness(T, Original, Input);
+  return makeInterestingnessTestFor(T, Signature, Original, Input);
 }
 
 //===----------------------------------------------------------------------===//

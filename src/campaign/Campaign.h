@@ -138,7 +138,18 @@ FuzzResult regenerateTest(const Corpus &C, const ToolConfig &Tool,
 
 /// Builds the interestingness test for a bug found on \p T: dispatches to
 /// makeCrashInterestingness / makeMiscompilationInterestingness on whether
-/// \p Signature is MiscompilationSignature.
+/// \p Signature is MiscompilationSignature. Templated so cache-aware
+/// wrappers (target/EvalCache.h's CachedTarget) fit as well as plain
+/// Targets; \p T is captured by pointer and must outlive the test.
+template <typename TargetT>
+InterestingnessTest
+makeInterestingnessTestFor(const TargetT &T, const std::string &Signature,
+                           const Module &Original, const ShaderInput &Input) {
+  if (Signature != MiscompilationSignature)
+    return makeCrashInterestingness(T, Signature, Input);
+  return makeMiscompilationInterestingness(T, Original, Input);
+}
+
 InterestingnessTest
 makeInterestingnessTest(const Target &T, const std::string &Signature,
                         const Module &Original, const ShaderInput &Input);

@@ -27,6 +27,10 @@ CampaignEngine::CampaignEngine(ExecutionPolicy PolicyIn, CorpusSpec CorpusOpts,
   CorpusData = makeCorpus(CorpusOpts);
   Tools = standardTools(ToolOpts);
   Targets = standardTargets();
+  Eval = std::make_unique<EvalCache>(Policy.EvalCacheBudget);
+  CachedTargets.reserve(Targets.size());
+  for (const Target &T : Targets)
+    CachedTargets.emplace_back(T, *Eval);
   if (Policy.Jobs != 1)
     Pool = std::make_unique<ThreadPool>(Policy.Jobs);
 }
@@ -168,11 +172,23 @@ BugFindingData CampaignEngine::runBugFinding(const BugFindingConfig &Config) {
 
 namespace {
 
+/// What one wave scan job learns about one test: the (target index,
+/// signature) pairs that expose a bug and, when there are any, the fuzzed
+/// variant itself, kept so the reduction phase can reuse it instead of
+/// re-running the (deterministic but not free) fuzzer. Outcomes live until
+/// the end of the wave.
+struct ScanOutcome {
+  std::vector<std::pair<size_t, std::string>> Found;
+  FuzzResult Fuzzed;
+  size_t ReferenceIndex = 0;
+};
+
 /// One reduction accepted by the serial cap/budget decision loop.
 struct ReductionTask {
   size_t TestIndex = 0;
-  const Target *T = nullptr;
+  const CachedTarget *T = nullptr;
   std::string Signature;
+  const ScanOutcome *Scan = nullptr; // owned by the wave's scan results
 };
 
 } // namespace
@@ -187,15 +203,20 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
   if (WantedTools.empty())
     WantedTools = {"spirv-fuzz", "glsl-fuzz"};
 
-  std::vector<const Target *> Wanted;
-  for (const Target &T : Targets)
+  // Cache-aware target views: every scan and interestingness run in this
+  // phase (and the dedup phase built on it) goes through the engine's
+  // EvalCache.
+  std::vector<const CachedTarget *> Wanted;
+  for (const CachedTarget &T : CachedTargets)
     if (std::find(WantedTargets.begin(), WantedTargets.end(), T.name()) !=
         WantedTargets.end())
       Wanted.push_back(&T);
 
-  // Per test: the (target, signature) pairs that expose a bug, in target
-  // order. nullopt marks a job cut short by the deadline.
-  using ScanResult = std::optional<std::vector<std::pair<size_t, std::string>>>;
+  ReduceOptions ReduceOpts;
+  ReduceOpts.SnapshotInterval = Policy.ReplaySnapshotInterval;
+
+  // nullopt marks a scan job cut short by the deadline.
+  using ScanResult = std::optional<ScanOutcome>;
 
   for (const ToolConfig &Tool : Tools) {
     if (std::find(WantedTools.begin(), WantedTools.end(), Tool.Name) ==
@@ -223,15 +244,15 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
                             Index]() -> ScanResult {
           if (cancelled())
             return std::nullopt;
-          size_t ReferenceIndex = 0;
-          FuzzResult Fuzzed = regenerate(Tool, Index, ReferenceIndex);
-          const GeneratedProgram &Reference = CorpusData.References[ReferenceIndex];
-          std::vector<std::pair<size_t, std::string>> Found;
+          ScanOutcome Out;
+          Out.Fuzzed = regenerate(Tool, Index, Out.ReferenceIndex);
+          const GeneratedProgram &Reference =
+              CorpusData.References[Out.ReferenceIndex];
           for (size_t TargetIdx = 0; TargetIdx < Wanted.size(); ++TargetIdx) {
-            const Target &T = *Wanted[TargetIdx];
-            TargetRun Run = T.run(Fuzzed.Variant, Reference.Input);
+            const CachedTarget &T = *Wanted[TargetIdx];
+            TargetRun Run = T.run(Out.Fuzzed.Variant, Reference.Input);
             if (Run.RunKind == TargetRun::Kind::Crash) {
-              Found.emplace_back(TargetIdx, Run.Signature);
+              Out.Found.emplace_back(TargetIdx, Run.Signature);
               continue;
             }
             if (Config.CrashesOnly || !T.canExecute())
@@ -239,9 +260,11 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
             TargetRun OriginalRun = T.run(Reference.M, Reference.Input);
             if (OriginalRun.RunKind == TargetRun::Kind::Executed &&
                 Run.Result != OriginalRun.Result)
-              Found.emplace_back(TargetIdx, MiscompilationSignature);
+              Out.Found.emplace_back(TargetIdx, MiscompilationSignature);
           }
-          return Found;
+          if (Out.Found.empty())
+            Out.Fuzzed = FuzzResult{}; // nothing to reduce; free the variant
+          return Out;
         });
       std::vector<ScanResult> Scans = runJobs(std::move(ScanJobs));
 
@@ -254,71 +277,98 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
           Truncated = true;
           break;
         }
-        for (const auto &[TargetIdx, Signature] : *Scans[Offset]) {
+        for (const auto &[TargetIdx, Signature] : Scans[Offset]->Found) {
           if (ReductionsDone >= Config.MaxReductionsPerTool)
             break;
-          const Target *T = Wanted[TargetIdx];
+          const CachedTarget *T = Wanted[TargetIdx];
           auto Key = std::make_pair(T->name(), Signature);
           if (SignatureCounts[Key] >= Config.CapPerSignature)
             continue;
           ++SignatureCounts[Key];
-          Accepted.push_back({WaveStart + Offset, T, Signature});
+          Accepted.push_back(
+              {WaveStart + Offset, T, Signature, &*Scans[Offset]});
           ++ReductionsDone;
         }
       }
 
-      // Phase 3 (parallel): run the accepted reductions; aggregate records
-      // in acceptance order.
-      std::vector<std::function<std::optional<ReductionRecord>()>> ReduceJobs;
-      ReduceJobs.reserve(Accepted.size());
-      for (const ReductionTask &Task : Accepted)
-        ReduceJobs.push_back([this, &Tool,
-                              Task]() -> std::optional<ReductionRecord> {
-          if (cancelled())
-            return std::nullopt;
-          size_t ReferenceIndex = 0;
-          FuzzResult Fuzzed = regenerate(Tool, Task.TestIndex, ReferenceIndex);
-          const GeneratedProgram &Reference =
-              CorpusData.References[ReferenceIndex];
+      // Phase 3: run the accepted reductions; aggregate records in
+      // acceptance order. Two schedules, same records:
+      //  - speculative (spirv-fuzz tools, pool available): reductions run
+      //    one at a time on this thread while each reduction speculates
+      //    its delta-debugging candidates across the pool. Reductions must
+      //    not themselves be pool jobs then — a job submitting to and
+      //    blocking on its own pool can deadlock it.
+      //  - otherwise: reductions fan out across the pool as before
+      //    (glsl-fuzz's group reducer has no speculative path).
+      const bool Speculative =
+          Policy.SpeculativeReduction && Pool && Tool.Name != "glsl-fuzz";
+      auto RunTask = [this, &Tool, &ReduceOpts,
+                      Speculative](const ReductionTask &Task)
+          -> std::optional<ReductionRecord> {
+        if (cancelled())
+          return std::nullopt;
+        // The scan already fuzzed this test; reuse its result (tasks for
+        // different targets may share one outcome — reads only).
+        const FuzzResult &Fuzzed = Task.Scan->Fuzzed;
+        const GeneratedProgram &Reference =
+            CorpusData.References[Task.Scan->ReferenceIndex];
 
-          InterestingnessTest Test = makeInterestingnessTest(
-              *Task.T, Task.Signature, Reference.M, Reference.Input);
-          ReduceResult Reduced =
-              Tool.Name == "glsl-fuzz"
-                  ? reduceByGroups(Reference.M, Reference.Input,
-                                   Fuzzed.Sequence, Fuzzed.PassGroups, Test)
-                  : reduceSequence(Reference.M, Reference.Input,
-                                   Fuzzed.Sequence, Test);
-          if (Tool.Name != "glsl-fuzz") {
-            // The ğ3.4 spirv-reduce step: shrink any surviving AddFunction
-            // payloads.
-            bool HasAddFunction = false;
-            for (const TransformationPtr &Tr : Reduced.Minimized)
-              if (Tr->kind() == TransformationKind::AddFunction)
-                HasAddFunction = true;
-            if (HasAddFunction) {
-              size_t PriorChecks = Reduced.Checks;
-              Reduced = shrinkAddFunctions(Reference.M, Reference.Input,
-                                           Reduced.Minimized, Test);
-              Reduced.Checks += PriorChecks;
-            }
+        InterestingnessTest Test = makeInterestingnessTestFor(
+            *Task.T, Task.Signature, Reference.M, Reference.Input);
+        ReduceOptions TaskOpts = ReduceOpts;
+        TaskOpts.Pool = Speculative ? Pool.get() : nullptr;
+        ReduceResult Reduced =
+            Tool.Name == "glsl-fuzz"
+                ? reduceByGroups(Reference.M, Reference.Input,
+                                 Fuzzed.Sequence, Fuzzed.PassGroups, Test)
+                : reduceSequence(Reference.M, Reference.Input,
+                                 Fuzzed.Sequence, Test, TaskOpts);
+        if (Tool.Name != "glsl-fuzz") {
+          // The ğ3.4 spirv-reduce step: shrink any surviving AddFunction
+          // payloads.
+          bool HasAddFunction = false;
+          for (const TransformationPtr &Tr : Reduced.Minimized)
+            if (Tr->kind() == TransformationKind::AddFunction)
+              HasAddFunction = true;
+          if (HasAddFunction) {
+            size_t PriorChecks = Reduced.Checks;
+            size_t PriorSpeculative = Reduced.SpeculativeChecks;
+            Reduced = shrinkAddFunctions(Reference.M, Reference.Input,
+                                         Reduced.Minimized, Test);
+            Reduced.Checks += PriorChecks;
+            Reduced.SpeculativeChecks += PriorSpeculative;
           }
+        }
 
-          ReductionRecord Record;
-          Record.Tool = Tool.Name;
-          Record.TargetName = Task.T->name();
-          Record.Signature = Task.Signature;
-          Record.TestIndex = Task.TestIndex;
-          Record.OriginalCount = Reference.M.instructionCount();
-          Record.UnreducedCount = Fuzzed.Variant.instructionCount();
-          Record.ReducedCount = Reduced.ReducedVariant.instructionCount();
-          Record.MinimizedLength = Reduced.Minimized.size();
-          Record.Checks = Reduced.Checks;
-          Record.Types = dedupTypesOf(Reduced.Minimized);
-          return Record;
-        });
-      for (std::optional<ReductionRecord> &Record :
-           runJobs(std::move(ReduceJobs))) {
+        ReductionRecord Record;
+        Record.Tool = Tool.Name;
+        Record.TargetName = Task.T->name();
+        Record.Signature = Task.Signature;
+        Record.TestIndex = Task.TestIndex;
+        Record.OriginalCount = Reference.M.instructionCount();
+        Record.UnreducedCount = Fuzzed.Variant.instructionCount();
+        Record.ReducedCount = Reduced.ReducedVariant.instructionCount();
+        Record.MinimizedLength = Reduced.Minimized.size();
+        Record.Checks = Reduced.Checks;
+        Record.SpeculativeChecks = Reduced.SpeculativeChecks;
+        Record.Types = dedupTypesOf(Reduced.Minimized);
+        return Record;
+      };
+
+      std::vector<std::optional<ReductionRecord>> Records;
+      if (Speculative) {
+        Records.reserve(Accepted.size());
+        for (const ReductionTask &Task : Accepted)
+          Records.push_back(RunTask(Task));
+      } else {
+        std::vector<std::function<std::optional<ReductionRecord>()>>
+            ReduceJobs;
+        ReduceJobs.reserve(Accepted.size());
+        for (const ReductionTask &Task : Accepted)
+          ReduceJobs.push_back([&RunTask, Task] { return RunTask(Task); });
+        Records = runJobs(std::move(ReduceJobs));
+      }
+      for (std::optional<ReductionRecord> &Record : Records) {
         if (!Record) {
           Truncated = true;
           break;

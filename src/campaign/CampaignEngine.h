@@ -23,6 +23,7 @@
 #include "campaign/Campaign.h"
 #include "campaign/Experiments.h"
 #include "support/ThreadPool.h"
+#include "target/EvalCache.h"
 
 #include <atomic>
 #include <chrono>
@@ -49,6 +50,20 @@ struct ExecutionPolicy {
   /// truncated results — deadline-limited runs are therefore *not*
   /// deterministic across thread counts.
   std::chrono::milliseconds Deadline{0};
+  /// Prefix-snapshot spacing for the reducer's incremental replay
+  /// (core/ReplayCache.h); 0 makes every reduction check replay from the
+  /// original module. Never changes results, only their cost.
+  size_t ReplaySnapshotInterval = 8;
+  /// Approximate byte budget for the engine-wide evaluation cache that
+  /// memoizes TargetRun outcomes across reduction checks and dedup
+  /// (target/EvalCache.h); 0 disables memoization. Never changes results.
+  size_t EvalCacheBudget = 64ull << 20;
+  /// When true and Jobs != 1, spirv-fuzz-style reductions evaluate each
+  /// delta-debugging pass's candidates speculatively on the worker pool
+  /// (acceptance still commits in serial pass order, so results and Checks
+  /// stay bit-identical to a serial run). glsl-fuzz reductions, which have
+  /// no speculative path, keep running in parallel across reductions.
+  bool SpeculativeReduction = true;
 
   ExecutionPolicy &withJobs(size_t Count) {
     Jobs = Count;
@@ -64,6 +79,18 @@ struct ExecutionPolicy {
   }
   ExecutionPolicy &withDeadline(std::chrono::milliseconds Budget) {
     Deadline = Budget;
+    return *this;
+  }
+  ExecutionPolicy &withReplaySnapshotInterval(size_t Interval) {
+    ReplaySnapshotInterval = Interval;
+    return *this;
+  }
+  ExecutionPolicy &withEvalCacheBudget(size_t Bytes) {
+    EvalCacheBudget = Bytes;
+    return *this;
+  }
+  ExecutionPolicy &withSpeculativeReduction(bool On) {
+    SpeculativeReduction = On;
     return *this;
   }
 };
@@ -87,6 +114,9 @@ public:
   const Corpus &corpus() const { return CorpusData; }
   const std::vector<ToolConfig> &tools() const { return Tools; }
   const std::vector<Target> &targets() const { return Targets; }
+  /// The engine-wide evaluation cache (hit/miss/byte accounting for tests
+  /// and bench footers).
+  const EvalCache &evalCache() const { return *Eval; }
 
   /// Looks a tool up by name; nullptr if the engine does not have it.
   const ToolConfig *findTool(const std::string &Name) const;
@@ -137,6 +167,12 @@ private:
   Corpus CorpusData;
   std::vector<ToolConfig> Tools;
   std::vector<Target> Targets;
+  /// Memoizes TargetRun outcomes across the reduction and dedup phases.
+  std::unique_ptr<EvalCache> Eval;
+  /// Cache-aware views of Targets, index-aligned with it. Stored as a
+  /// member (not built per phase) because interestingness tests capture
+  /// the wrapper by pointer.
+  std::vector<CachedTarget> CachedTargets;
   std::unique_ptr<ThreadPool> Pool; // null when Jobs == 1
   std::chrono::steady_clock::time_point Start;
   std::atomic<bool> CancelFlag{false};

@@ -103,6 +103,11 @@ struct ReductionRecord {
   size_t ReducedCount = 0;   // instructions in the reduced variant
   size_t MinimizedLength = 0;
   size_t Checks = 0;
+  /// Speculative evaluations wasted by the parallel reducer (0 when
+  /// speculation is off). Unlike every other field this is a cost
+  /// measurement, not a result: it varies with scheduling and is excluded
+  /// from cross-job-count determinism comparisons.
+  size_t SpeculativeChecks = 0;
   std::set<TransformationKind> Types; // dedup types of the minimized seq
 
   long delta() const {

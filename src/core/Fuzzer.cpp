@@ -345,12 +345,19 @@ private:
     return Points;
   }
 
+  /// A candidate value together with its (module-level) type id, so that
+  /// callers can classify candidates without a per-candidate findDef scan.
+  struct ValueInfo {
+    Id ValueId = InvalidId;
+    Id TypeId = InvalidId;
+  };
+
   /// Ids holding values of type \p TypeId available before \p Point.
   /// Excludes irrelevant ids unless \p AllowIrrelevant.
-  std::vector<Id> availableValues(const ModuleAnalysis &Analysis,
-                                  const InsertPoint &Point, Id TypeId,
-                                  bool AllowIrrelevant) {
-    std::vector<Id> Out;
+  std::vector<ValueInfo> availableValues(const ModuleAnalysis &Analysis,
+                                         const InsertPoint &Point, Id TypeId,
+                                         bool AllowIrrelevant) {
+    std::vector<ValueInfo> Out;
     auto Consider = [&](Id Candidate, Id CandidateType) {
       if (TypeId != InvalidId && CandidateType != TypeId)
         return;
@@ -360,7 +367,7 @@ private:
         return;
       if (Analysis.idAvailableBefore(Candidate, Point.FuncId, Point.BlockId,
                                      Point.Index))
-        Out.push_back(Candidate);
+        Out.push_back({Candidate, CandidateType});
     };
     for (const Instruction &Global : module().GlobalInsts)
       if (isConstantDecl(Global.Opcode) || Global.Opcode == Op::Variable)
@@ -477,30 +484,28 @@ private:
         continue;
       // Find pointers usable here: any non-uniform pointer if the block is
       // dead, otherwise only irrelevant pointees.
-      std::vector<Id> Pointers;
-      for (Id Candidate :
+      std::vector<ValueInfo> Pointers;
+      for (const ValueInfo &Candidate :
            availableValues(Analysis, Point, InvalidId, true)) {
-        Id Type = module().typeOfId(Candidate);
-        if (!module().isPointerTypeId(Type))
+        if (!module().isPointerTypeId(Candidate.TypeId))
           continue;
-        auto [SC, Pointee] = module().pointerInfo(Type);
-        (void)Pointee;
-        if (SC == StorageClass::Uniform)
+        if (module().pointerInfo(Candidate.TypeId).first ==
+            StorageClass::Uniform)
           continue;
-        if (!Dead && !facts().pointeeIsIrrelevant(Candidate))
+        if (!Dead && !facts().pointeeIsIrrelevant(Candidate.ValueId))
           continue;
         Pointers.push_back(Candidate);
       }
       if (Pointers.empty())
         continue;
-      Id Pointer = Random.pick(Pointers);
-      Id Pointee = module().pointerInfo(module().typeOfId(Pointer)).second;
-      std::vector<Id> Values =
+      const ValueInfo &Pointer = Random.pick(Pointers);
+      Id Pointee = module().pointerInfo(Pointer.TypeId).second;
+      std::vector<ValueInfo> Values =
           availableValues(Analysis, Point, Pointee, /*AllowIrrelevant=*/Dead);
       if (Values.empty())
         continue;
       maybeApply(std::make_shared<TransformationAddStore>(
-          Pointer, Random.pick(Values), Point.Before));
+          Pointer.ValueId, Random.pick(Values).ValueId, Point.Before));
     }
   }
 
@@ -537,13 +542,14 @@ private:
       if (!takeOpportunity())
         continue;
       std::vector<Id> Pointers;
-      for (Id Candidate : availableValues(Analysis, Point, InvalidId, true)) {
-        Id Type = module().typeOfId(Candidate);
-        if (!module().isPointerTypeId(Type))
+      for (const ValueInfo &Candidate :
+           availableValues(Analysis, Point, InvalidId, true)) {
+        if (!module().isPointerTypeId(Candidate.TypeId))
           continue;
-        if (module().pointerInfo(Type).first == StorageClass::Output)
+        if (module().pointerInfo(Candidate.TypeId).first ==
+            StorageClass::Output)
           continue;
-        Pointers.push_back(Candidate);
+        Pointers.push_back(Candidate.ValueId);
       }
       if (Pointers.empty())
         continue;
@@ -564,11 +570,11 @@ private:
           InsertPoint Point{Func.id(), Block.LabelId, 0,
                             InstructionDescriptor()};
           std::vector<Id> Sources;
-          for (Id Candidate :
+          for (const ValueInfo &Candidate :
                availableValues(Analysis, Point, InvalidId, false))
-            if (module().isIntTypeId(module().typeOfId(Candidate)) ||
-                module().isBoolTypeId(module().typeOfId(Candidate)))
-              Sources.push_back(Candidate);
+            if (module().isIntTypeId(Candidate.TypeId) ||
+                module().isBoolTypeId(Candidate.TypeId))
+              Sources.push_back(Candidate.ValueId);
           if (Sources.empty())
             continue;
           maybeApply(std::make_shared<TransformationAddSynonymViaPhi>(
@@ -580,14 +586,15 @@ private:
     for (const InsertPoint &Point : collectInsertPoints()) {
       if (!takeOpportunity())
         continue;
-      std::vector<Id> Sources;
+      std::vector<ValueInfo> Sources;
       std::vector<Id> PointerSources;
-      for (Id Candidate : availableValues(Analysis, Point, InvalidId, false)) {
-        Id Type = module().typeOfId(Candidate);
-        if (module().isIntTypeId(Type) || module().isBoolTypeId(Type))
+      for (const ValueInfo &Candidate :
+           availableValues(Analysis, Point, InvalidId, false)) {
+        if (module().isIntTypeId(Candidate.TypeId) ||
+            module().isBoolTypeId(Candidate.TypeId))
           Sources.push_back(Candidate);
-        else if (module().isPointerTypeId(Type))
-          PointerSources.push_back(Candidate);
+        else if (module().isPointerTypeId(Candidate.TypeId))
+          PointerSources.push_back(Candidate.ValueId);
       }
       // Pointers only admit CopyObject synonyms (no arithmetic identities),
       // but those aliases are what make the alias-sensitive compiler bugs
@@ -599,13 +606,13 @@ private:
       }
       if (Sources.empty())
         continue;
-      Id Source = Random.pick(Sources);
+      const ValueInfo &Source = Random.pick(Sources);
       if (Random.flip()) {
         maybeApply(std::make_shared<TransformationAddSynonymViaCopyObject>(
-            freshId(), Source, Point.Before));
+            freshId(), Source.ValueId, Point.Before));
         continue;
       }
-      bool IsInt = module().isIntTypeId(module().typeOfId(Source));
+      bool IsInt = module().isIntTypeId(Source.TypeId);
       uint32_t Which;
       Id ConstId;
       if (IsInt) {
@@ -626,7 +633,7 @@ private:
       if (ConstId == InvalidId)
         continue;
       maybeApply(std::make_shared<TransformationAddArithmeticSynonym>(
-          freshId(), Source, Which, ConstId, Point.Before));
+          freshId(), Source.ValueId, Which, ConstId, Point.Before));
     }
   }
 
@@ -738,10 +745,10 @@ private:
         InsertPoint Point{Func.id(), Block.LabelId, Block.Body.size() - 1,
                           InstructionDescriptor()};
         std::vector<Id> Conditions;
-        for (Id Candidate :
+        for (const ValueInfo &Candidate :
              availableValues(Analysis, Point, InvalidId, true))
-          if (module().isBoolTypeId(module().typeOfId(Candidate)))
-            Conditions.push_back(Candidate);
+          if (module().isBoolTypeId(Candidate.TypeId))
+            Conditions.push_back(Candidate.ValueId);
         if (Conditions.empty())
           continue;
         maybeApply(
@@ -807,7 +814,7 @@ private:
     for (const InsertPoint &Point : collectInsertPoints()) {
       if (!takeOpportunity())
         continue;
-      std::vector<Id> Ints =
+      std::vector<ValueInfo> Ints =
           availableValues(Analysis, Point, IntType, false);
       if (Ints.size() < 2)
         continue;
@@ -817,7 +824,7 @@ private:
         continue;
       std::vector<Id> Components;
       for (uint32_t I = 0; I < Count; ++I)
-        Components.push_back(Random.pick(Ints));
+        Components.push_back(Random.pick(Ints).ValueId);
       Id Constructed = freshId();
       if (!maybeApply(std::make_shared<TransformationCompositeConstruct>(
               Constructed, VecType, Components, Point.Before)))
@@ -935,12 +942,12 @@ private:
         continue;
       InsertPoint Point{Loc.Func->id(), Loc.Block->LabelId, Loc.Index,
                         Use.Where};
-      std::vector<Id> Replacements = availableValues(
+      std::vector<ValueInfo> Replacements = availableValues(
           Analysis, Point, module().typeOfId(Use.Current), true);
       if (Replacements.empty())
         continue;
       maybeApply(std::make_shared<TransformationReplaceIrrelevantId>(
-          Use.Where, Use.OperandIndex, Random.pick(Replacements)));
+          Use.Where, Use.OperandIndex, Random.pick(Replacements).ValueId));
     }
   }
 
@@ -1301,10 +1308,10 @@ void FuzzerImpl::passAddFunctionCalls() {
           module().isBoolTypeId(Param.ResultType)) {
         Arg = makeIrrelevantConstant(Param.ResultType);
       } else {
-        std::vector<Id> Options =
+        std::vector<ValueInfo> Options =
             availableValues(Analysis, Point, Param.ResultType, true);
         if (!Options.empty())
-          Arg = Random.pick(Options);
+          Arg = Random.pick(Options).ValueId;
       }
       if (Arg == InvalidId) {
         ArgsOk = false;

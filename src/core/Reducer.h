@@ -28,11 +28,35 @@
 
 namespace spvfuzz {
 
+class ThreadPool;
+
 /// The interestingness test: returns true iff the variant produced by a
 /// candidate subsequence still exhibits the bug (gfauto's generated script
-/// in the paper's pipeline).
+/// in the paper's pipeline). When a ThreadPool is supplied via
+/// ReduceOptions, the test is invoked concurrently from worker threads and
+/// must be thread-safe (the standard factories below are, as long as the
+/// target's run() is).
 using InterestingnessTest =
     std::function<bool(const Module &Variant, const FactManager &Facts)>;
+
+/// Performance knobs for reduceSequence. Every combination yields the same
+/// ReduceResult (including Checks) — the options only change how much each
+/// interestingness check costs and whether checks are speculated in
+/// parallel.
+struct ReduceOptions {
+  /// Prefix-snapshot spacing for incremental replay (see ReplayCache);
+  /// 0 disables snapshots and every check replays from the original.
+  size_t SnapshotInterval = 8;
+  /// Approximate byte budget for retained snapshots.
+  size_t SnapshotBudgetBytes = 64ull << 20;
+  /// When non-null, one delta-debugging pass's candidates are evaluated
+  /// speculatively on the pool while acceptance commits strictly in serial
+  /// pass order; results invalidated by an earlier acceptance are
+  /// discarded (counted in ReduceResult::SpeculativeChecks). The reducer
+  /// only submits leaf jobs — never call reduceSequence itself from a job
+  /// running on the same pool.
+  ThreadPool *Pool = nullptr;
+};
 
 struct ReduceResult {
   /// The 1-minimal subsequence.
@@ -41,8 +65,14 @@ struct ReduceResult {
   Module ReducedVariant;
   /// Facts after applying Minimized.
   FactManager ReducedFacts;
-  /// Number of interestingness-test invocations (reduction cost metric).
+  /// Number of interestingness-test invocations consumed by the serial
+  /// delta-debugging decision sequence (reduction cost metric). Identical
+  /// whether or not speculation is enabled.
   size_t Checks = 0;
+  /// Speculative evaluations whose results were discarded because an
+  /// earlier candidate in the same batch was accepted (wasted work; 0 when
+  /// ReduceOptions::Pool is null).
+  size_t SpeculativeChecks = 0;
 };
 
 /// Reduces \p Sequence against \p Original + \p Input. \p Sequence must
@@ -50,6 +80,13 @@ struct ReduceResult {
 ReduceResult reduceSequence(const Module &Original, const ShaderInput &Input,
                             const TransformationSequence &Sequence,
                             const InterestingnessTest &Test);
+
+/// As above, with explicit performance options. The minimized sequence,
+/// variant, facts and Checks are bit-identical across all option settings.
+ReduceResult reduceSequence(const Module &Original, const ShaderInput &Input,
+                            const TransformationSequence &Sequence,
+                            const InterestingnessTest &Test,
+                            const ReduceOptions &Options);
 
 //===----------------------------------------------------------------------===//
 // Interestingness-test factories

@@ -1,0 +1,152 @@
+//===- core/ReplayCache.cpp - Prefix snapshots for incremental replay ------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ReplayCache.h"
+
+#include "support/Telemetry.h"
+
+#include <algorithm>
+
+using namespace spvfuzz;
+
+namespace {
+
+size_t approxInstructionBytes(const Instruction &Inst) {
+  return sizeof(Instruction) + Inst.Operands.size() * sizeof(Operand);
+}
+
+/// FactManager's containers are private; cost a snapshot's facts at a flat
+/// allowance. Budgets are approximate by design, and module state dwarfs
+/// fact state on every real reduction.
+constexpr size_t FactsBytesAllowance = 4096;
+
+} // namespace
+
+size_t spvfuzz::approxModuleBytes(const Module &M) {
+  size_t Bytes = sizeof(Module);
+  for (const Instruction &Inst : M.GlobalInsts)
+    Bytes += approxInstructionBytes(Inst);
+  for (const Function &Func : M.Functions) {
+    Bytes += sizeof(Function) + approxInstructionBytes(Func.Def);
+    for (const Instruction &Param : Func.Params)
+      Bytes += approxInstructionBytes(Param);
+    for (const BasicBlock &Block : Func.Blocks) {
+      Bytes += sizeof(BasicBlock);
+      for (const Instruction &Inst : Block.Body)
+        Bytes += approxInstructionBytes(Inst);
+    }
+  }
+  return Bytes;
+}
+
+ReplayCache::ReplayCache(const Module &Original, const ShaderInput &Input,
+                         size_t Interval, size_t BudgetBytes)
+    : Original(Original), Input(Input), EffectiveInterval(Interval),
+      BudgetBytes(BudgetBytes) {}
+
+size_t ReplayCache::deepestAtOrBelow(size_t PrefixLen) const {
+  size_t Found = SIZE_MAX;
+  for (size_t I = 0; I < Snapshots.size() && Snapshots[I].PrefixLen <= PrefixLen;
+       ++I)
+    Found = I;
+  return Found;
+}
+
+void ReplayCache::prepare(const TransformationSequence &Current,
+                          size_t PrefixLen) {
+  if (EffectiveInterval == 0 || PrefixLen < EffectiveInterval)
+    return;
+  // Resume from the deepest snapshot we already have.
+  size_t Base = deepestAtOrBelow(PrefixLen);
+  size_t From = 0;
+  Module M;
+  FactManager Facts;
+  if (Base == SIZE_MAX) {
+    M = Original;
+    Facts.setKnownInput(Input);
+  } else {
+    // Everything up to the next interval multiple past this snapshot is
+    // already covered; nothing to do if that multiple exceeds PrefixLen.
+    From = Snapshots[Base].PrefixLen;
+    if (From + EffectiveInterval > PrefixLen)
+      return;
+    M = Snapshots[Base].M;
+    Facts = Snapshots[Base].Facts;
+  }
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+  size_t Next = (From / EffectiveInterval + 1) * EffectiveInterval;
+  while (Next <= PrefixLen) {
+    applySequenceRange(M, Facts, Current, From, Next);
+    From = Next;
+    Snapshot Snap;
+    Snap.PrefixLen = Next;
+    Snap.M = M;
+    Snap.Facts = Facts;
+    Snap.Bytes = approxModuleBytes(Snap.M) + FactsBytesAllowance;
+    BytesUsed += Snap.Bytes;
+    Snapshots.push_back(std::move(Snap));
+    if (Metrics.enabled())
+      Metrics.add("replaycache.snapshots_created");
+    // Re-derive the stride: thinning may have doubled the interval.
+    thinToBudget();
+    Next = (From / EffectiveInterval + 1) * EffectiveInterval;
+    if (Next <= From)
+      break; // overflow paranoia; cannot happen with sane intervals
+  }
+}
+
+void ReplayCache::invalidateBeyond(size_t PrefixLen) {
+  while (!Snapshots.empty() && Snapshots.back().PrefixLen > PrefixLen) {
+    BytesUsed -= Snapshots.back().Bytes;
+    Snapshots.pop_back();
+  }
+}
+
+void ReplayCache::thinToBudget() {
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+  while (BytesUsed > BudgetBytes && Snapshots.size() > 1) {
+    // Keep every other snapshot (the deeper of each pair, so the most
+    // recently built prefixes survive) and double the stride for future
+    // snapshots.
+    std::vector<Snapshot> Kept;
+    Kept.reserve((Snapshots.size() + 1) / 2);
+    size_t KeptBytes = 0;
+    for (size_t I = Snapshots.size(); I-- > 0;) {
+      if ((Snapshots.size() - 1 - I) % 2 == 0) {
+        KeptBytes += Snapshots[I].Bytes;
+        Kept.push_back(std::move(Snapshots[I]));
+      } else if (Metrics.enabled()) {
+        Metrics.add("replaycache.evictions");
+      }
+    }
+    std::reverse(Kept.begin(), Kept.end());
+    Snapshots = std::move(Kept);
+    BytesUsed = KeptBytes;
+    EffectiveInterval *= 2;
+  }
+}
+
+void ReplayCache::replay(const TransformationSequence &Candidate,
+                         size_t SharedPrefixLen, Module &MOut,
+                         FactManager &FactsOut) const {
+  size_t Base = deepestAtOrBelow(SharedPrefixLen);
+  size_t From = 0;
+  if (Base == SIZE_MAX) {
+    MOut = Original;
+    FactsOut = FactManager();
+    FactsOut.setKnownInput(Input);
+  } else {
+    MOut = Snapshots[Base].M;
+    FactsOut = Snapshots[Base].Facts;
+    From = Snapshots[Base].PrefixLen;
+  }
+  applySequenceRange(MOut, FactsOut, Candidate, From, Candidate.size());
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+  if (Metrics.enabled()) {
+    Metrics.add("replaycache.replays");
+    Metrics.add("replaycache.transformations_skipped", From);
+  }
+}

@@ -9,74 +9,81 @@
 #include "support/Telemetry.h"
 
 #include <sstream>
+#include <string_view>
+#include <unordered_map>
 
 using namespace spvfuzz;
 
 namespace {
 
-struct KindInfo {
-  TransformationKind Kind;
-  const char *Name;
+/// Kind names indexed by the enum's numeric value. Both lookup directions
+/// are hot (dedup signature construction and sequence serialization walk
+/// every transformation), so name lookup is O(1) by index and kind lookup
+/// is a hash probe.
+const char *const KindNames[NumTransformationKinds] = {
+    "AddTypeInt",
+    "AddTypeBool",
+    "AddTypeVector",
+    "AddTypeStruct",
+    "AddTypePointer",
+    "AddTypeFunction",
+    "AddConstantScalar",
+    "AddConstantComposite",
+    "AddGlobalVariable",
+    "AddLocalVariable",
+    "SplitBlock",
+    "AddDeadBlock",
+    "ReplaceBranchWithKill",
+    "ReplaceBranchWithConditional",
+    "MoveBlockDown",
+    "InvertBranchCondition",
+    "PermutePhiOperands",
+    "PropagateInstructionUp",
+    "AddStore",
+    "AddLoad",
+    "AddSynonymViaCopyObject",
+    "AddArithmeticSynonym",
+    "ReplaceIdWithSynonym",
+    "ReplaceIrrelevantId",
+    "ReplaceConstantWithUniform",
+    "SwapCommutableOperands",
+    "CompositeConstruct",
+    "CompositeExtract",
+    "AddSynonymViaPhi",
+    "ToggleDontInline",
+    "AddFunction",
+    "AddFunctionCall",
+    "InlineFunction",
+    "AddParameter",
 };
 
-const KindInfo KindTable[] = {
-    {TransformationKind::AddTypeInt, "AddTypeInt"},
-    {TransformationKind::AddTypeBool, "AddTypeBool"},
-    {TransformationKind::AddTypeVector, "AddTypeVector"},
-    {TransformationKind::AddTypeStruct, "AddTypeStruct"},
-    {TransformationKind::AddTypePointer, "AddTypePointer"},
-    {TransformationKind::AddTypeFunction, "AddTypeFunction"},
-    {TransformationKind::AddConstantScalar, "AddConstantScalar"},
-    {TransformationKind::AddConstantComposite, "AddConstantComposite"},
-    {TransformationKind::AddGlobalVariable, "AddGlobalVariable"},
-    {TransformationKind::AddLocalVariable, "AddLocalVariable"},
-    {TransformationKind::SplitBlock, "SplitBlock"},
-    {TransformationKind::AddDeadBlock, "AddDeadBlock"},
-    {TransformationKind::ReplaceBranchWithKill, "ReplaceBranchWithKill"},
-    {TransformationKind::ReplaceBranchWithConditional,
-     "ReplaceBranchWithConditional"},
-    {TransformationKind::MoveBlockDown, "MoveBlockDown"},
-    {TransformationKind::InvertBranchCondition, "InvertBranchCondition"},
-    {TransformationKind::PermutePhiOperands, "PermutePhiOperands"},
-    {TransformationKind::PropagateInstructionUp, "PropagateInstructionUp"},
-    {TransformationKind::AddStore, "AddStore"},
-    {TransformationKind::AddLoad, "AddLoad"},
-    {TransformationKind::AddSynonymViaCopyObject, "AddSynonymViaCopyObject"},
-    {TransformationKind::AddArithmeticSynonym, "AddArithmeticSynonym"},
-    {TransformationKind::ReplaceIdWithSynonym, "ReplaceIdWithSynonym"},
-    {TransformationKind::ReplaceIrrelevantId, "ReplaceIrrelevantId"},
-    {TransformationKind::ReplaceConstantWithUniform,
-     "ReplaceConstantWithUniform"},
-    {TransformationKind::SwapCommutableOperands, "SwapCommutableOperands"},
-    {TransformationKind::CompositeConstruct, "CompositeConstruct"},
-    {TransformationKind::CompositeExtract, "CompositeExtract"},
-    {TransformationKind::AddSynonymViaPhi, "AddSynonymViaPhi"},
-    {TransformationKind::ToggleDontInline, "ToggleDontInline"},
-    {TransformationKind::AddFunction, "AddFunction"},
-    {TransformationKind::AddFunctionCall, "AddFunctionCall"},
-    {TransformationKind::InlineFunction, "InlineFunction"},
-    {TransformationKind::AddParameter, "AddParameter"},
-};
+static_assert(sizeof(KindNames) / sizeof(KindNames[0]) ==
+                  NumTransformationKinds,
+              "KindNames must cover every TransformationKind, in enum order");
 
 } // namespace
 
 const char *spvfuzz::transformationKindName(TransformationKind Kind) {
-  for (const KindInfo &Info : KindTable)
-    if (Info.Kind == Kind)
-      return Info.Name;
-  assert(false && "unknown transformation kind");
-  return "Unknown";
+  size_t Index = static_cast<size_t>(Kind);
+  assert(Index < NumTransformationKinds && "unknown transformation kind");
+  return KindNames[Index];
 }
 
 bool spvfuzz::transformationKindFromName(const std::string &Name,
                                          TransformationKind &Out) {
-  for (const KindInfo &Info : KindTable) {
-    if (Name == Info.Name) {
-      Out = Info.Kind;
-      return true;
-    }
-  }
-  return false;
+  static const std::unordered_map<std::string_view, TransformationKind>
+      KindsByName = [] {
+        std::unordered_map<std::string_view, TransformationKind> Map;
+        Map.reserve(NumTransformationKinds);
+        for (size_t I = 0; I < NumTransformationKinds; ++I)
+          Map.emplace(KindNames[I], static_cast<TransformationKind>(I));
+        return Map;
+      }();
+  auto It = KindsByName.find(Name);
+  if (It == KindsByName.end())
+    return false;
+  Out = It->second;
+  return true;
 }
 
 bool spvfuzz::isDedupIgnoredKind(TransformationKind Kind) {
@@ -187,10 +194,18 @@ bool spvfuzz::deserializeSequence(const std::string &Text,
 std::vector<size_t>
 spvfuzz::applySequence(Module &M, FactManager &Facts,
                        const TransformationSequence &Sequence) {
+  return applySequenceRange(M, Facts, Sequence, 0, Sequence.size());
+}
+
+std::vector<size_t>
+spvfuzz::applySequenceRange(Module &M, FactManager &Facts,
+                            const TransformationSequence &Sequence,
+                            size_t Begin, size_t End) {
+  assert(Begin <= End && End <= Sequence.size() && "range out of bounds");
   std::vector<size_t> Applied;
   telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
   const bool Instrumented = Metrics.enabled();
-  for (size_t I = 0, E = Sequence.size(); I != E; ++I) {
+  for (size_t I = Begin; I != End; ++I) {
     ModuleAnalysis Analysis(M);
     if (!Sequence[I]->isApplicable(M, Analysis, Facts)) {
       if (Instrumented)

@@ -140,6 +140,15 @@ bool deserializeSequence(const std::string &Text,
 std::vector<size_t> applySequence(Module &M, FactManager &Facts,
                                   const TransformationSequence &Sequence);
 
+/// Applies only [\p Begin, \p End) of \p Sequence. Because application is
+/// strictly sequential, resuming from a state that already replayed
+/// [0, Begin) is identical to a from-scratch applySequence — the hook the
+/// reducer's prefix-snapshot ReplayCache is built on. Returned indices are
+/// relative to \p Sequence.
+std::vector<size_t> applySequenceRange(Module &M, FactManager &Facts,
+                                       const TransformationSequence &Sequence,
+                                       size_t Begin, size_t End);
+
 // --- Helpers shared by the concrete transformations -----------------------
 
 /// True if operand \p OperandIndex of \p Inst is a *data value* use — i.e.

@@ -1,0 +1,115 @@
+//===- target/EvalCache.cpp - Memoized target evaluations ------------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "target/EvalCache.h"
+
+#include "support/ModuleHash.h"
+#include "support/Telemetry.h"
+
+using namespace spvfuzz;
+
+namespace {
+
+size_t approxValueBytes(const Value &V) {
+  size_t Bytes = sizeof(Value);
+  for (const Value &Elem : V.Elements)
+    Bytes += approxValueBytes(Elem);
+  return Bytes;
+}
+
+size_t approxRunBytes(const TargetRun &Run) {
+  size_t Bytes = sizeof(TargetRun) + Run.Signature.size() +
+                 Run.Result.FaultMessage.size();
+  for (const auto &[Location, V] : Run.Result.Outputs)
+    Bytes += sizeof(Location) + approxValueBytes(V);
+  return Bytes;
+}
+
+} // namespace
+
+size_t EvalCache::KeyHasher::operator()(const Key &K) const {
+  StructuralHasher H;
+  H.word(K.ModuleHash);
+  H.word(K.InputHash);
+  for (char C : K.TargetName)
+    H.word(static_cast<unsigned char>(C));
+  return static_cast<size_t>(H.digest());
+}
+
+bool EvalCache::lookup(uint64_t ModuleHash, const std::string &TargetName,
+                       uint64_t InputHash, TargetRun &Out) {
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+  Key K{ModuleHash, InputHash, TargetName};
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Index.find(K);
+  if (It == Index.end()) {
+    ++Misses;
+    if (Metrics.enabled())
+      Metrics.add("evalcache.misses");
+    return false;
+  }
+  ++Hits;
+  if (Metrics.enabled())
+    Metrics.add("evalcache.hits");
+  Lru.splice(Lru.begin(), Lru, It->second);
+  Out = It->second->Run;
+  return true;
+}
+
+void EvalCache::insert(uint64_t ModuleHash, const std::string &TargetName,
+                       uint64_t InputHash, const TargetRun &Run) {
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+  Key K{ModuleHash, InputHash, TargetName};
+  size_t Bytes = approxRunBytes(Run) + TargetName.size();
+  if (Bytes > BudgetBytes)
+    return; // covers the budget-0 "cache disabled" case
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Index.count(K))
+    return; // racing insert of the same (deterministic) outcome
+  while (BytesUsed + Bytes > BudgetBytes && !Lru.empty()) {
+    BytesUsed -= Lru.back().Bytes;
+    Index.erase(Lru.back().K);
+    Lru.pop_back();
+    if (Metrics.enabled())
+      Metrics.add("evalcache.evictions");
+  }
+  Lru.push_front(Entry{K, Run, Bytes});
+  Index.emplace(std::move(K), Lru.begin());
+  BytesUsed += Bytes;
+  if (Metrics.enabled())
+    Metrics.set("evalcache.bytes", static_cast<double>(BytesUsed));
+}
+
+size_t EvalCache::bytesUsed() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return BytesUsed;
+}
+
+size_t EvalCache::entryCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Lru.size();
+}
+
+uint64_t EvalCache::hitCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Hits;
+}
+
+uint64_t EvalCache::missCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Misses;
+}
+
+TargetRun CachedTarget::run(const Module &M, const ShaderInput &Input) const {
+  uint64_t MHash = hashModule(M);
+  uint64_t IHash = hashShaderInput(Input);
+  TargetRun Cached;
+  if (Cache->lookup(MHash, Inner->name(), IHash, Cached))
+    return Cached;
+  TargetRun Fresh = Inner->run(M, Input);
+  Cache->insert(MHash, Inner->name(), IHash, Fresh);
+  return Fresh;
+}

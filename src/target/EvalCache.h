@@ -1,0 +1,116 @@
+//===- target/EvalCache.h - Memoized target evaluations ---------*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memoization of Target::run outcomes. A target is a pure function of
+/// (module, input) — the simulated compilers and the reference interpreter
+/// are fully deterministic — so an outcome can be replayed from a cache
+/// keyed by (structural module hash, target name, input hash) instead of
+/// re-running the pipeline. Delta-debugging reduction re-evaluates many
+/// identical variants (failed chunk removals regenerate the same module),
+/// and the dedup phase re-runs modules the reduction phase already ran;
+/// both hit this cache.
+///
+/// Because the memoized function is deterministic, a hit returns exactly
+/// what a miss would have computed: cache state (and therefore budget,
+/// eviction order, or cross-thread interleaving) can never change a
+/// reduction or dedup result, only its cost. Hit/miss/eviction counters
+/// are published through telemetry as evalcache.*.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TARGET_EVALCACHE_H
+#define TARGET_EVALCACHE_H
+
+#include "target/Target.h"
+
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+namespace spvfuzz {
+
+/// Thread-safe LRU cache of TargetRun outcomes, bounded by an approximate
+/// byte budget. A budget of 0 disables the cache (every lookup misses and
+/// nothing is stored).
+class EvalCache {
+public:
+  explicit EvalCache(size_t BudgetBytes) : BudgetBytes(BudgetBytes) {}
+
+  EvalCache(const EvalCache &) = delete;
+  EvalCache &operator=(const EvalCache &) = delete;
+
+  /// True (and fills \p Out) iff an outcome for the key is cached; a hit
+  /// refreshes the entry's LRU position.
+  bool lookup(uint64_t ModuleHash, const std::string &TargetName,
+              uint64_t InputHash, TargetRun &Out);
+
+  /// Caches \p Run under the key, evicting least-recently-used entries
+  /// until the byte budget holds. No-op when the budget is 0 or the entry
+  /// alone exceeds it.
+  void insert(uint64_t ModuleHash, const std::string &TargetName,
+              uint64_t InputHash, const TargetRun &Run);
+
+  size_t bytesUsed() const;
+  size_t entryCount() const;
+  uint64_t hitCount() const;
+  uint64_t missCount() const;
+
+private:
+  struct Key {
+    uint64_t ModuleHash = 0;
+    uint64_t InputHash = 0;
+    std::string TargetName;
+
+    bool operator==(const Key &Other) const {
+      return ModuleHash == Other.ModuleHash && InputHash == Other.InputHash &&
+             TargetName == Other.TargetName;
+    }
+  };
+  struct KeyHasher {
+    size_t operator()(const Key &K) const;
+  };
+  struct Entry {
+    Key K;
+    TargetRun Run;
+    size_t Bytes = 0;
+  };
+
+  mutable std::mutex Mutex;
+  const size_t BudgetBytes;
+  size_t BytesUsed = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  /// Front = most recently used.
+  std::list<Entry> Lru;
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHasher> Index;
+};
+
+/// A Target plus an EvalCache, presenting the same run() interface as
+/// Target so it drops into the interestingness-test factories of
+/// core/Reducer.h and the campaign scan loop. Both referents must outlive
+/// the wrapper; run() is thread-safe (Target::run is const and pure, the
+/// cache locks internally).
+class CachedTarget {
+public:
+  CachedTarget(const Target &T, EvalCache &Cache)
+      : Inner(&T), Cache(&Cache) {}
+
+  const std::string &name() const { return Inner->name(); }
+  const TargetSpec &spec() const { return Inner->spec(); }
+  bool canExecute() const { return Inner->canExecute(); }
+  const Target &target() const { return *Inner; }
+
+  TargetRun run(const Module &M, const ShaderInput &Input) const;
+
+private:
+  const Target *Inner;
+  EvalCache *Cache;
+};
+
+} // namespace spvfuzz
+
+#endif // TARGET_EVALCACHE_H

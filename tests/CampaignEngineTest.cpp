@@ -152,6 +152,86 @@ TEST(CampaignEngine, ReductionsAreIdenticalAcrossJobCounts) {
   }
 }
 
+void expectSameReductionRecords(const ReductionData &A,
+                                const ReductionData &B) {
+  ASSERT_EQ(A.Records.size(), B.Records.size());
+  EXPECT_GT(A.Records.size(), 0u);
+  for (size_t I = 0; I < A.Records.size(); ++I) {
+    const ReductionRecord &X = A.Records[I], &Y = B.Records[I];
+    EXPECT_EQ(X.Tool, Y.Tool) << "record " << I;
+    EXPECT_EQ(X.TargetName, Y.TargetName) << "record " << I;
+    EXPECT_EQ(X.Signature, Y.Signature) << "record " << I;
+    EXPECT_EQ(X.TestIndex, Y.TestIndex) << "record " << I;
+    EXPECT_EQ(X.ReducedCount, Y.ReducedCount) << "record " << I;
+    EXPECT_EQ(X.MinimizedLength, Y.MinimizedLength) << "record " << I;
+    EXPECT_EQ(X.Checks, Y.Checks) << "record " << I;
+    EXPECT_EQ(X.Types, Y.Types) << "record " << I;
+  }
+}
+
+TEST(CampaignEngine, SpeculativeReductionIsIdenticalToSerial) {
+  // The speculative path evaluates delta-debugging candidates ahead of
+  // time on the pool; only SpeculativeChecks (wasted work) may differ from
+  // the serial run — the decision sequence, and therefore every record
+  // field including Checks, must not.
+  ReductionConfig Config;
+  Config.TestsPerTool = 60;
+  Config.CapPerSignature = 2;
+  Config.MaxReductionsPerTool = 8;
+
+  CampaignEngine Serial = makeEngine(1);
+  ReductionData A = Serial.runReductions(Config);
+
+  CampaignEngine Speculative(ExecutionPolicy{}
+                                 .withJobs(8)
+                                 .withTransformationLimit(120)
+                                 .withSpeculativeReduction(true),
+                             smallCorpus());
+  ReductionData B = Speculative.runReductions(Config);
+
+  CampaignEngine NonSpeculative(ExecutionPolicy{}
+                                    .withJobs(8)
+                                    .withTransformationLimit(120)
+                                    .withSpeculativeReduction(false),
+                                smallCorpus());
+  ReductionData C = NonSpeculative.runReductions(Config);
+
+  expectSameReductionRecords(A, B);
+  expectSameReductionRecords(A, C);
+  // Serial and non-speculative runs never discard evaluations.
+  for (const ReductionRecord &Record : A.Records)
+    EXPECT_EQ(Record.SpeculativeChecks, 0u);
+  for (const ReductionRecord &Record : C.Records)
+    EXPECT_EQ(Record.SpeculativeChecks, 0u);
+}
+
+TEST(CampaignEngine, EvalCacheAndSnapshotKnobsNeverChangeResults) {
+  // Reduction results with memoization and snapshots disabled must match
+  // the default configuration exactly; only the evaluation counts differ.
+  ReductionConfig Config;
+  Config.TestsPerTool = 60;
+  Config.CapPerSignature = 2;
+  Config.MaxReductionsPerTool = 8;
+
+  CampaignEngine Default = makeEngine(1);
+  ReductionData A = Default.runReductions(Config);
+  EXPECT_GT(Default.evalCache().hitCount(), 0u)
+      << "reduction re-evaluates identical variants; the cache must absorb "
+         "some of them";
+
+  CampaignEngine Uncached(ExecutionPolicy{}
+                              .withJobs(1)
+                              .withTransformationLimit(120)
+                              .withEvalCacheBudget(0)
+                              .withReplaySnapshotInterval(0),
+                          smallCorpus());
+  ReductionData B = Uncached.runReductions(Config);
+  EXPECT_EQ(Uncached.evalCache().entryCount(), 0u);
+  EXPECT_EQ(Uncached.evalCache().hitCount(), 0u);
+
+  expectSameReductionRecords(A, B);
+}
+
 TEST(CampaignEngine, DedupClassesAreIdenticalAcrossJobCounts) {
   ReductionConfig Config;
   Config.TestsPerTool = 60;

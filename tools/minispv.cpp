@@ -42,10 +42,12 @@
 #include "gen/Generator.h"
 #include "ir/Text.h"
 #include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 #include "support/Trace.h"
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <fstream>
 #include <sstream>
 
@@ -314,7 +316,8 @@ int cmdReduce(const Args &A) {
   if (A.Positional.empty())
     fail("usage: minispv reduce <module.mvs> --inputs <file> "
          "--sequence <file> --target NAME (--signature SIG | "
-         "--miscompilation) -o <out> --out-sequence <out>");
+         "--miscompilation) -o <out> --out-sequence <out> "
+         "[--jobs N] [--snapshot-interval N] [--snapshot-budget BYTES]");
   Module M = readModule(A.Positional[0]);
   ShaderInput Input = readInputs(A.require("inputs"));
   TransformationSequence Sequence = readSequence(A.require("sequence"));
@@ -326,7 +329,20 @@ int cmdReduce(const Args &A) {
           ? makeMiscompilationInterestingness(*T, M, Input)
           : makeCrashInterestingness(*T, A.require("signature"), Input);
 
-  ReduceResult Reduced = reduceSequence(M, Input, Sequence, Test);
+  // Performance knobs; every setting reduces to the same result.
+  ReduceOptions Options;
+  Options.SnapshotInterval = strtoull(
+      A.get("snapshot-interval", "8").c_str(), nullptr, 10);
+  Options.SnapshotBudgetBytes = strtoull(
+      A.get("snapshot-budget", "67108864").c_str(), nullptr, 10);
+  size_t Jobs = strtoull(A.get("jobs", "1").c_str(), nullptr, 10);
+  std::unique_ptr<ThreadPool> Pool;
+  if (Jobs != 1) {
+    Pool = std::make_unique<ThreadPool>(Jobs);
+    Options.Pool = Pool.get();
+  }
+
+  ReduceResult Reduced = reduceSequence(M, Input, Sequence, Test, Options);
   bool HasAddFunction = false;
   for (const TransformationPtr &Transformation : Reduced.Minimized)
     if (Transformation->kind() == TransformationKind::AddFunction)
