@@ -38,6 +38,15 @@ inline size_t parseJobs(int Argc, char **Argv) {
   return 1;
 }
 
+/// True when boolean flag \p Name (e.g. "--faulty-fleet") appears on the
+/// command line.
+inline bool parseFlag(int Argc, char **Argv, const char *Name) {
+  for (int I = 1; I < Argc; ++I)
+    if (!std::strcmp(Argv[I], Name))
+      return true;
+  return false;
+}
+
 /// Prints "engine: jobs=N elapsed=X.XXs" to stderr at scope exit; running
 /// the same bench at two job counts and comparing the elapsed lines is the
 /// speedup measurement of EXPERIMENTS.md.

@@ -110,8 +110,8 @@ BENCHMARK(BM_ReplaySequence);
 
 void BM_TargetCompile(benchmark::State &State) {
   const FuzzResult &Fuzzed = sharedFuzz();
-  std::vector<Target> Targets = standardTargets();
-  const Target &SwiftShader = Targets.back();
+  TargetFleet Fleet = TargetFleet::standard();
+  const Target &SwiftShader = Fleet[Fleet.size() - 1];
   for (auto _ : State) {
     Module Optimized;
     benchmark::DoNotOptimize(

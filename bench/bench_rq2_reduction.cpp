@@ -44,20 +44,39 @@ static void printToolSummary(const ReductionData &Data,
 }
 
 int main(int argc, char **argv) {
-  bench::BenchTelemetry Telemetry(
-      {"target.compiles", "campaign.reductions", "reducer.checks",
-       "baseline_reducer.checks", "reducer.speculative_checks",
-       "evalcache.hits", "evalcache.misses", "replaycache.replays",
-       "replaycache.transformations_skipped"});
+  bool FaultyFleet = bench::parseFlag(argc, argv, "--faulty-fleet");
+  std::vector<std::string> Footer = {
+      "target.compiles", "campaign.reductions", "reducer.checks",
+      "baseline_reducer.checks", "reducer.speculative_checks",
+      "evalcache.hits", "evalcache.misses", "replaycache.replays",
+      "replaycache.transformations_skipped"};
+  if (FaultyFleet) {
+    Footer.push_back("harness.timeouts");
+    Footer.push_back("harness.retries");
+    Footer.push_back("harness.tool_errors");
+    Footer.push_back("harness.quarantined");
+    Footer.push_back("evalcache.flaky_consults");
+  }
+  bench::BenchTelemetry Telemetry(Footer);
   size_t Jobs = bench::parseJobs(argc, argv);
   CampaignEngine Engine(
-      ExecutionPolicy{}.withJobs(Jobs).withTransformationLimit(150));
+      ExecutionPolicy{}.withJobs(Jobs).withTransformationLimit(150),
+      CorpusSpec{}, ToolsetSpec{},
+      FaultyFleet ? TargetFleet::faulty() : TargetFleet{});
   ReductionConfig Config;
   Config.TestsPerTool = envSize("REPRO_TESTS", 300);
   Config.MaxReductionsPerTool = envSize("REPRO_REDUCTIONS", 120);
+  if (FaultyFleet) {
+    // The faulty rows on top of the default ğ4.2 GPU-less set. Pixel-3 is
+    // GPU-typed and would otherwise be excluded; SwiftShader-old is
+    // CPU-typed and already in gpulessNames.
+    Config.TargetNames = Engine.fleet().gpulessNames();
+    Config.TargetNames.push_back("Pixel-3");
+  }
   printf("RQ2: test-case reduction quality (up to %zu reductions per tool, "
-         "GPU-less targets)\n\n",
-         Config.MaxReductionsPerTool);
+         "%s targets)\n\n",
+         Config.MaxReductionsPerTool,
+         FaultyFleet ? "GPU-less + faulty" : "GPU-less");
   bench::EngineTimer Timer(Jobs);
   ReductionData Data = Engine.runReductions(Config);
 

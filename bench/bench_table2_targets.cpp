@@ -13,27 +13,59 @@
 
 #include "target/Target.h"
 
+#include "BenchEngine.h"
 #include "BenchTelemetry.h"
 
 #include <cstdio>
+#include <string>
 
 using namespace spvfuzz;
 
-int main() {
+/// "2 flaky, 1 hang" style summary of a target's fault model; "-" for a
+/// fully solid row.
+static std::string faultSummary(const TargetSpec &Spec) {
+  size_t Flaky = 0, Hangs = 0;
+  for (BugPoint Point : Spec.Bugs.all()) {
+    BugFlavor Flavor = Spec.Bugs.flavor(Point);
+    if (isFlakyFlavor(Flavor))
+      ++Flaky;
+    if (isHangFlavor(Flavor))
+      ++Hangs;
+  }
+  std::string Out;
+  if (Flaky)
+    Out += std::to_string(Flaky) + " flaky";
+  if (Hangs)
+    Out += (Out.empty() ? "" : ", ") + std::to_string(Hangs) + " hang";
+  if (Spec.Faults.ToolErrorRate > 0.0) {
+    char Buffer[32];
+    snprintf(Buffer, sizeof(Buffer), "err %.0f%%",
+             Spec.Faults.ToolErrorRate * 100.0);
+    Out += (Out.empty() ? "" : ", ") + std::string(Buffer);
+  }
+  return Out.empty() ? "-" : Out;
+}
+
+int main(int argc, char **argv) {
   // Inventory only — no campaign runs, so no footer counters; still
   // honours REPRO_METRICS_OUT for uniformity with the other binaries.
   bench::BenchTelemetry Telemetry({});
-  printf("Table 2: the SPIR-V targets we test (simulated)\n");
-  printf("%-14s %-22s %-11s %-8s %-6s %-5s\n", "Target", "Version", "GPU type",
-         "Passes", "Bugs", "Exec");
+  bool FaultyFleet = bench::parseFlag(argc, argv, "--faulty-fleet");
+  TargetFleet Fleet =
+      FaultyFleet ? TargetFleet::faulty() : TargetFleet::standard();
+  printf("Table 2: the SPIR-V targets we test (simulated%s)\n",
+         FaultyFleet ? ", faulty fleet" : "");
+  printf("%-14s %-22s %-11s %-8s %-6s %-5s %s\n", "Target", "Version",
+         "GPU type", "Passes", "Bugs", "Exec", "Faults");
   printf("%.*s\n", 72,
          "------------------------------------------------------------------"
          "----------");
-  for (const Target &T : standardTargets()) {
+  for (const Target &T : Fleet) {
     const TargetSpec &Spec = T.spec();
-    printf("%-14s %-22s %-11s %-8zu %-6zu %-5s\n", Spec.Name.c_str(),
+    printf("%-14s %-22s %-11s %-8zu %-6zu %-5s %s\n", Spec.Name.c_str(),
            Spec.Version.c_str(), Spec.GpuType.c_str(), Spec.Pipeline.size(),
-           Spec.Bugs.all().size(), Spec.CanExecute ? "yes" : "no");
+           Spec.Bugs.all().size(), Spec.CanExecute ? "yes" : "no",
+           faultSummary(Spec).c_str());
   }
   printf("\nCrash-only targets (no execution): AMD-LLPC, spirv-opt, "
          "spirv-opt-old (as in the paper,\nwhich lacked an AMD GPU and notes "

@@ -23,18 +23,30 @@
 using namespace spvfuzz;
 
 int main(int argc, char **argv) {
-  bench::BenchTelemetry Telemetry(
-      {"target.compiles", "campaign.reductions", "reducer.checks"});
+  bool FaultyFleet = bench::parseFlag(argc, argv, "--faulty-fleet");
+  std::vector<std::string> Footer = {"target.compiles",
+                                     "campaign.reductions", "reducer.checks"};
+  if (FaultyFleet) {
+    Footer.push_back("harness.timeouts");
+    Footer.push_back("harness.retries");
+    Footer.push_back("harness.tool_errors");
+    Footer.push_back("harness.quarantined");
+    Footer.push_back("evalcache.flaky_consults");
+  }
+  bench::BenchTelemetry Telemetry(Footer);
   size_t Jobs = bench::parseJobs(argc, argv);
   CampaignEngine Engine(
-      ExecutionPolicy{}.withJobs(Jobs).withTransformationLimit(150));
+      ExecutionPolicy{}.withJobs(Jobs).withTransformationLimit(150),
+      CorpusSpec{}, ToolsetSpec{},
+      FaultyFleet ? TargetFleet::faulty() : TargetFleet{});
   ReductionConfig Config;
   Config.TestsPerTool = envSize("REPRO_TESTS", 500);
   Config.MaxReductionsPerTool = envSize("REPRO_REDUCTIONS", 260);
   Config.CapPerSignature = 6; // paper caps at 20 on GPU targets
   printf("Table 4: effectiveness of test-case deduplication "
-         "(cap %zu reduced tests per signature)\n\n",
-         Config.CapPerSignature);
+         "(cap %zu reduced tests per signature%s)\n\n",
+         Config.CapPerSignature,
+         FaultyFleet ? ", faulty fleet" : "");
   bench::EngineTimer Timer(Jobs);
   DedupData Data = Engine.runDedup(Config);
 

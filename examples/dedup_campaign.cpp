@@ -23,10 +23,7 @@ using namespace spvfuzz;
 int main() {
   CampaignEngine Engine(
       ExecutionPolicy{}.withSeed(11).withTransformationLimit(200));
-  const Target *NVidia = nullptr;
-  for (const Target &T : Engine.targets())
-    if (T.name() == "NVIDIA")
-      NVidia = &T;
+  const Target *NVidia = Engine.fleet().find("NVIDIA");
 
   const ToolConfig &Tool = Engine.tools()[0];
   printf("Campaign: %s vs %s, collecting crash-triggering tests...\n\n",
@@ -46,7 +43,7 @@ int main() {
     const GeneratedProgram &Reference =
         Engine.corpus().References[ReferenceIndex];
     TargetRun Run = NVidia->run(Fuzzed.Variant, Reference.Input);
-    if (Run.RunKind != TargetRun::Kind::Crash)
+    if (!Run.interesting())
       continue;
 
     InterestingnessTest Test =

@@ -25,10 +25,7 @@ using namespace spvfuzz;
 int main() {
   CampaignEngine Engine(
       ExecutionPolicy{}.withSeed(7).withTransformationLimit(250));
-  const Target *SwiftShader = nullptr;
-  for (const Target &T : Engine.targets())
-    if (T.name() == "SwiftShader")
-      SwiftShader = &T;
+  const Target *SwiftShader = Engine.fleet().find("SwiftShader");
 
   const ToolConfig &Tool = Engine.tools()[0];
   printf("Hunting for a SwiftShader bug with %s...\n", Tool.Name.c_str());
@@ -41,14 +38,14 @@ int main() {
 
     TargetRun Run = SwiftShader->run(Fuzzed.Variant, Reference.Input);
     std::string Signature;
-    if (Run.RunKind == TargetRun::Kind::Crash) {
+    if (Run.interesting()) {
       Signature = Run.Signature;
       printf("\nTest %zu crashed the target: \"%s\"\n", TestIndex,
              Signature.c_str());
     } else {
       TargetRun OriginalRun =
           SwiftShader->run(Reference.M, Reference.Input);
-      if (OriginalRun.RunKind == TargetRun::Kind::Executed &&
+      if (OriginalRun.executed() && Run.executed() &&
           Run.Result != OriginalRun.Result) {
         Signature = MiscompilationSignature;
         printf("\nTest %zu is miscompiled: original renders %s, variant "

@@ -98,45 +98,8 @@ TestEvaluation spvfuzz::evaluateTest(const Corpus &C, const ToolConfig &Tool,
                                      const std::vector<const Target *> &Targets,
                                      uint64_t CampaignSeed, size_t TestIndex,
                                      bool CrashesOnly) {
-  TestEvaluation Eval;
-  Eval.Seed = testSeed(CampaignSeed, Tool.SeedStream, TestIndex);
-  FuzzResult Fuzzed =
-      regenerateTest(C, Tool, CampaignSeed, TestIndex, Eval.ReferenceIndex);
-  const GeneratedProgram &Reference = C.References[Eval.ReferenceIndex];
-
-  for (const Target *TP : Targets) {
-    const Target &T = *TP;
-    TargetRun VariantRun = T.run(Fuzzed.Variant, Reference.Input);
-    if (VariantRun.RunKind == TargetRun::Kind::Crash) {
-      Eval.Signatures[T.name()] = VariantRun.Signature;
-      continue;
-    }
-    if (CrashesOnly || !T.canExecute())
-      continue;
-    // Differential check (Theorem 2.6): the variant's result through the
-    // implementation must match the original's result through the same
-    // implementation.
-    TargetRun OriginalRun = T.run(Reference.M, Reference.Input);
-    if (OriginalRun.RunKind != TargetRun::Kind::Executed)
-      continue; // the target cannot even handle the original; skip
-    if (VariantRun.Result != OriginalRun.Result)
-      Eval.Signatures[T.name()] = MiscompilationSignature;
-  }
-
-  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
-  if (Metrics.enabled()) {
-    Metrics.add("campaign.tests");
-    for (const auto &[TargetName, Signature] : Eval.Signatures)
-      Metrics.add("campaign.bugs." + TargetName);
-  }
-  if (telemetry::Tracer::global().enabled()) {
-    telemetry::Tracer::global().event(
-        "campaign.test", {{"tool", Tool.Name},
-                          {"index", TestIndex},
-                          {"sequence_length", Fuzzed.Sequence.size()},
-                          {"bugs", Eval.Signatures.size()}});
-  }
-  return Eval;
+  return evaluateTestOn(C, Tool, Targets, CampaignSeed, TestIndex,
+                        CrashesOnly);
 }
 
 TestEvaluation spvfuzz::evaluateTest(const Corpus &C, const ToolConfig &Tool,

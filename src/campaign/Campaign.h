@@ -18,6 +18,8 @@
 #include "core/Fuzzer.h"
 #include "core/Reducer.h"
 #include "gen/Generator.h"
+#include "support/Telemetry.h"
+#include "support/Trace.h"
 #include "target/Target.h"
 
 #include <chrono>
@@ -113,12 +115,86 @@ struct TestEvaluation {
   /// target name -> signature; absent if the test did not expose a bug on
   /// that target.
   std::map<std::string, std::string> Signatures;
+  /// Target names whose run ended in a hard tool error (infrastructure
+  /// noise, never a bug report) — the circuit breaker's food, in target
+  /// order.
+  std::vector<std::string> ToolErrored;
 };
+
+/// Re-runs the fuzzer deterministically to recover the transformation
+/// sequence behind a test (used when a bug was found and reduction is
+/// wanted).
+FuzzResult regenerateTest(const Corpus &C, const ToolConfig &Tool,
+                          uint64_t CampaignSeed, size_t TestIndex,
+                          size_t &ReferenceIndexOut);
+
+/// Derives the deterministic per-test fuzzer seed: a splitmix64 chain over
+/// (CampaignSeed, SeedStream, TestIndex). Each (seed, stream) pair yields an
+/// independent sequence, so every tool can own its own stream and per-test
+/// jobs can be scheduled in any order without seed collisions.
+uint64_t testSeed(uint64_t CampaignSeed, uint32_t SeedStream,
+                  size_t TestIndex);
+
+SPVFUZZ_DEPRECATED("use testSeed(CampaignSeed, SeedStream, TestIndex)")
+uint64_t testSeed(uint64_t CampaignSeed, size_t TestIndex);
 
 /// Generates test number \p TestIndex for \p Tool (deterministic in
 /// (\p CampaignSeed, \p Tool.SeedStream, \p TestIndex)) and evaluates it on
 /// all \p Targets. With \p CrashesOnly, the differential (miscompilation)
-/// check is skipped and only crash signatures are recorded.
+/// check is skipped and only interesting signatures are recorded.
+/// Templated over the target type so harnessed/cached wrappers fit; any
+/// TargetT whose run(Module, ShaderInput) returns a TargetRun works.
+template <typename TargetT>
+TestEvaluation evaluateTestOn(const Corpus &C, const ToolConfig &Tool,
+                              const std::vector<const TargetT *> &Targets,
+                              uint64_t CampaignSeed, size_t TestIndex,
+                              bool CrashesOnly = false) {
+  TestEvaluation Eval;
+  Eval.Seed = testSeed(CampaignSeed, Tool.SeedStream, TestIndex);
+  FuzzResult Fuzzed =
+      regenerateTest(C, Tool, CampaignSeed, TestIndex, Eval.ReferenceIndex);
+  const GeneratedProgram &Reference = C.References[Eval.ReferenceIndex];
+
+  for (const TargetT *TP : Targets) {
+    const TargetT &T = *TP;
+    TargetRun VariantRun = T.run(Fuzzed.Variant, Reference.Input);
+    if (VariantRun.RunOutcome == Outcome::ToolError) {
+      Eval.ToolErrored.push_back(T.name());
+      continue;
+    }
+    if (VariantRun.interesting()) {
+      Eval.Signatures[T.name()] = VariantRun.Signature;
+      continue;
+    }
+    if (CrashesOnly || !T.canExecute())
+      continue;
+    // Differential check (Theorem 2.6): the variant's result through the
+    // implementation must match the original's result through the same
+    // implementation.
+    TargetRun OriginalRun = T.run(Reference.M, Reference.Input);
+    if (!OriginalRun.executed())
+      continue; // the target cannot even handle the original; skip
+    if (VariantRun.Result != OriginalRun.Result)
+      Eval.Signatures[T.name()] = MiscompilationSignature;
+  }
+
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+  if (Metrics.enabled()) {
+    Metrics.add("campaign.tests");
+    for (const auto &[TargetName, Signature] : Eval.Signatures)
+      Metrics.add("campaign.bugs." + TargetName);
+  }
+  if (telemetry::Tracer::global().enabled()) {
+    telemetry::Tracer::global().event(
+        "campaign.test", {{"tool", Tool.Name},
+                          {"index", TestIndex},
+                          {"sequence_length", Fuzzed.Sequence.size()},
+                          {"bugs", Eval.Signatures.size()}});
+  }
+  return Eval;
+}
+
+/// Non-template convenience over plain targets.
 TestEvaluation evaluateTest(const Corpus &C, const ToolConfig &Tool,
                             const std::vector<const Target *> &Targets,
                             uint64_t CampaignSeed, size_t TestIndex,
@@ -128,13 +204,6 @@ TestEvaluation evaluateTest(const Corpus &C, const ToolConfig &Tool,
 TestEvaluation evaluateTest(const Corpus &C, const ToolConfig &Tool,
                             const std::vector<Target> &Targets,
                             uint64_t CampaignSeed, size_t TestIndex);
-
-/// Re-runs the fuzzer deterministically to recover the transformation
-/// sequence behind a test (used when a bug was found and reduction is
-/// wanted).
-FuzzResult regenerateTest(const Corpus &C, const ToolConfig &Tool,
-                          uint64_t CampaignSeed, size_t TestIndex,
-                          size_t &ReferenceIndexOut);
 
 /// Builds the interestingness test for a bug found on \p T: dispatches to
 /// makeCrashInterestingness / makeMiscompilationInterestingness on whether
@@ -153,16 +222,6 @@ makeInterestingnessTestFor(const TargetT &T, const std::string &Signature,
 InterestingnessTest
 makeInterestingnessTest(const Target &T, const std::string &Signature,
                         const Module &Original, const ShaderInput &Input);
-
-/// Derives the deterministic per-test fuzzer seed: a splitmix64 chain over
-/// (CampaignSeed, SeedStream, TestIndex). Each (seed, stream) pair yields an
-/// independent sequence, so every tool can own its own stream and per-test
-/// jobs can be scheduled in any order without seed collisions.
-uint64_t testSeed(uint64_t CampaignSeed, uint32_t SeedStream,
-                  size_t TestIndex);
-
-SPVFUZZ_DEPRECATED("use testSeed(CampaignSeed, SeedStream, TestIndex)")
-uint64_t testSeed(uint64_t CampaignSeed, size_t TestIndex);
 
 /// Campaign-level progress reporting: tracks throughput (units/sec), bugs
 /// found per target and dedup-class growth, mirrors them into the metrics

@@ -18,7 +18,7 @@
 using namespace spvfuzz;
 
 CampaignEngine::CampaignEngine(ExecutionPolicy PolicyIn, CorpusSpec CorpusOpts,
-                               ToolsetSpec ToolOpts)
+                               ToolsetSpec ToolOpts, TargetFleet FleetIn)
     : Policy(PolicyIn), Start(std::chrono::steady_clock::now()) {
   if (!CorpusOpts.Seed)
     CorpusOpts.Seed = Policy.Seed;
@@ -26,11 +26,14 @@ CampaignEngine::CampaignEngine(ExecutionPolicy PolicyIn, CorpusSpec CorpusOpts,
     ToolOpts.TransformationLimit = Policy.TransformationLimit;
   CorpusData = makeCorpus(CorpusOpts);
   Tools = standardTools(ToolOpts);
-  Targets = standardTargets();
+  Fleet = FleetIn.empty() ? TargetFleet::standard() : std::move(FleetIn);
   Eval = std::make_unique<EvalCache>(Policy.EvalCacheBudget);
-  CachedTargets.reserve(Targets.size());
-  for (const Target &T : Targets)
-    CachedTargets.emplace_back(T, *Eval);
+  HarnessPolicy HarnessOpts;
+  HarnessOpts.CampaignSeed = Policy.Seed;
+  HarnessOpts.TargetDeadlineSteps = Policy.TargetDeadlineSteps;
+  HarnessOpts.FlakyRetries = Policy.FlakyRetries;
+  HarnessOpts.QuarantineThreshold = Policy.QuarantineThreshold;
+  Har = std::make_unique<Harness>(Fleet, HarnessOpts, Eval.get());
   if (Policy.Jobs != 1)
     Pool = std::make_unique<ThreadPool>(Policy.Jobs);
 }
@@ -92,10 +95,9 @@ CampaignEngine::runJobs(std::vector<std::function<ResultT()>> Jobs) {
 std::vector<TestEvaluation>
 CampaignEngine::evaluateTests(const ToolConfig &Tool, size_t Count,
                               bool CrashesOnly) {
-  std::vector<const Target *> TargetPtrs;
-  TargetPtrs.reserve(Targets.size());
-  for (const Target &T : Targets)
-    TargetPtrs.push_back(&T);
+  // The scan goes through the harness's *uncached* views: the bug-finding
+  // counters must not depend on cross-thread cache interleaving.
+  const std::vector<HarnessedTarget> &Scan = Har->uncached();
 
   std::vector<TestEvaluation> Evals;
   Evals.reserve(Count);
@@ -103,22 +105,41 @@ CampaignEngine::evaluateTests(const ToolConfig &Tool, size_t Count,
     if (checkDeadline())
       break;
     size_t WaveEnd = std::min(Count, WaveStart + ShardSize);
+
+    // Quarantine snapshot: targets sidelined by earlier waves stay out of
+    // this whole wave. Taken serially between waves, so it is identical at
+    // any job count.
+    std::vector<const HarnessedTarget *> WaveTargets;
+    WaveTargets.reserve(Scan.size());
+    for (const HarnessedTarget &T : Scan)
+      if (!Har->quarantined(T.name()))
+        WaveTargets.push_back(&T);
+
     std::vector<std::function<std::optional<TestEvaluation>()>> Jobs;
     Jobs.reserve(WaveEnd - WaveStart);
     for (size_t Index = WaveStart; Index < WaveEnd; ++Index)
       Jobs.push_back(
-          [this, &Tool, &TargetPtrs, Index,
+          [this, &Tool, &WaveTargets, Index,
            CrashesOnly]() -> std::optional<TestEvaluation> {
             if (cancelled())
               return std::nullopt;
-            return evaluateTest(CorpusData, Tool, TargetPtrs, Policy.Seed,
-                                Index, CrashesOnly);
+            return evaluateTestOn(CorpusData, Tool, WaveTargets, Policy.Seed,
+                                  Index, CrashesOnly);
           });
     bool Truncated = false;
     for (std::optional<TestEvaluation> &Result : runJobs(std::move(Jobs))) {
       if (!Result) {
         Truncated = true;
         break;
+      }
+      // Serial breaker commit, in test-index and target order: hard tool
+      // errors advance a target's consecutive-failure count, anything else
+      // resets it.
+      for (const HarnessedTarget *T : WaveTargets) {
+        bool HardError =
+            std::find(Result->ToolErrored.begin(), Result->ToolErrored.end(),
+                      T->name()) != Result->ToolErrored.end();
+        Har->recordOutcome(T->name(), HardError);
       }
       Evals.push_back(std::move(*Result));
     }
@@ -135,7 +156,7 @@ CampaignEngine::evaluateTests(const ToolConfig &Tool, size_t Count,
 BugFindingData CampaignEngine::runBugFinding(const BugFindingConfig &Config) {
   BugFindingData Data;
   Data.Config = Config;
-  for (const Target &T : Targets)
+  for (const Target &T : Fleet)
     Data.TargetNames.push_back(T.name());
 
   size_t GroupSize =
@@ -144,7 +165,7 @@ BugFindingData CampaignEngine::runBugFinding(const BugFindingConfig &Config) {
   for (const ToolConfig &Tool : Tools) {
     Data.ToolNames.push_back(Tool.Name);
     std::map<std::string, ToolTargetStats> &PerTarget = Data.Stats[Tool.Name];
-    for (const Target &T : Targets)
+    for (const Target &T : Fleet)
       PerTarget[T.name()].PerGroup.resize(Config.NumGroups);
 
     CampaignProgress Progress("bug-finding/" + Tool.Name,
@@ -179,6 +200,9 @@ namespace {
 /// the end of the wave.
 struct ScanOutcome {
   std::vector<std::pair<size_t, std::string>> Found;
+  /// Indices (into the wanted-target list) whose run ended in a hard tool
+  /// error — breaker food, committed serially after the wave.
+  std::vector<size_t> HardErrors;
   FuzzResult Fuzzed;
   size_t ReferenceIndex = 0;
 };
@@ -186,7 +210,7 @@ struct ScanOutcome {
 /// One reduction accepted by the serial cap/budget decision loop.
 struct ReductionTask {
   size_t TestIndex = 0;
-  const CachedTarget *T = nullptr;
+  const HarnessedTarget *T = nullptr;
   std::string Signature;
   const ScanOutcome *Scan = nullptr; // owned by the wave's scan results
 };
@@ -198,16 +222,17 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
 
   std::vector<std::string> WantedTargets = Config.TargetNames;
   if (WantedTargets.empty())
-    WantedTargets = gpulessTargetNames();
+    WantedTargets = Fleet.gpulessNames();
   std::vector<std::string> WantedTools = Config.ToolNames;
   if (WantedTools.empty())
     WantedTools = {"spirv-fuzz", "glsl-fuzz"};
 
-  // Cache-aware target views: every scan and interestingness run in this
-  // phase (and the dedup phase built on it) goes through the engine's
+  // Harnessed, cache-aware target views: every scan and interestingness
+  // run in this phase (and the dedup phase built on it) goes through the
+  // harness; deterministic targets additionally hit the engine's
   // EvalCache.
-  std::vector<const CachedTarget *> Wanted;
-  for (const CachedTarget &T : CachedTargets)
+  std::vector<const HarnessedTarget *> Wanted;
+  for (const HarnessedTarget &T : Har->cached())
     if (std::find(WantedTargets.begin(), WantedTargets.end(), T.name()) !=
         WantedTargets.end())
       Wanted.push_back(&T);
@@ -236,11 +261,17 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
         break;
       size_t WaveEnd = std::min(Config.TestsPerTool, WaveStart + ShardSize);
 
+      // Quarantine snapshot at the wave boundary (serial, so identical at
+      // any job count): sidelined targets sit this wave out.
+      std::vector<char> Sidelined(Wanted.size(), 0);
+      for (size_t TargetIdx = 0; TargetIdx < Wanted.size(); ++TargetIdx)
+        Sidelined[TargetIdx] = Har->quarantined(Wanted[TargetIdx]->name());
+
       // Phase 1 (parallel): scan this wave's tests for bugs.
       std::vector<std::function<ScanResult()>> ScanJobs;
       ScanJobs.reserve(WaveEnd - WaveStart);
       for (size_t Index = WaveStart; Index < WaveEnd; ++Index)
-        ScanJobs.push_back([this, &Tool, &Wanted, &Config,
+        ScanJobs.push_back([this, &Tool, &Wanted, &Config, &Sidelined,
                             Index]() -> ScanResult {
           if (cancelled())
             return std::nullopt;
@@ -249,17 +280,22 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
           const GeneratedProgram &Reference =
               CorpusData.References[Out.ReferenceIndex];
           for (size_t TargetIdx = 0; TargetIdx < Wanted.size(); ++TargetIdx) {
-            const CachedTarget &T = *Wanted[TargetIdx];
+            if (Sidelined[TargetIdx])
+              continue;
+            const HarnessedTarget &T = *Wanted[TargetIdx];
             TargetRun Run = T.run(Out.Fuzzed.Variant, Reference.Input);
-            if (Run.RunKind == TargetRun::Kind::Crash) {
+            if (Run.RunOutcome == Outcome::ToolError) {
+              Out.HardErrors.push_back(TargetIdx);
+              continue;
+            }
+            if (Run.interesting()) {
               Out.Found.emplace_back(TargetIdx, Run.Signature);
               continue;
             }
             if (Config.CrashesOnly || !T.canExecute())
               continue;
             TargetRun OriginalRun = T.run(Reference.M, Reference.Input);
-            if (OriginalRun.RunKind == TargetRun::Kind::Executed &&
-                Run.Result != OriginalRun.Result)
+            if (OriginalRun.executed() && Run.Result != OriginalRun.Result)
               Out.Found.emplace_back(TargetIdx, MiscompilationSignature);
           }
           if (Out.Found.empty())
@@ -268,8 +304,9 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
         });
       std::vector<ScanResult> Scans = runJobs(std::move(ScanJobs));
 
-      // Phase 2 (serial, in test-index order): apply the per-signature cap
-      // and the per-tool budget exactly as the serial driver would.
+      // Phase 2 (serial, in test-index order): commit breaker outcomes and
+      // apply the per-signature cap and the per-tool budget exactly as the
+      // serial driver would.
       std::vector<ReductionTask> Accepted;
       bool Truncated = false;
       for (size_t Offset = 0; Offset < Scans.size(); ++Offset) {
@@ -277,10 +314,19 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
           Truncated = true;
           break;
         }
+        for (size_t TargetIdx = 0; TargetIdx < Wanted.size(); ++TargetIdx) {
+          if (Sidelined[TargetIdx])
+            continue;
+          bool HardError =
+              std::find(Scans[Offset]->HardErrors.begin(),
+                        Scans[Offset]->HardErrors.end(),
+                        TargetIdx) != Scans[Offset]->HardErrors.end();
+          Har->recordOutcome(Wanted[TargetIdx]->name(), HardError);
+        }
         for (const auto &[TargetIdx, Signature] : Scans[Offset]->Found) {
           if (ReductionsDone >= Config.MaxReductionsPerTool)
             break;
-          const CachedTarget *T = Wanted[TargetIdx];
+          const HarnessedTarget *T = Wanted[TargetIdx];
           auto Key = std::make_pair(T->name(), Signature);
           if (SignatureCounts[Key] >= Config.CapPerSignature)
             continue;
@@ -396,7 +442,7 @@ DedupData CampaignEngine::runDedup(const ReductionConfig &ConfigIn) {
   if (Config.TargetNames.empty()) {
     // All targets except NVIDIA (which was excluded in the paper because
     // of driver-induced machine freezes).
-    for (const Target &T : Targets)
+    for (const Target &T : Fleet)
       if (T.name() != "NVIDIA")
         Config.TargetNames.push_back(T.name());
   }

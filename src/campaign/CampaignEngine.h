@@ -24,6 +24,7 @@
 #include "campaign/Experiments.h"
 #include "support/ThreadPool.h"
 #include "target/EvalCache.h"
+#include "target/Harness.h"
 
 #include <atomic>
 #include <chrono>
@@ -64,6 +65,16 @@ struct ExecutionPolicy {
   /// stay bit-identical to a serial run). glsl-fuzz reductions, which have
   /// no speculative path, keep running in parallel across reductions.
   bool SpeculativeReduction = true;
+  /// Simulated step budget per target attempt (target/Harness.h); 0 =
+  /// unlimited. The default equals the interpreter's own step limit, so
+  /// solid targets behave exactly as before the harness existed.
+  uint64_t TargetDeadlineSteps = 1ull << 22;
+  /// Voting-pool size for runs against nondeterministic (flaky) targets:
+  /// an interesting verdict must reproduce on a strict majority.
+  uint32_t FlakyRetries = 5;
+  /// Consecutive hard tool-error runs before a target is quarantined
+  /// (sidelined from subsequent scheduling waves).
+  uint32_t QuarantineThreshold = 3;
 
   ExecutionPolicy &withJobs(size_t Count) {
     Jobs = Count;
@@ -93,19 +104,37 @@ struct ExecutionPolicy {
     SpeculativeReduction = On;
     return *this;
   }
+  ExecutionPolicy &withTargetDeadlineSteps(uint64_t Steps) {
+    TargetDeadlineSteps = Steps;
+    return *this;
+  }
+  ExecutionPolicy &withFlakyRetries(uint32_t Attempts) {
+    FlakyRetries = Attempts;
+    return *this;
+  }
+  ExecutionPolicy &withQuarantineThreshold(uint32_t Threshold) {
+    QuarantineThreshold = Threshold;
+    return *this;
+  }
 };
 
-/// The campaign engine. Replaces the loose free-function drivers
-/// (runBugFinding / runReductions / runDedup), which remain as thin
-/// deprecated wrappers for one release.
+/// The campaign engine. The sole campaign entry point since the loose
+/// free-function drivers (runBugFinding / runReductions / runDedup) were
+/// removed. Every target run goes through the fault-tolerance harness
+/// (target/Harness.h): step budgets, retry/voting on flaky targets, and
+/// per-target quarantine, with breaker commits strictly serial in
+/// test-index order so faulty-fleet campaigns stay bit-identical at any
+/// job count.
 class CampaignEngine {
 public:
   /// Builds the corpus, tools and targets up front. An unset CorpusSpec
   /// seed defaults to the policy seed; an unset ToolsetSpec transformation
-  /// limit defaults to the policy limit. The deadline clock starts here.
+  /// limit defaults to the policy limit; an empty fleet defaults to
+  /// TargetFleet::standard(). The deadline clock starts here.
   explicit CampaignEngine(ExecutionPolicy Policy = ExecutionPolicy{},
                           CorpusSpec CorpusOpts = CorpusSpec{},
-                          ToolsetSpec ToolOpts = ToolsetSpec{});
+                          ToolsetSpec ToolOpts = ToolsetSpec{},
+                          TargetFleet FleetIn = TargetFleet{});
   CampaignEngine(const CampaignEngine &) = delete;
   CampaignEngine &operator=(const CampaignEngine &) = delete;
   ~CampaignEngine();
@@ -113,7 +142,10 @@ public:
   const ExecutionPolicy &policy() const { return Policy; }
   const Corpus &corpus() const { return CorpusData; }
   const std::vector<ToolConfig> &tools() const { return Tools; }
-  const std::vector<Target> &targets() const { return Targets; }
+  const TargetFleet &fleet() const { return Fleet; }
+  const std::vector<Target> &targets() const { return Fleet.targets(); }
+  /// The fault-tolerance harness (breaker state, harnessed target views).
+  const Harness &harness() const { return *Har; }
   /// The engine-wide evaluation cache (hit/miss/byte accounting for tests
   /// and bench footers).
   const EvalCache &evalCache() const { return *Eval; }
@@ -166,13 +198,14 @@ private:
   ExecutionPolicy Policy;
   Corpus CorpusData;
   std::vector<ToolConfig> Tools;
-  std::vector<Target> Targets;
-  /// Memoizes TargetRun outcomes across the reduction and dedup phases.
+  TargetFleet Fleet;
+  /// Memoizes TargetRun outcomes across the reduction and dedup phases
+  /// (deterministic targets only; the harness bypasses it for flaky ones).
   std::unique_ptr<EvalCache> Eval;
-  /// Cache-aware views of Targets, index-aligned with it. Stored as a
+  /// Harnessed views of the fleet plus quarantine breakers. A stable
   /// member (not built per phase) because interestingness tests capture
-  /// the wrapper by pointer.
-  std::vector<CachedTarget> CachedTargets;
+  /// the harnessed wrappers by pointer.
+  std::unique_ptr<Harness> Har;
   std::unique_ptr<ThreadPool> Pool; // null when Jobs == 1
   std::chrono::steady_clock::time_point Start;
   std::atomic<bool> CancelFlag{false};

@@ -6,8 +6,6 @@
 
 #include "campaign/Experiments.h"
 
-#include "campaign/CampaignEngine.h"
-
 #include <algorithm>
 #include <cstdlib>
 
@@ -44,13 +42,6 @@ ToolTargetStats BugFindingData::allTargets(const std::string &Tool) const {
         All.PerGroup[G].insert(TargetName + ":" + Sig);
   }
   return All;
-}
-
-BugFindingData spvfuzz::runBugFinding(const BugFindingConfig &Config) {
-  // Deprecated wrapper: the serial, seed-2021, limit-250 behaviour of the
-  // pre-engine API.
-  CampaignEngine Engine(ExecutionPolicy{}.withTransformationLimit(250));
-  return Engine.runBugFinding(Config);
 }
 
 VennCounts spvfuzz::vennForTarget(const BugFindingData &Data,
@@ -123,22 +114,4 @@ double ReductionData::medianUnreducedDelta(
   for (const ReductionRecord &Record : Records)
     Deltas.push_back(static_cast<double>(Record.unreducedDelta()));
   return median(std::move(Deltas));
-}
-
-ReductionData spvfuzz::runReductions(const ReductionConfig &Config) {
-  // Deprecated wrapper: the serial, seed-2021, limit-150 behaviour of the
-  // pre-engine API.
-  CampaignEngine Engine(ExecutionPolicy{}.withTransformationLimit(150));
-  return Engine.runReductions(Config);
-}
-
-//===----------------------------------------------------------------------===//
-// Table 4 (RQ3)
-//===----------------------------------------------------------------------===//
-
-DedupData spvfuzz::runDedup(const ReductionConfig &Config) {
-  // Deprecated wrapper: the serial, seed-2021, limit-150 behaviour of the
-  // pre-engine API.
-  CampaignEngine Engine(ExecutionPolicy{}.withTransformationLimit(150));
-  return Engine.runDedup(Config);
 }

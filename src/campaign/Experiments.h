@@ -61,9 +61,6 @@ struct BugFindingData {
   ToolTargetStats allTargets(const std::string &Tool) const;
 };
 
-SPVFUZZ_DEPRECATED("construct a CampaignEngine and call runBugFinding")
-BugFindingData runBugFinding(const BugFindingConfig &Config);
-
 /// The seven regions of a three-set Venn diagram (Figure 7).
 struct VennCounts {
   size_t OnlyA = 0, OnlyB = 0, OnlyC = 0;
@@ -127,9 +124,6 @@ struct ReductionData {
   static double medianUnreducedDelta(const std::vector<ReductionRecord> &Rs);
 };
 
-SPVFUZZ_DEPRECATED("construct a CampaignEngine and call runReductions")
-ReductionData runReductions(const ReductionConfig &Config);
-
 //===----------------------------------------------------------------------===//
 // Table 4 (RQ3)
 //===----------------------------------------------------------------------===//
@@ -147,11 +141,6 @@ struct DedupData {
   std::vector<DedupTargetResult> PerTarget;
   DedupTargetResult Total;
 };
-
-/// Runs reductions for crash bugs on every target except NVIDIA (as in the
-/// paper) and applies the Figure 6 algorithm to the reduced tests.
-SPVFUZZ_DEPRECATED("construct a CampaignEngine and call runDedup")
-DedupData runDedup(const ReductionConfig &Config);
 
 } // namespace spvfuzz
 

@@ -96,12 +96,14 @@ ReduceResult reduceSequence(const Module &Original, const ShaderInput &Input,
 // and the minispv CLI instead of per-call-site lambdas. They are templates
 // over the target type because core sits below target in the library
 // layering; any TargetT whose `run(Module, ShaderInput)` returns a record
-// with `RunKind`, `Signature` and `Result` fits (target/Target.h's Target
-// in practice). The target is captured by pointer and must outlive the
-// returned test.
+// with `interesting()`, `executed()`, `Signature` and `Result` fits
+// (target/Target.h's TargetRun in practice — the unified Outcome makes
+// crashes and timeouts reduce identically). The target is captured by
+// pointer and must outlive the returned test.
 
-/// Crash interestingness: the candidate variant must still crash \p T with
-/// exactly \p Signature.
+/// Bug interestingness: the candidate variant must still produce an
+/// interesting outcome (crash or timeout) on \p T with exactly
+/// \p Signature.
 template <typename TargetT>
 InterestingnessTest makeCrashInterestingness(const TargetT &T,
                                              std::string Signature,
@@ -110,8 +112,7 @@ InterestingnessTest makeCrashInterestingness(const TargetT &T,
           Input = std::move(Input)](const Module &Variant,
                                     const FactManager &) {
     auto Run = Target->run(Variant, Input);
-    using RunT = decltype(Run);
-    return Run.RunKind == RunT::Kind::Crash && Run.Signature == Signature;
+    return Run.interesting() && Run.Signature == Signature;
   };
 }
 
@@ -127,8 +128,9 @@ makeMiscompilationInterestingness(const TargetT &T, const Module &Reference,
   return [Target = &T, Baseline = std::move(Baseline),
           Input](const Module &Variant, const FactManager &) {
     auto Run = Target->run(Variant, Input);
-    using RunT = decltype(Run);
-    return Run.RunKind == RunT::Kind::Executed && Run.Result != Baseline;
+    // executed(), not !interesting(): a tool-errored run has no meaningful
+    // Result and must never count as a repro.
+    return Run.executed() && Run.Result != Baseline;
   };
 }
 

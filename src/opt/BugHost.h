@@ -18,6 +18,7 @@
 #ifndef OPT_BUGHOST_H
 #define OPT_BUGHOST_H
 
+#include <map>
 #include <set>
 #include <string>
 
@@ -56,7 +57,28 @@ enum class BugPoint : uint8_t {
 /// Returns the crash signature text for a crash point.
 const char *bugSignature(BugPoint Point);
 
-/// The set of bugs enabled for one simulated target.
+/// How an injected bug manifests. The paper's fleet was not a clean lab:
+/// drivers wedged (hangs), phones crashed intermittently until rebooted
+/// (flaky bugs), and the evaluation explicitly distinguishes reliably
+/// reproducible bugs from flaky ones. Solid is the PR-3 behaviour.
+enum class BugFlavor : uint8_t {
+  Solid,     ///< fires deterministically whenever triggered
+  Hang,      ///< when triggered, the pipeline spins past any step budget
+  Flaky,     ///< fires with seeded probability p per attempt
+  FlakyHang, ///< flaky, and manifests as a hang rather than a crash
+};
+
+/// True for the flavors whose manifestation depends on the attempt draw.
+inline bool isFlakyFlavor(BugFlavor F) {
+  return F == BugFlavor::Flaky || F == BugFlavor::FlakyHang;
+}
+
+/// True for the flavors that manifest as a hang (timeout) when they fire.
+inline bool isHangFlavor(BugFlavor F) {
+  return F == BugFlavor::Hang || F == BugFlavor::FlakyHang;
+}
+
+/// The set of bugs enabled for one simulated target, each with a flavor.
 class BugHost {
 public:
   BugHost() = default;
@@ -65,8 +87,59 @@ public:
   bool enabled(BugPoint Point) const { return Enabled.count(Point) != 0; }
   const std::set<BugPoint> &all() const { return Enabled; }
 
+  /// Assigns a non-Solid flavor to an (enabled) bug point.
+  BugHost &withFlavor(BugPoint Point, BugFlavor F) {
+    if (F == BugFlavor::Solid)
+      Flavors.erase(Point);
+    else
+      Flavors[Point] = F;
+    return *this;
+  }
+
+  BugFlavor flavor(BugPoint Point) const {
+    auto It = Flavors.find(Point);
+    return It == Flavors.end() ? BugFlavor::Solid : It->second;
+  }
+
+  /// True if any enabled bug has a flaky flavor — runs against such a host
+  /// depend on the attempt draw and must never be memoized attempt-free.
+  bool hasNondeterministic() const {
+    for (BugPoint P : Enabled)
+      if (isFlakyFlavor(flavor(P)))
+        return true;
+    return false;
+  }
+
+  /// True if any enabled bug carries a non-Solid flavor at all.
+  bool hasFaultFlavors() const { return !Flavors.empty(); }
+
+  /// Resolves the flaky draw for one attempt: returns a copy of this host
+  /// with every flaky-flavored bug whose draw did not fire disabled, so the
+  /// pipeline can run once with an ordinary deterministic bug set.
+  /// \p Fires decides, per bug point, whether the flaky bug fires on this
+  /// attempt; it must be a pure function of (seed, module, point, attempt).
+  template <typename FiresPred> BugHost resolve(FiresPred Fires) const {
+    BugHost Out = *this;
+    for (BugPoint P : Enabled)
+      if (isFlakyFlavor(flavor(P)) && !Fires(P))
+        Out.Enabled.erase(P);
+    return Out;
+  }
+
+  /// Maps a crash signature back to the flavor of the enabled bug that
+  /// produced it (Solid if no enabled bug owns the signature — e.g. the
+  /// shared miscompilation marker).
+  BugFlavor flavorOfSignature(const std::string &Signature) const {
+    for (BugPoint P : Enabled)
+      if (Signature == bugSignature(P))
+        return flavor(P);
+    return BugFlavor::Solid;
+  }
+
 private:
   std::set<BugPoint> Enabled;
+  /// Only non-Solid entries are stored.
+  std::map<BugPoint, BugFlavor> Flavors;
 };
 
 } // namespace spvfuzz

@@ -104,6 +104,15 @@ uint64_t EvalCache::missCount() const {
 }
 
 TargetRun CachedTarget::run(const Module &M, const ShaderInput &Input) const {
+  if (!Inner->spec().deterministic()) {
+    // Memoizing a flaky target would freeze one sample as truth. This path
+    // is a policy violation (the Harness owns faulty targets); the counter
+    // is an alarm that CI asserts stays zero.
+    telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+    if (Metrics.enabled())
+      Metrics.add("evalcache.flaky_consults");
+    return Inner->run(M, Input);
+  }
   uint64_t MHash = hashModule(M);
   uint64_t IHash = hashShaderInput(Input);
   TargetRun Cached;

@@ -5,11 +5,14 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Memoization of Target::run outcomes. A target is a pure function of
-/// (module, input) — the simulated compilers and the reference interpreter
-/// are fully deterministic — so an outcome can be replayed from a cache
-/// keyed by (structural module hash, target name, input hash) instead of
-/// re-running the pipeline. Delta-debugging reduction re-evaluates many
+/// Memoization of Target::run outcomes. A *deterministic* target is a pure
+/// function of (module, input) — so an outcome can be replayed from a
+/// cache keyed by (structural module hash, target name, input hash)
+/// instead of re-running the pipeline. Flaky-flavored targets are not pure
+/// attempt-free: memoizing them would silently freeze one sample as truth,
+/// so CachedTarget refuses to (bypassing the cache and raising the
+/// evalcache.flaky_consults alarm counter, which CI asserts stays zero);
+/// the Harness is the supported way to run faulty targets. Delta-debugging reduction re-evaluates many
 /// identical variants (failed chunk removals regenerate the same module),
 /// and the dedup phase re-runs modules the reduction phase already ran;
 /// both hit this cache.

@@ -1,0 +1,189 @@
+//===- target/Harness.cpp - Fault-tolerant target execution ---------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "target/Harness.h"
+
+#include "support/ModuleHash.h"
+#include "support/Telemetry.h"
+
+#include <algorithm>
+
+using namespace spvfuzz;
+
+TargetRun HarnessedTarget::run(const Module &M,
+                               const ShaderInput &Input) const {
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+
+  TargetRun Final;
+  if (deterministic()) {
+    // One attempt suffices — and is safe to memoize.
+    RunContext Ctx;
+    Ctx.CampaignSeed = Policy.CampaignSeed;
+    Ctx.StepBudget = Policy.TargetDeadlineSteps;
+    if (!Cache) {
+      Final = Inner->run(M, Input, Ctx);
+    } else {
+      const uint64_t MHash = hashModule(M);
+      const uint64_t IHash = hashShaderInput(Input);
+      if (!Cache->lookup(MHash, Inner->name(), IHash, Final)) {
+        Final = Inner->run(M, Input, Ctx);
+        Cache->insert(MHash, Inner->name(), IHash, Final);
+      }
+    }
+  } else {
+    Final = votedRun(M, Input);
+  }
+
+  if (Metrics.enabled() && Final.RunOutcome == Outcome::Timeout)
+    Metrics.add("harness.timeouts");
+  return Final;
+}
+
+TargetRun HarnessedTarget::votedRun(const Module &M,
+                                    const ShaderInput &Input) const {
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+
+  const uint32_t Attempts = std::max(1u, Policy.FlakyRetries);
+  const uint32_t Quorum = Attempts / 2 + 1;
+
+  // One ballot per distinct (outcome, signature) verdict; the
+  // representative run is the earliest attempt that produced it, so the
+  // returned TargetRun never depends on tally iteration order.
+  struct Tally {
+    size_t Count = 0;
+    uint32_t FirstAttempt = 0;
+    TargetRun Rep;
+  };
+  std::map<std::pair<Outcome, std::string>, Tally> Votes;
+
+  uint32_t Used = 0;
+  uint32_t ConsecutiveErrors = 0;
+  TargetRun LastError;
+  bool HardFailure = false;
+
+  for (uint32_t Attempt = 0; Attempt < Attempts; ++Attempt) {
+    RunContext Ctx;
+    Ctx.CampaignSeed = Policy.CampaignSeed;
+    Ctx.Attempt = Attempt;
+    Ctx.StepBudget = Policy.TargetDeadlineSteps;
+    TargetRun R = Inner->run(M, Input, Ctx);
+    ++Used;
+    if (R.RunOutcome == Outcome::ToolError) {
+      LastError = R;
+      if (Metrics.enabled())
+        Metrics.add("harness.tool_errors");
+      // Enough back-to-back failures and the run as a whole is a hard
+      // toolchain failure — no verdict, breaker material.
+      if (++ConsecutiveErrors >= Policy.QuarantineThreshold) {
+        HardFailure = true;
+        break;
+      }
+      continue;
+    }
+    ConsecutiveErrors = 0;
+    auto Key = std::make_pair(R.RunOutcome, R.Signature);
+    auto [It, Fresh] = Votes.try_emplace(Key);
+    if (Fresh) {
+      It->second.FirstAttempt = Attempt;
+      It->second.Rep = std::move(R);
+    }
+    ++It->second.Count;
+  }
+
+  if (Metrics.enabled() && Used > 1)
+    Metrics.add("harness.retries", Used - 1);
+
+  // An empty ballot means every attempt tool-errored (without crossing the
+  // consecutive threshold mid-loop only when the threshold exceeds the
+  // attempt count) — still a hard failure from the caller's perspective.
+  if (HardFailure || Votes.empty())
+    return LastError;
+
+  // The winning interesting verdict, if any, needs a strict majority — the
+  // paper's "reliably reproducible" bar. Ties break toward the earliest
+  // first occurrence, which is deterministic.
+  const Tally *Best = nullptr;
+  for (const auto &[Key, T] : Votes) {
+    if (!isInteresting(Key.first))
+      continue;
+    if (!Best || T.Count > Best->Count ||
+        (T.Count == Best->Count && T.FirstAttempt < Best->FirstAttempt))
+      Best = &T;
+  }
+  if (Best && Best->Count >= Quorum)
+    return Best->Rep;
+
+  // Not reliably reproducible: report the clean execution if one was seen,
+  // else fall back to the most-voted interesting verdict (every non-error
+  // attempt was interesting, just without a majority for any one bucket).
+  auto Clean = Votes.find(std::make_pair(Outcome::Executed, std::string()));
+  if (Clean != Votes.end())
+    return Clean->second.Rep;
+  if (Best)
+    return Best->Rep;
+  return Votes.begin()->second.Rep;
+}
+
+Harness::Harness(const TargetFleet &Fleet, HarnessPolicy Policy,
+                 EvalCache *Cache)
+    : Policy(Policy) {
+  CachedViews.reserve(Fleet.size());
+  UncachedViews.reserve(Fleet.size());
+  for (const Target &T : Fleet) {
+    CachedViews.emplace_back(T, Policy, Cache);
+    UncachedViews.emplace_back(T, Policy, nullptr);
+    Breakers[T.name()];
+  }
+}
+
+const HarnessedTarget *Harness::find(const std::string &Name) const {
+  for (const HarnessedTarget &T : CachedViews)
+    if (T.name() == Name)
+      return &T;
+  return nullptr;
+}
+
+bool Harness::recordOutcome(const std::string &Name, bool HardToolError) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Breaker &B = Breakers[Name];
+  if (!HardToolError) {
+    B.ConsecutiveToolErrors = 0;
+    return false;
+  }
+  if (B.Open)
+    return false;
+  if (++B.ConsecutiveToolErrors < Policy.QuarantineThreshold)
+    return false;
+  B.Open = true;
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+  if (Metrics.enabled())
+    Metrics.add("harness.quarantined");
+  return true;
+}
+
+bool Harness::quarantined(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Breakers.find(Name);
+  return It != Breakers.end() && It->second.Open;
+}
+
+void Harness::clearQuarantine(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Breakers.find(Name);
+  if (It == Breakers.end())
+    return;
+  It->second.Open = false;
+  It->second.ConsecutiveToolErrors = 0;
+}
+
+size_t Harness::quarantinedCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  size_t N = 0;
+  for (const auto &[Name, B] : Breakers)
+    if (B.Open)
+      ++N;
+  return N;
+}

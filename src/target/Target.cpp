@@ -6,9 +6,78 @@
 
 #include "target/Target.h"
 
+#include "support/ModuleHash.h"
 #include "support/Telemetry.h"
 
 using namespace spvfuzz;
+
+const char *const spvfuzz::TimeoutSignature = "<timeout>";
+const char *const spvfuzz::ToolErrorSignature = "<tool error>";
+
+const char *spvfuzz::outcomeName(Outcome O) {
+  switch (O) {
+  case Outcome::Executed:
+    return "executed";
+  case Outcome::Crash:
+    return "crash";
+  case Outcome::Timeout:
+    return "timeout";
+  case Outcome::ToolError:
+    return "tool-error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Probability that a flaky-flavored bug fires on any one attempt. High
+/// enough that a majority vote over FlakyRetries attempts almost always
+/// classifies the bug as reliably reproducible, low enough that single
+/// samples regularly disagree (which is the point of the model).
+constexpr double FlakyFireProbability = 0.75;
+
+/// Seeded Bernoulli draw with 24-bit resolution over a well-mixed word.
+bool seededDraw(uint64_t Word, double Probability) {
+  const uint64_t Threshold =
+      static_cast<uint64_t>(Probability * static_cast<double>(1ull << 24));
+  return (Word >> 40) < Threshold;
+}
+
+uint64_t hashName(const std::string &Name) {
+  uint64_t H = 0x7461726765746eULL; // arbitrary domain tag
+  for (char C : Name)
+    H = StructuralHasher::mix(H ^ static_cast<uint64_t>(
+                                      static_cast<unsigned char>(C)));
+  return H;
+}
+
+/// The simulated cost of one pipeline run: every pass walks every
+/// instruction once. Hang-flavored bugs aside, a compile "times out" when
+/// this exceeds the context's step budget.
+uint64_t compileStepCost(const Module &M, const TargetSpec &Spec) {
+  return static_cast<uint64_t>(M.instructionCount()) * Spec.Pipeline.size();
+}
+
+} // namespace
+
+bool spvfuzz::flakyBugFires(uint64_t Seed, uint64_t ModuleHash, BugPoint Point,
+                            uint32_t Attempt) {
+  uint64_t X = StructuralHasher::mix(Seed ^ 0x666c616b79ULL); // "flaky"
+  X = StructuralHasher::mix(X ^ ModuleHash);
+  X = StructuralHasher::mix(
+      X ^ ((static_cast<uint64_t>(Point) << 32) | Attempt));
+  return seededDraw(X, FlakyFireProbability);
+}
+
+bool spvfuzz::toolErrorFires(uint64_t Seed, uint64_t ModuleHash,
+                             const std::string &TargetName, uint32_t Attempt,
+                             double Rate) {
+  uint64_t X = StructuralHasher::mix(Seed ^ 0x746f6f6c657272ULL); // "toolerr"
+  X = StructuralHasher::mix(X ^ ModuleHash);
+  X = StructuralHasher::mix(X ^ hashName(TargetName));
+  X = StructuralHasher::mix(X ^ Attempt);
+  return seededDraw(X, Rate);
+}
 
 PassCrash Target::compile(const Module &M, Module &OptimizedOut) const {
   OptimizedOut = M;
@@ -24,17 +93,82 @@ PassCrash Target::compile(const Module &M, Module &OptimizedOut) const {
 }
 
 TargetRun Target::run(const Module &M, const ShaderInput &Input) const {
+  return run(M, Input, RunContext());
+}
+
+TargetRun Target::run(const Module &M, const ShaderInput &Input,
+                      const RunContext &Ctx) const {
   TargetRun Run;
-  Module Optimized;
-  if (PassCrash Crash = compile(M, Optimized)) {
-    Run.RunKind = TargetRun::Kind::Crash;
+
+  // Infrastructure faults fire before the compiler even starts.
+  if (Spec.Faults.ToolErrorRate > 0.0 &&
+      toolErrorFires(Ctx.CampaignSeed, hashModule(M), Spec.Name, Ctx.Attempt,
+                     Spec.Faults.ToolErrorRate)) {
+    Run.RunOutcome = Outcome::ToolError;
+    Run.Signature = ToolErrorSignature;
+    telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+    if (Metrics.enabled())
+      Metrics.add("target.tool_errors." + Spec.Name);
+    return Run;
+  }
+
+  // Resolve flaky-flavored bugs for this attempt: non-firing ones are
+  // simply absent from the compiler this time around.
+  const BugHost *Bugs = &Spec.Bugs;
+  BugHost Resolved;
+  if (Spec.Bugs.hasNondeterministic()) {
+    const uint64_t MHash = hashModule(M);
+    Resolved = Spec.Bugs.resolve([&](BugPoint P) {
+      return flakyBugFires(Ctx.CampaignSeed, MHash, P, Ctx.Attempt);
+    });
+    Bugs = &Resolved;
+  }
+
+  Module Optimized = M;
+  PassCrash Crash = runPipeline(Spec.Pipeline, Optimized, *Bugs);
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+  if (Metrics.enabled()) {
+    Metrics.add("target.compiles");
+    Metrics.add("target.compiles." + Spec.Name);
+    if (Crash)
+      Metrics.add("target.crashes." + Spec.Name);
+  }
+  if (Crash) {
+    // Hang-flavored bugs wedge the pipeline instead of aborting it; under
+    // a step budget that surfaces as a timeout, signature-less by design.
+    if (isHangFlavor(Bugs->flavorOfSignature(*Crash))) {
+      Run.RunOutcome = Outcome::Timeout;
+      Run.Signature = TimeoutSignature;
+      return Run;
+    }
+    Run.RunOutcome = Outcome::Crash;
     Run.Signature = *Crash;
     return Run;
   }
-  Run.RunKind = TargetRun::Kind::Executed;
+
+  // Even a healthy pipeline can exhaust the budget on oversized modules.
+  if (Ctx.StepBudget != 0 && compileStepCost(M, Spec) > Ctx.StepBudget) {
+    Run.RunOutcome = Outcome::Timeout;
+    Run.Signature = TimeoutSignature;
+    return Run;
+  }
+
+  Run.RunOutcome = Outcome::Executed;
   if (Spec.CanExecute) {
-    Run.Result = interpret(Optimized, Input);
-    telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+    InterpreterOptions Opts;
+    // Only a budget *tighter* than the interpreter's own limit changes
+    // semantics: step-limit faults then become timeouts. With the default
+    // (or no) budget, behaviour is identical to the unbudgeted overload.
+    const bool Tighter = Ctx.StepBudget != 0 && Ctx.StepBudget < Opts.StepLimit;
+    if (Tighter)
+      Opts.StepLimit = Ctx.StepBudget;
+    Run.Result = interpret(Optimized, Input, Opts);
+    if (Tighter && Run.Result.ExecStatus == ExecResult::Status::Fault &&
+        Run.Result.FaultMessage == "step limit exceeded") {
+      Run.RunOutcome = Outcome::Timeout;
+      Run.Signature = TimeoutSignature;
+      Run.Result = ExecResult();
+    }
     if (Metrics.enabled())
       Metrics.add("target.executions." + Spec.Name);
   }
@@ -71,11 +205,11 @@ Target makeTarget(std::string Name, std::string Version, std::string GpuType,
 //  * No target enables the uniform-branch-fold miscompilation: reference
 //    programs can branch directly on a loaded boolean uniform, so that bug
 //    fires on originals.
-std::vector<Target> spvfuzz::standardTargets() {
-  std::vector<Target> Targets;
+TargetFleet TargetFleet::standard() {
+  TargetFleet Fleet;
 
   // Offline compiler; crash-only.
-  Targets.push_back(makeTarget(
+  Fleet.add(makeTarget(
       "AMD-LLPC", "vulkan-1.2.154 llpc", "-",
       {OptPassKind::FrontendCheck, OptPassKind::SimplifyCfg,
        OptPassKind::DeadBranchElim, OptPassKind::Inliner,
@@ -85,7 +219,7 @@ std::vector<Target> spvfuzz::standardTargets() {
        BugPoint::CrashEqualTargetBranch},
       /*CanExecute=*/false));
 
-  Targets.push_back(makeTarget(
+  Fleet.add(makeTarget(
       "Mali-G78", "r32p1-01rel0", "ARM Mali-G78",
       {OptPassKind::FrontendCheck, OptPassKind::SimplifyCfg,
        OptPassKind::DeadBranchElim, OptPassKind::LoadStoreForwarding,
@@ -96,7 +230,7 @@ std::vector<Target> spvfuzz::standardTargets() {
       /*CanExecute=*/true));
 
   // Miscompile-only: crashes never crowd out the wrong-image bugs here.
-  Targets.push_back(makeTarget(
+  Fleet.add(makeTarget(
       "Mesa", "20.0.8 (iris)", "Intel UHD 630",
       {OptPassKind::FrontendCheck, OptPassKind::SimplifyCfg,
        OptPassKind::DeadBranchElim, OptPassKind::ConstantFold,
@@ -108,7 +242,7 @@ std::vector<Target> spvfuzz::standardTargets() {
 
   // The most crash-diverse driver (and therefore excluded from the dedup
   // experiment, as in the paper).
-  Targets.push_back(makeTarget(
+  Fleet.add(makeTarget(
       "NVIDIA", "456.71", "GeForce GTX 1070",
       {OptPassKind::FrontendCheck, OptPassKind::LocalCSE,
        OptPassKind::SimplifyCfg, OptPassKind::DeadBranchElim,
@@ -122,7 +256,7 @@ std::vector<Target> spvfuzz::standardTargets() {
 
   // Two driver generations of the same mobile GPU family: the older
   // driver's bug set strictly contains the newer one's.
-  Targets.push_back(makeTarget(
+  Fleet.add(makeTarget(
       "Pixel-4", "512.415.0 (old driver)", "Adreno 640",
       {OptPassKind::FrontendCheck, OptPassKind::SimplifyCfg,
        OptPassKind::DeadBranchElim, OptPassKind::CopyPropagation,
@@ -132,7 +266,7 @@ std::vector<Target> spvfuzz::standardTargets() {
        BugPoint::CrashStoreToPrivateGlobal},
       /*CanExecute=*/true));
 
-  Targets.push_back(makeTarget(
+  Fleet.add(makeTarget(
       "Pixel-5", "512.491.0", "Adreno 620",
       {OptPassKind::FrontendCheck, OptPassKind::SimplifyCfg,
        OptPassKind::DeadBranchElim, OptPassKind::CopyPropagation,
@@ -143,7 +277,7 @@ std::vector<Target> spvfuzz::standardTargets() {
 
   // Standalone optimizer; crash-only. Both of its bugs need composite
   // transformations, which the baseline tool never performs.
-  Targets.push_back(makeTarget(
+  Fleet.add(makeTarget(
       "spirv-opt", "v2021.2", "-",
       {OptPassKind::SimplifyCfg, OptPassKind::DeadBranchElim,
        OptPassKind::ConstantFold, OptPassKind::CopyPropagation,
@@ -154,7 +288,7 @@ std::vector<Target> spvfuzz::standardTargets() {
       /*CanExecute=*/false));
 
   // An older optimizer release with two extra, since-fixed bugs.
-  Targets.push_back(makeTarget(
+  Fleet.add(makeTarget(
       "spirv-opt-old", "v2020.1", "-",
       {OptPassKind::SimplifyCfg, OptPassKind::DeadBranchElim,
        OptPassKind::LocalCSE, OptPassKind::ConstantFold,
@@ -166,9 +300,10 @@ std::vector<Target> spvfuzz::standardTargets() {
        BugPoint::CrashPointerCopyAlias},
       /*CanExecute=*/false));
 
-  // The CPU rasterizer, kept last so examples can grab Targets.back().
-  // Its single bug is the Figure 3 artefact, so the signature stays pure.
-  Targets.push_back(makeTarget(
+  // The CPU rasterizer, kept last among the solid rows so examples can
+  // grab the fleet's last standard target. Its single bug is the Figure 3
+  // artefact, so the signature stays pure.
+  Fleet.add(makeTarget(
       "SwiftShader", "4.1 (subzero)", "CPU",
       {OptPassKind::FrontendCheck, OptPassKind::SimplifyCfg,
        OptPassKind::Inliner, OptPassKind::DeadBranchElim,
@@ -177,9 +312,93 @@ std::vector<Target> spvfuzz::standardTargets() {
       {BugPoint::CrashDontInlineAttribute},
       /*CanExecute=*/true));
 
-  return Targets;
+  return Fleet;
+}
+
+TargetFleet TargetFleet::faulty() {
+  TargetFleet Fleet = standard();
+
+  // The dying phone: same driver family as Pixel-4 but a flash-worn unit
+  // that frequently fails to even launch the compiler (reboot needed), and
+  // whose crashes reproduce only intermittently. The hard tool-error rate
+  // is what exercises the harness's quarantine breaker.
+  {
+    Target Phone = makeTarget(
+        "Pixel-3", "512.386.0 (dying unit)", "Adreno 630",
+        {OptPassKind::FrontendCheck, OptPassKind::SimplifyCfg,
+         OptPassKind::DeadBranchElim, OptPassKind::CopyPropagation,
+         OptPassKind::DeadStoreElim, OptPassKind::Dce},
+        {BugPoint::CrashNegatedConstantBranch,
+         BugPoint::CrashUnusedCallResult},
+        /*CanExecute=*/true);
+    TargetSpec Spec = Phone.spec();
+    Spec.Faults.ToolErrorRate = 0.8;
+    Spec.Bugs.withFlavor(BugPoint::CrashNegatedConstantBranch,
+                         BugFlavor::Flaky);
+    Spec.Bugs.withFlavor(BugPoint::CrashUnusedCallResult, BugFlavor::Flaky);
+    Fleet.add(Target(std::move(Spec)));
+  }
+
+  // The wedging rasterizer: an older SwiftShader whose DontInline bug
+  // hangs the pipeline instead of aborting it, and only some of the time.
+  // GpuType "CPU" makes it part of the GPU-less reduction fleet. It keeps
+  // an extra since-fixed solid bug so the faulty fleet also carries a
+  // superset relation, like the other old-version rows.
+  {
+    Target Wedge = makeTarget(
+        "SwiftShader-old", "3.3 (wedging)", "CPU",
+        {OptPassKind::FrontendCheck, OptPassKind::SimplifyCfg,
+         OptPassKind::Inliner, OptPassKind::DeadBranchElim,
+         OptPassKind::ConstantFold, OptPassKind::LocalCSE, OptPassKind::Dce,
+         OptPassKind::BlockLayout},
+        {BugPoint::CrashDontInlineAttribute, BugPoint::CrashUnusedComposite},
+        /*CanExecute=*/true);
+    TargetSpec Spec = Wedge.spec();
+    Spec.Faults.ToolErrorRate = 0.1;
+    Spec.Bugs.withFlavor(BugPoint::CrashDontInlineAttribute,
+                         BugFlavor::FlakyHang);
+    Fleet.add(Target(std::move(Spec)));
+  }
+
+  return Fleet;
+}
+
+const Target *TargetFleet::find(const std::string &Name) const {
+  for (const Target &T : Targets)
+    if (T.name() == Name)
+      return &T;
+  return nullptr;
+}
+
+std::vector<std::string> TargetFleet::names() const {
+  std::vector<std::string> Out;
+  Out.reserve(Targets.size());
+  for (const Target &T : Targets)
+    Out.push_back(T.name());
+  return Out;
+}
+
+std::vector<std::string> TargetFleet::gpulessNames() const {
+  std::vector<std::string> Out;
+  for (const Target &T : Targets)
+    if (T.spec().GpuType == "-" || T.spec().GpuType == "CPU")
+      Out.push_back(T.name());
+  return Out;
+}
+
+TargetFleet
+TargetFleet::filter(const std::function<bool(const Target &)> &Keep) const {
+  TargetFleet Out;
+  for (const Target &T : Targets)
+    if (Keep(T))
+      Out.add(T);
+  return Out;
+}
+
+std::vector<Target> spvfuzz::standardTargets() {
+  return TargetFleet::standard().targets();
 }
 
 std::vector<std::string> spvfuzz::gpulessTargetNames() {
-  return {"AMD-LLPC", "spirv-opt", "spirv-opt-old", "SwiftShader"};
+  return TargetFleet::standard().gpulessNames();
 }

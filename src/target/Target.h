@@ -12,6 +12,13 @@
 /// SwiftShader-style configurations the reduction/dedup experiments run
 /// on GPU-less machines).
 ///
+/// The fleet is not a clean lab: the faulty rows model the paper's field
+/// conditions — drivers that wedge (hangs become timeouts under a step
+/// budget), bugs that fire intermittently (flaky flavors, resolved by a
+/// seeded per-attempt draw so campaigns stay bit-identical), and
+/// toolchains that fail outright (tool errors). The Harness wraps these
+/// with retry/voting and quarantine.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TARGET_TARGET_H
@@ -20,22 +27,88 @@
 #include "exec/Interpreter.h"
 #include "opt/Passes.h"
 
+#include <functional>
 #include <string>
 #include <vector>
 
+#ifndef SPVFUZZ_DEPRECATED
+#define SPVFUZZ_DEPRECATED(Msg) [[deprecated(Msg)]]
+#endif
+
 namespace spvfuzz {
 
-/// The outcome of handing one module to one target: either the compiler
-/// crashed with a signature, or compilation succeeded and — on targets
-/// that can execute — the optimized module was run.
+/// The unified outcome of handing one module to one target. This replaces
+/// the old TargetRun::Kind / ExecStatus::Fault split: every consumer asks
+/// one question — is this run interesting? — through isInteresting()
+/// instead of comparing kinds and signatures piecemeal.
+enum class Outcome : uint8_t {
+  Executed,  ///< compilation succeeded (Result valid iff canExecute())
+  Crash,     ///< the compiler aborted; Signature identifies the bug
+  Timeout,   ///< the pipeline or execution spun past the step budget
+  ToolError, ///< the toolchain failed outright (infrastructure, not a bug)
+};
+
+/// The single policy point for "does this outcome make a test a bug
+/// candidate". Crashes and timeouts are bugs worth reducing; tool errors
+/// are infrastructure noise and clean executions only become interesting
+/// through the differential (miscompilation) check.
+inline bool isInteresting(Outcome O) {
+  return O == Outcome::Crash || O == Outcome::Timeout;
+}
+
+/// Human-readable outcome name for CLI/bench rendering.
+const char *outcomeName(Outcome O);
+
+/// The signature shared by all timeout runs — timeouts reduce and dedup
+/// like crashes, under one bucket per target.
+extern const char *const TimeoutSignature;
+/// The signature carried by tool-error runs (never a bug report).
+extern const char *const ToolErrorSignature;
+
+/// The outcome of one target run.
 struct TargetRun {
-  enum class Kind : uint8_t {
-    Crash,    ///< the compiler aborted; Signature identifies the bug
-    Executed, ///< compilation succeeded (Result valid iff canExecute())
-  };
-  Kind RunKind = Kind::Executed;
+  Outcome RunOutcome = Outcome::Executed;
   std::string Signature;
   ExecResult Result;
+
+  /// True if this run is a bug candidate (crash or timeout).
+  bool interesting() const { return isInteresting(RunOutcome); }
+  /// True if compilation and (where modelled) execution completed, i.e.
+  /// Result is meaningful for differential comparison.
+  bool executed() const { return RunOutcome == Outcome::Executed; }
+};
+
+/// Per-attempt context for a target run. All fault draws are pure
+/// functions of the fields here plus the module/input, so identical
+/// contexts always reproduce identical runs regardless of thread count.
+struct RunContext {
+  /// Campaign seed the flaky/tool-error draws key on.
+  uint64_t CampaignSeed = 0;
+  /// Which retry attempt this is (0 = first); flaky draws differ by it.
+  uint32_t Attempt = 0;
+  /// Simulated compile/execute step budget; 0 = unlimited. Hang-flavored
+  /// bugs and oversized pipelines surface as Outcome::Timeout against it.
+  uint64_t StepBudget = 0;
+};
+
+/// Pure seeded draw: does a flaky-flavored bug fire on this attempt?
+/// Deterministic in (Seed, ModuleHash, Point, Attempt).
+bool flakyBugFires(uint64_t Seed, uint64_t ModuleHash, BugPoint Point,
+                   uint32_t Attempt);
+
+/// Pure seeded draw: does the toolchain fail outright on this attempt?
+/// Deterministic in (Seed, ModuleHash, TargetName, Attempt, Rate).
+bool toolErrorFires(uint64_t Seed, uint64_t ModuleHash,
+                    const std::string &TargetName, uint32_t Attempt,
+                    double Rate);
+
+/// Reliability model of a target's toolchain/device. All-zero for the
+/// solid Table 2 rows; the faulty fleet rows set these.
+struct FaultSpec {
+  /// Per-attempt probability that the toolchain fails outright before the
+  /// compiler runs (the phone that needs a reboot). Drawn deterministically
+  /// from (seed, module, target, attempt).
+  double ToolErrorRate = 0.0;
 };
 
 /// Static description of one simulated target (one row of Table 2).
@@ -48,8 +121,22 @@ struct TargetSpec {
   std::vector<OptPassKind> Pipeline;
   /// The injected bugs this target's compiler carries.
   BugHost Bugs;
+  /// The target's infrastructure reliability model.
+  FaultSpec Faults;
   /// Whether the target can execute compiled modules (GPU present).
   bool CanExecute = true;
+
+  /// True if identical (module, input, context-with-attempt-0) runs always
+  /// produce identical outcomes without consulting the attempt draw — the
+  /// precondition for attempt-free memoization (EvalCache).
+  bool deterministic() const {
+    return Faults.ToolErrorRate == 0.0 && !Bugs.hasNondeterministic();
+  }
+  /// True if the target models any field fault (flaky/hang flavors or a
+  /// nonzero tool-error rate).
+  bool faulty() const {
+    return Faults.ToolErrorRate > 0.0 || Bugs.hasFaultFlavors();
+  }
 };
 
 /// One simulated target: compiles via its pipeline and, if a GPU is
@@ -67,19 +154,73 @@ public:
   PassCrash compile(const Module &M, Module &OptimizedOut) const;
 
   /// Compiles \p M and, if this target can execute, runs the optimized
-  /// module on \p Input.
+  /// module on \p Input. Equivalent to run(M, Input, RunContext{}): no
+  /// step budget, attempt 0 — on the solid fleet this is the full story.
   TargetRun run(const Module &M, const ShaderInput &Input) const;
+
+  /// One attempt under a fault context: resolves flaky draws for
+  /// \p Ctx.Attempt, maps hang-flavored crashes and budget exhaustion to
+  /// Outcome::Timeout, and surfaces tool errors. Pure in (M, Input, Ctx).
+  TargetRun run(const Module &M, const ShaderInput &Input,
+                const RunContext &Ctx) const;
 
 private:
   TargetSpec Spec;
 };
 
-/// The nine standard targets of Table 2, SwiftShader last. Exactly three
-/// are crash-only (AMD-LLPC, spirv-opt, spirv-opt-old).
+/// The device fleet: named lookup, faultiness/capability filtering, and
+/// iteration over an ordered set of targets. Replaces the loose
+/// standardTargets()/gpulessTargetNames() free functions.
+class TargetFleet {
+public:
+  using const_iterator = std::vector<Target>::const_iterator;
+
+  TargetFleet() = default;
+
+  /// The nine solid targets of Table 2, SwiftShader last. Exactly three
+  /// are crash-only (AMD-LLPC, spirv-opt, spirv-opt-old).
+  static TargetFleet standard();
+
+  /// The standard fleet plus the faulty rows (Pixel-3, SwiftShader-old):
+  /// flaky/hang-flavored bugs and nonzero tool-error rates.
+  static TargetFleet faulty();
+
+  TargetFleet &add(Target T) {
+    Targets.push_back(std::move(T));
+    return *this;
+  }
+
+  bool empty() const { return Targets.empty(); }
+  size_t size() const { return Targets.size(); }
+  const Target &operator[](size_t I) const { return Targets[I]; }
+  const_iterator begin() const { return Targets.begin(); }
+  const_iterator end() const { return Targets.end(); }
+  const std::vector<Target> &targets() const { return Targets; }
+
+  /// Named lookup; nullptr if absent.
+  const Target *find(const std::string &Name) const;
+
+  /// All target names, in fleet order.
+  std::vector<std::string> names() const;
+
+  /// The targets usable on GPU-less machines (the reduction/dedup
+  /// experiments' default fleet): crash-only compilers plus CPU
+  /// rasterizers, in fleet order.
+  std::vector<std::string> gpulessNames() const;
+
+  /// A new fleet holding only the targets \p Keep accepts, in order.
+  TargetFleet filter(const std::function<bool(const Target &)> &Keep) const;
+
+private:
+  std::vector<Target> Targets;
+};
+
+/// Deprecated shim over TargetFleet::standard().targets().
+SPVFUZZ_DEPRECATED("use TargetFleet::standard()")
 std::vector<Target> standardTargets();
 
-/// The targets usable on GPU-less machines (the reduction/dedup
-/// experiments' default fleet).
+/// Deprecated shim over TargetFleet::standard().gpulessNames().
+SPVFUZZ_DEPRECATED("use TargetFleet::gpulessNames()")
 std::vector<std::string> gpulessTargetNames();
 
 } // namespace spvfuzz

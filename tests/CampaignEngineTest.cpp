@@ -7,9 +7,10 @@
 /// \file
 /// The engine's headline guarantee: a campaign run with N worker threads is
 /// bit-identical to the serial run — same TestEvaluations, same reduction
-/// records, same dedup classes, same metrics counter totals. Also covers
-/// the ExecutionPolicy defaults, deadline truncation, and the deprecated
-/// free-function wrappers.
+/// records, same dedup classes, same metrics counter totals — including on
+/// the faulty fleet, where flaky bugs, timeouts, retries and quarantine are
+/// in play. Also covers the ExecutionPolicy defaults and deadline
+/// truncation.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -314,26 +315,107 @@ TEST(CampaignEngine, NoDeadlineNeverExpires) {
   EXPECT_FALSE(Engine.deadlineExpired());
 }
 
-TEST(CampaignEngine, DeprecatedWrappersMatchEngineResults) {
-  // The old free functions must keep producing the engine's answers for
-  // one release. They pin their historical transformation limits (250 for
-  // bug finding), so compare against an engine configured the same way.
-  BugFindingConfig Config;
-  Config.TestsPerTool = 30;
-  Config.NumGroups = 3;
+//===----------------------------------------------------------------------===//
+// Faulty-fleet determinism
+//===----------------------------------------------------------------------===//
 
-  CampaignEngine Engine(ExecutionPolicy{}.withTransformationLimit(250));
-  BugFindingData FromEngine = Engine.runBugFinding(Config);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  BugFindingData FromWrapper = runBugFinding(Config);
-#pragma GCC diagnostic pop
-  ASSERT_EQ(FromEngine.Stats.size(), FromWrapper.Stats.size());
-  for (const auto &[Tool, PerTarget] : FromEngine.Stats)
-    for (const auto &[TargetName, Stats] : PerTarget)
-      EXPECT_EQ(Stats.Distinct,
-                FromWrapper.Stats.at(Tool).at(TargetName).Distinct)
-          << Tool << "/" << TargetName;
+CampaignEngine makeFaultyEngine(size_t Jobs) {
+  return CampaignEngine(
+      ExecutionPolicy{}.withJobs(Jobs).withTransformationLimit(120),
+      smallCorpus(), ToolsetSpec{}, TargetFleet::faulty());
+}
+
+TEST(CampaignEngine, FaultyFleetEvaluationsAreIdenticalAcrossJobCounts) {
+  // The tentpole determinism contract: with flaky bugs, tool errors and
+  // quarantine in the loop, --jobs 8 still reproduces --jobs 1 exactly —
+  // including which targets tool-errored on each test.
+  CampaignEngine Serial = makeFaultyEngine(1);
+  CampaignEngine Parallel = makeFaultyEngine(8);
+  size_t ToolErrors = 0;
+  for (const ToolConfig &Tool : Serial.tools()) {
+    std::vector<TestEvaluation> A = Serial.evaluateTests(Tool, 48);
+    std::vector<TestEvaluation> B = Parallel.evaluateTests(Tool, 48);
+    ASSERT_EQ(A.size(), 48u) << Tool.Name;
+    expectSameEvaluations(A, B);
+    for (size_t I = 0; I < A.size(); ++I) {
+      EXPECT_EQ(A[I].ToolErrored, B[I].ToolErrored)
+          << Tool.Name << " test " << I;
+      ToolErrors += A[I].ToolErrored.size();
+    }
+  }
+  // The faulty rows actually misbehaved, so the comparison is not vacuous.
+  EXPECT_GT(ToolErrors, 0u);
+  // Pixel-3's 80% tool-error rate must trip its breaker identically.
+  EXPECT_EQ(Serial.harness().quarantined("Pixel-3"),
+            Parallel.harness().quarantined("Pixel-3"));
+  EXPECT_TRUE(Serial.harness().quarantined("Pixel-3"));
+}
+
+TEST(CampaignEngine, FaultyFleetReductionsAreIdenticalAcrossJobCounts) {
+  ReductionConfig Config;
+  Config.TestsPerTool = 60;
+  Config.CapPerSignature = 2;
+  Config.MaxReductionsPerTool = 8;
+  // The faulty rows on top of the default GPU-less reduction set.
+  Config.TargetNames = TargetFleet::faulty().gpulessNames();
+  Config.TargetNames.push_back("Pixel-3");
+
+  CampaignEngine Serial = makeFaultyEngine(1);
+  ReductionData A = Serial.runReductions(Config);
+  CampaignEngine Parallel = makeFaultyEngine(8);
+  ReductionData B = Parallel.runReductions(Config);
+
+  expectSameReductionRecords(A, B);
+}
+
+TEST(CampaignEngine, FaultyFleetDedupIsIdenticalAcrossJobCounts) {
+  ReductionConfig Config;
+  Config.TestsPerTool = 60;
+  Config.CapPerSignature = 3;
+  Config.MaxReductionsPerTool = 10;
+
+  CampaignEngine Serial = makeFaultyEngine(1);
+  DedupData A = Serial.runDedup(Config);
+  CampaignEngine Parallel = makeFaultyEngine(8);
+  DedupData B = Parallel.runDedup(Config);
+
+  ASSERT_EQ(A.PerTarget.size(), B.PerTarget.size());
+  for (size_t I = 0; I < A.PerTarget.size(); ++I) {
+    EXPECT_EQ(A.PerTarget[I].TargetName, B.PerTarget[I].TargetName);
+    EXPECT_EQ(A.PerTarget[I].Tests, B.PerTarget[I].Tests);
+    EXPECT_EQ(A.PerTarget[I].Sigs, B.PerTarget[I].Sigs);
+    EXPECT_EQ(A.PerTarget[I].Reports, B.PerTarget[I].Reports);
+    EXPECT_EQ(A.PerTarget[I].Distinct, B.PerTarget[I].Distinct);
+    EXPECT_EQ(A.PerTarget[I].Dups, B.PerTarget[I].Dups);
+  }
+  EXPECT_EQ(A.Total.Tests, B.Total.Tests);
+  EXPECT_EQ(A.Total.Reports, B.Total.Reports);
+  EXPECT_EQ(A.Total.Distinct, B.Total.Distinct);
+}
+
+TEST(CampaignEngine, FaultyFleetNeverConsultsEvalCacheForFlakyTargets) {
+  // The cache-poisoning guard: a flaky target's runs depend on the attempt
+  // draw and must bypass memoization entirely. evalcache.flaky_consults is
+  // the CI-asserted alarm counter; a faulty-fleet campaign must leave it at
+  // zero while exercising the harness (retries, timeouts).
+  using telemetry::MetricsRegistry;
+  MetricsRegistry::global().setEnabled(true);
+  MetricsRegistry::global().reset();
+  {
+    ReductionConfig Config;
+    Config.TestsPerTool = 40;
+    Config.CapPerSignature = 2;
+    Config.MaxReductionsPerTool = 6;
+    CampaignEngine Engine = makeFaultyEngine(2);
+    Engine.runDedup(Config);
+  }
+  std::map<std::string, uint64_t> Counters =
+      MetricsRegistry::global().snapshot().Counters;
+  MetricsRegistry::global().reset();
+  MetricsRegistry::global().setEnabled(false);
+
+  EXPECT_EQ(Counters.count("evalcache.flaky_consults"), 0u);
+  EXPECT_GT(Counters["harness.tool_errors"], 0u);
 }
 
 } // namespace

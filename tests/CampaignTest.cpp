@@ -103,10 +103,11 @@ TEST(Campaign, EvaluateTestFindsSomeBugOverManySeeds) {
   Corpus C = makeCorpus(CorpusSpec{}.withSeed(5));
   ToolConfig Tool =
       standardTools(ToolsetSpec{}.withTransformationLimit(250))[0];
-  std::vector<Target> Targets = standardTargets();
+  TargetFleet Fleet = TargetFleet::standard();
   size_t Bugs = 0;
   for (size_t TestIndex = 0; TestIndex < 20; ++TestIndex)
-    Bugs += evaluateTest(C, Tool, Targets, 1, TestIndex).Signatures.size();
+    Bugs += evaluateTest(C, Tool, Fleet.targets(), 1, TestIndex)
+                .Signatures.size();
   EXPECT_GT(Bugs, 0u);
 }
 
@@ -116,13 +117,10 @@ TEST(Campaign, InterestingnessTestsDiscriminate) {
   Module WithDontInline = F.M;
   WithDontInline.findFunction(F.HelperId)->setControlMask(FC_DontInline);
 
-  std::vector<Target> Targets = standardTargets();
-  const Target *SwiftShader = nullptr;
-  for (const Target &T : Targets)
-    if (T.name() == "SwiftShader")
-      SwiftShader = &T;
+  TargetFleet Fleet = TargetFleet::standard();
+  const Target *SwiftShader = Fleet.find("SwiftShader");
   TargetRun Run = SwiftShader->run(WithDontInline, F.Input);
-  ASSERT_EQ(Run.RunKind, TargetRun::Kind::Crash);
+  ASSERT_EQ(Run.RunOutcome, Outcome::Crash);
 
   InterestingnessTest Test = makeInterestingnessTest(
       *SwiftShader, Run.Signature, F.M, F.Input);

@@ -22,12 +22,10 @@ using namespace spvfuzz::test;
 
 namespace {
 
-const Target *targetNamed(const std::vector<Target> &Targets,
-                          const std::string &Name) {
-  for (const Target &T : Targets)
-    if (T.name() == Name)
-      return &T;
-  return nullptr;
+/// Shared across cases: the fleet is immutable and cheap to reuse.
+const TargetFleet &standardFleet() {
+  static const TargetFleet Fleet = TargetFleet::standard();
+  return Fleet;
 }
 
 TEST(EndToEnd, FigureThreeDontInlineDelta) {
@@ -35,8 +33,7 @@ TEST(EndToEnd, FigureThreeDontInlineDelta) {
   // assert the paper's Figure 3 artefact: the reduced variant differs from
   // the original in *zero* instruction count and the minimized sequence is
   // just the attribute toggle.
-  static std::vector<Target> Targets = standardTargets();
-  const Target *SwiftShader = targetNamed(Targets, "SwiftShader");
+  const Target *SwiftShader = standardFleet().find("SwiftShader");
   ASSERT_NE(SwiftShader, nullptr);
   Corpus C = makeCorpus(
       CorpusSpec{}.withSeed(3).withReferences(6).withDonors(4));
@@ -50,7 +47,7 @@ TEST(EndToEnd, FigureThreeDontInlineDelta) {
     FuzzResult Fuzzed = regenerateTest(C, Tool, 3, TestIndex, Ref);
     const GeneratedProgram &Reference = C.References[Ref];
     TargetRun Run = SwiftShader->run(Fuzzed.Variant, Reference.Input);
-    if (Run.RunKind != TargetRun::Kind::Crash || Run.Signature != Signature)
+    if (!Run.interesting() || Run.Signature != Signature)
       continue;
     Found = true;
 
@@ -73,8 +70,7 @@ TEST(EndToEnd, FigureThreeDontInlineDelta) {
 }
 
 TEST(EndToEnd, MiscompilationDetectedAndReduced) {
-  static std::vector<Target> Targets = standardTargets();
-  const Target *Mesa = targetNamed(Targets, "Mesa");
+  const Target *Mesa = standardFleet().find("Mesa");
   ASSERT_NE(Mesa, nullptr);
   Corpus C = makeCorpus(CorpusSpec{}.withSeed(11));
   ToolConfig Tool =
@@ -86,10 +82,10 @@ TEST(EndToEnd, MiscompilationDetectedAndReduced) {
     FuzzResult Fuzzed = regenerateTest(C, Tool, 11, TestIndex, Ref);
     const GeneratedProgram &Reference = C.References[Ref];
     TargetRun Run = Mesa->run(Fuzzed.Variant, Reference.Input);
-    if (Run.RunKind != TargetRun::Kind::Executed)
+    if (Run.RunOutcome != Outcome::Executed)
       continue;
     TargetRun OriginalRun = Mesa->run(Reference.M, Reference.Input);
-    if (OriginalRun.RunKind != TargetRun::Kind::Executed ||
+    if (OriginalRun.RunOutcome != Outcome::Executed ||
         Run.Result == OriginalRun.Result)
       continue;
     Found = true;
@@ -110,17 +106,16 @@ TEST(EndToEnd, MiscompilationDetectedAndReduced) {
 }
 
 TEST(EndToEnd, TargetsAreDeterministic) {
-  static std::vector<Target> Targets = standardTargets();
   GeneratedProgram Program = generateProgram(21);
   FuzzerOptions Options;
   Options.TransformationLimit = 200;
   FuzzResult Fuzzed = fuzz(Program.M, Program.Input, {}, 21, Options);
-  for (const Target &T : Targets) {
+  for (const Target &T : standardFleet()) {
     TargetRun First = T.run(Fuzzed.Variant, Program.Input);
     TargetRun Second = T.run(Fuzzed.Variant, Program.Input);
-    EXPECT_EQ(First.RunKind, Second.RunKind) << T.name();
+    EXPECT_EQ(First.RunOutcome, Second.RunOutcome) << T.name();
     EXPECT_EQ(First.Signature, Second.Signature) << T.name();
-    if (First.RunKind == TargetRun::Kind::Executed && T.canExecute())
+    if (First.RunOutcome == Outcome::Executed && T.canExecute())
       EXPECT_EQ(First.Result, Second.Result) << T.name();
   }
 }
@@ -129,13 +124,12 @@ TEST(EndToEnd, CompiledVariantsStayValidUnderEveryTarget) {
   // Whatever a (bug-free w.r.t. crashes) compilation produces must be a
   // valid module — including for fuzzed inputs — unless a *miscompile* bug
   // intentionally broke SSA shape.
-  static std::vector<Target> Targets = standardTargets();
   for (uint64_t Seed = 50; Seed < 56; ++Seed) {
     GeneratedProgram Program = generateProgram(Seed);
     FuzzerOptions Options;
     Options.TransformationLimit = 150;
     FuzzResult Fuzzed = fuzz(Program.M, Program.Input, {}, Seed, Options);
-    for (const Target &T : Targets) {
+    for (const Target &T : standardFleet()) {
       bool HasMiscompileBug = false;
       for (BugPoint Point : T.spec().Bugs.all())
         if (bugSignature(Point) == std::string("<miscompilation>"))
@@ -155,8 +149,7 @@ TEST(EndToEnd, BugReportSurvivesTextAndSequenceRoundTrip) {
   // A bug report = original text + input + minimized sequence. Rebuilding
   // the reduced variant from the *serialized* artefacts must reproduce the
   // crash — this is what makes reports actionable.
-  static std::vector<Target> Targets = standardTargets();
-  const Target *NVidia = targetNamed(Targets, "NVIDIA");
+  const Target *NVidia = standardFleet().find("NVIDIA");
   Corpus C = makeCorpus(
       CorpusSpec{}.withSeed(7).withReferences(6).withDonors(4));
   ToolConfig Tool =
@@ -167,7 +160,7 @@ TEST(EndToEnd, BugReportSurvivesTextAndSequenceRoundTrip) {
     FuzzResult Fuzzed = regenerateTest(C, Tool, 7, TestIndex, Ref);
     const GeneratedProgram &Reference = C.References[Ref];
     TargetRun Run = NVidia->run(Fuzzed.Variant, Reference.Input);
-    if (Run.RunKind != TargetRun::Kind::Crash)
+    if (!Run.interesting())
       continue;
 
     InterestingnessTest Test = makeInterestingnessTest(
@@ -190,7 +183,7 @@ TEST(EndToEnd, BugReportSurvivesTextAndSequenceRoundTrip) {
     applySequence(Rebuilt, Facts, ParsedSequence);
 
     TargetRun RebuiltRun = NVidia->run(Rebuilt, Reference.Input);
-    ASSERT_EQ(RebuiltRun.RunKind, TargetRun::Kind::Crash);
+    ASSERT_EQ(RebuiltRun.RunOutcome, Outcome::Crash);
     EXPECT_EQ(RebuiltRun.Signature, Run.Signature);
     return; // one crash suffices
   }

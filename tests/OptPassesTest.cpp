@@ -113,12 +113,12 @@ TEST(Targets, OriginalsNeverTriggerInjectedBugs) {
   // Injected bugs are gated on fuzzer-introduced features; original
   // programs must compile and run cleanly on every target, or campaigns
   // would be measuring generator noise.
-  std::vector<Target> Targets = standardTargets();
+  TargetFleet Fleet = TargetFleet::standard();
   for (uint64_t Seed = 0; Seed < 20; ++Seed) {
     GeneratedProgram Program = generateProgram(Seed);
-    for (const Target &T : Targets) {
+    for (const Target &T : Fleet) {
       TargetRun Run = T.run(Program.M, Program.Input);
-      ASSERT_EQ(Run.RunKind, TargetRun::Kind::Executed)
+      ASSERT_EQ(Run.RunOutcome, Outcome::Executed)
           << T.name() << " crashed on original seed " << Seed << ": "
           << Run.Signature;
       if (T.canExecute())
@@ -129,10 +129,10 @@ TEST(Targets, OriginalsNeverTriggerInjectedBugs) {
 }
 
 TEST(Targets, TableTwoShape) {
-  std::vector<Target> Targets = standardTargets();
-  ASSERT_EQ(Targets.size(), 9u);
+  TargetFleet Fleet = TargetFleet::standard();
+  ASSERT_EQ(Fleet.size(), 9u);
   size_t CrashOnly = 0;
-  for (const Target &T : Targets)
+  for (const Target &T : Fleet)
     if (!T.canExecute())
       ++CrashOnly;
   // AMD-LLPC, spirv-opt and spirv-opt-old cannot render images (ğ4).

@@ -102,7 +102,7 @@ TEST(ModuleHash, BoundIsExcluded) {
 
 TargetRun makeRun(const std::string &Signature) {
   TargetRun Run;
-  Run.RunKind = TargetRun::Kind::Crash;
+  Run.RunOutcome = Outcome::Crash;
   Run.Signature = Signature;
   return Run;
 }
@@ -113,7 +113,7 @@ TEST(EvalCache, HitReturnsInsertedOutcome) {
   EXPECT_FALSE(Cache.lookup(1, "gpu-a", 2, Out));
   Cache.insert(1, "gpu-a", 2, makeRun("sig-x"));
   ASSERT_TRUE(Cache.lookup(1, "gpu-a", 2, Out));
-  EXPECT_EQ(Out.RunKind, TargetRun::Kind::Crash);
+  EXPECT_EQ(Out.RunOutcome, Outcome::Crash);
   EXPECT_EQ(Out.Signature, "sig-x");
   // Key components are all significant.
   EXPECT_FALSE(Cache.lookup(2, "gpu-a", 2, Out));
@@ -160,7 +160,7 @@ TEST(EvalCache, CachedTargetMatchesTarget) {
     TargetRun Miss = Cached.run(Program.M, Program.Input);
     TargetRun Hit = Cached.run(Program.M, Program.Input);
     for (const TargetRun *Run : {&Miss, &Hit}) {
-      EXPECT_EQ(Run->RunKind, Direct.RunKind) << T.name();
+      EXPECT_EQ(Run->RunOutcome, Direct.RunOutcome) << T.name();
       EXPECT_EQ(Run->Signature, Direct.Signature) << T.name();
       EXPECT_EQ(Run->Result == Direct.Result, true) << T.name();
     }
@@ -259,7 +259,7 @@ TEST(ReducerCache, CachedInterestingnessMatchesUncached) {
         Engine.corpus().References[ReferenceIndex];
     for (const Target &T : Engine.targets()) {
       TargetRun Run = T.run(Fuzzed.Variant, Reference.Input);
-      if (Run.RunKind != TargetRun::Kind::Crash)
+      if (!Run.interesting())
         continue;
       ReduceResult Plain = reduceSequence(
           Reference.M, Reference.Input, Fuzzed.Sequence,

@@ -19,8 +19,10 @@
 ///                    --target NAME (--signature SIG | --miscompilation)
 ///                    -o reduced.mvs --out-sequence min.txt
 ///   minispv campaign [--jobs N] [--tests N] [--seed N] [--limit N]
-///                    [--deadline-ms N]
-///   minispv targets
+///                    [--deadline-ms N] [--faulty-fleet]
+///                    [--deadline-steps N] [--flaky-retries N]
+///                    [--quarantine-threshold N]
+///   minispv targets  [--faulty-fleet]
 ///   minispv report   metrics.json
 ///
 /// Module files use the textual assembly of ir/Text.h; input files hold
@@ -150,11 +152,15 @@ TransformationSequence readSequence(const std::string &Path) {
   return Sequence;
 }
 
-const Target *findTarget(const std::vector<Target> &Targets,
-                         const std::string &Name) {
-  for (const Target &T : Targets)
-    if (T.name() == Name)
-      return &T;
+/// The fleet a command works over: TargetFleet::faulty() with
+/// --faulty-fleet, TargetFleet::standard() otherwise.
+TargetFleet fleetFor(bool Faulty) {
+  return Faulty ? TargetFleet::faulty() : TargetFleet::standard();
+}
+
+const Target *findTarget(const TargetFleet &Fleet, const std::string &Name) {
+  if (const Target *T = Fleet.find(Name))
+    return T;
   fail("unknown target '" + Name + "' (see 'minispv targets')");
 }
 
@@ -246,12 +252,19 @@ int cmdRun(const Args &A) {
     printf("reference semantics: %s\n", Result.str().c_str());
     return Result.ExecStatus == ExecResult::Status::Fault ? 1 : 0;
   }
-  std::vector<Target> Targets = standardTargets();
-  const Target *T = findTarget(Targets, A.get("target"));
+  TargetFleet Fleet = fleetFor(A.has("faulty-fleet"));
+  const Target *T = findTarget(Fleet, A.get("target"));
   TargetRun Run = T->run(M, Input);
-  if (Run.RunKind == TargetRun::Kind::Crash) {
-    printf("%s: CRASH: %s\n", T->name().c_str(), Run.Signature.c_str());
+  if (Run.interesting()) {
+    printf("%s: %s: %s\n", T->name().c_str(),
+           Run.RunOutcome == Outcome::Timeout ? "TIMEOUT" : "CRASH",
+           Run.Signature.c_str());
     return 2;
+  }
+  if (Run.RunOutcome == Outcome::ToolError) {
+    printf("%s: TOOL ERROR (infrastructure noise, not a bug)\n",
+           T->name().c_str());
+    return 3;
   }
   if (!T->canExecute()) {
     printf("%s: compiled OK (crash-only target, no execution)\n",
@@ -321,8 +334,8 @@ int cmdReduce(const Args &A) {
   Module M = readModule(A.Positional[0]);
   ShaderInput Input = readInputs(A.require("inputs"));
   TransformationSequence Sequence = readSequence(A.require("sequence"));
-  std::vector<Target> Targets = standardTargets();
-  const Target *T = findTarget(Targets, A.require("target"));
+  TargetFleet Fleet = fleetFor(A.has("faulty-fleet"));
+  const Target *T = findTarget(Fleet, A.require("target"));
 
   InterestingnessTest Test =
       A.has("miscompilation")
@@ -376,7 +389,17 @@ int cmdCampaign(const Args &A) {
               strtoul(A.get("limit", "250").c_str(), nullptr, 10)))
           .withDeadline(std::chrono::milliseconds(
               strtoull(A.get("deadline-ms", "0").c_str(), nullptr, 10)));
-  CampaignEngine Engine(Policy);
+  if (A.has("deadline-steps"))
+    Policy.withTargetDeadlineSteps(
+        strtoull(A.get("deadline-steps").c_str(), nullptr, 10));
+  if (A.has("flaky-retries"))
+    Policy.withFlakyRetries(static_cast<uint32_t>(
+        strtoul(A.get("flaky-retries").c_str(), nullptr, 10)));
+  if (A.has("quarantine-threshold"))
+    Policy.withQuarantineThreshold(static_cast<uint32_t>(
+        strtoul(A.get("quarantine-threshold").c_str(), nullptr, 10)));
+  CampaignEngine Engine(Policy, CorpusSpec{}, ToolsetSpec{},
+                        fleetFor(A.has("faulty-fleet")));
   BugFindingConfig Config;
   Config.TestsPerTool =
       strtoull(A.get("tests", "100").c_str(), nullptr, 10);
@@ -400,14 +423,25 @@ int cmdCampaign(const Args &A) {
   }
   if (Engine.deadlineExpired())
     printf("note: deadline hit; results are truncated\n");
+  for (const std::string &Name : Engine.fleet().names())
+    if (Engine.harness().quarantined(Name))
+      printf("note: %s quarantined (consecutive tool errors)\n",
+             Name.c_str());
   return 0;
 }
 
-int cmdTargets() {
-  for (const Target &T : standardTargets())
+int cmdTargets(const Args &A) {
+  for (const Target &T : fleetFor(A.has("faulty-fleet"))) {
+    std::string Notes = T.canExecute() ? "crashes+miscompilations"
+                                       : "crashes only";
+    if (T.spec().Faults.ToolErrorRate > 0.0)
+      Notes += " tool-error-rate=" +
+               std::to_string(T.spec().Faults.ToolErrorRate);
+    if (T.spec().Bugs.hasFaultFlavors())
+      Notes += " flaky/hang bugs";
     printf("%-14s version=%-22s %s\n", T.name().c_str(),
-           T.spec().Version.c_str(),
-           T.canExecute() ? "crashes+miscompilations" : "crashes only");
+           T.spec().Version.c_str(), Notes.c_str());
+  }
   return 0;
 }
 
@@ -439,7 +473,7 @@ int dispatch(const std::string &Command, const Args &A) {
   if (Command == "campaign")
     return cmdCampaign(A);
   if (Command == "targets")
-    return cmdTargets();
+    return cmdTargets(A);
   if (Command == "report")
     return cmdReport(A);
   fail("unknown command '" + Command + "'");
@@ -457,7 +491,7 @@ int main(int Argc, char **Argv) {
   }
   std::string Command = Argv[1];
   Args A(Argc - 2, Argv + 2, {"baseline", "no-recommendations",
-                              "miscompilation"});
+                              "miscompilation", "faulty-fleet"});
 
   std::string MetricsOut = A.get("metrics-out");
   std::string TraceOut = A.get("trace-out");
