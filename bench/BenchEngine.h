@@ -47,6 +47,14 @@ inline bool parseFlag(int Argc, char **Argv, const char *Name) {
   return false;
 }
 
+/// The value of string flag \p Name (e.g. "--store DIR"), or "" if absent.
+inline std::string parseString(int Argc, char **Argv, const char *Name) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (!std::strcmp(Argv[I], Name))
+      return Argv[I + 1];
+  return "";
+}
+
 /// Prints "engine: jobs=N elapsed=X.XXs" to stderr at scope exit; running
 /// the same bench at two job counts and comparing the elapsed lines is the
 /// speedup measurement of EXPERIMENTS.md.

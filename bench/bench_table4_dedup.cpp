@@ -17,8 +17,10 @@
 
 #include "BenchEngine.h"
 #include "BenchTelemetry.h"
+#include "store/CampaignStore.h"
 
 #include <cstdio>
+#include <memory>
 
 using namespace spvfuzz;
 
@@ -35,10 +37,30 @@ int main(int argc, char **argv) {
   }
   bench::BenchTelemetry Telemetry(Footer);
   size_t Jobs = bench::parseJobs(argc, argv);
-  CampaignEngine Engine(
-      ExecutionPolicy{}.withJobs(Jobs).withTransformationLimit(150),
-      CorpusSpec{}, ToolsetSpec{},
-      FaultyFleet ? TargetFleet::faulty() : TargetFleet{});
+  ExecutionPolicy Policy =
+      ExecutionPolicy{}.withJobs(Jobs).withTransformationLimit(150);
+
+  // `--store DIR` makes the bench durable: an interrupted regeneration
+  // resumes with `--store DIR --resume` and prints the same table.
+  std::unique_ptr<CampaignStore> Store;
+  std::string StorePath = bench::parseString(argc, argv, "--store");
+  if (!StorePath.empty()) {
+    Policy.withStorePath(StorePath)
+        .withResume(bench::parseFlag(argc, argv, "--resume"));
+    std::string Error;
+    Store = CampaignStore::open(StorePath, Policy, Error);
+    if (!Store) {
+      fprintf(stderr, "bench_table4_dedup: %s\n", Error.c_str());
+      return 1;
+    }
+    if (Policy.Resume)
+      Store->restoreMetrics();
+  }
+
+  CampaignEngine Engine(Policy, CorpusSpec{}, ToolsetSpec{},
+                        FaultyFleet ? TargetFleet::faulty() : TargetFleet{});
+  if (Store)
+    Engine.setCheckpointer(Store.get());
   ReductionConfig Config;
   Config.TestsPerTool = envSize("REPRO_TESTS", 500);
   Config.MaxReductionsPerTool = envSize("REPRO_REDUCTIONS", 260);

@@ -23,14 +23,6 @@ Corpus spvfuzz::makeCorpus(const CorpusSpec &Spec) {
   return C;
 }
 
-Corpus spvfuzz::makeCorpus(uint64_t Seed, size_t NumReferences,
-                           size_t NumDonors) {
-  return makeCorpus(CorpusSpec{}
-                        .withSeed(Seed)
-                        .withReferences(NumReferences)
-                        .withDonors(NumDonors));
-}
-
 std::vector<ToolConfig> spvfuzz::standardTools(const ToolsetSpec &Spec) {
   FuzzerOptions Full;
   Full.TransformationLimit = Spec.TransformationLimit.value_or(300);
@@ -61,11 +53,6 @@ std::vector<ToolConfig> spvfuzz::standardTools(const ToolsetSpec &Spec) {
   return Filtered;
 }
 
-std::vector<ToolConfig> spvfuzz::standardTools(uint32_t TransformationLimit) {
-  return standardTools(
-      ToolsetSpec{}.withTransformationLimit(TransformationLimit));
-}
-
 static uint64_t splitmix64(uint64_t X) {
   X += 0x9e3779b97f4a7c15ULL;
   X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -78,10 +65,6 @@ uint64_t spvfuzz::testSeed(uint64_t CampaignSeed, uint32_t SeedStream,
   uint64_t X = splitmix64(CampaignSeed);
   X = splitmix64(X ^ SeedStream);
   return splitmix64(X ^ static_cast<uint64_t>(TestIndex));
-}
-
-uint64_t spvfuzz::testSeed(uint64_t CampaignSeed, size_t TestIndex) {
-  return testSeed(CampaignSeed, /*SeedStream=*/0, TestIndex);
 }
 
 FuzzResult spvfuzz::regenerateTest(const Corpus &C, const ToolConfig &Tool,

@@ -26,11 +26,6 @@
 #include <map>
 #include <optional>
 
-/// Marks the pre-CampaignEngine entry points kept for one release.
-#ifndef SPVFUZZ_DEPRECATED
-#define SPVFUZZ_DEPRECATED(Msg) [[deprecated(Msg)]]
-#endif
-
 namespace spvfuzz {
 
 /// The shared signature all miscompilations contribute (ğ4.1: "all
@@ -69,10 +64,6 @@ struct CorpusSpec {
 /// Builds the corpus described by \p Spec.
 Corpus makeCorpus(const CorpusSpec &Spec);
 
-SPVFUZZ_DEPRECATED("use makeCorpus(CorpusSpec)")
-Corpus makeCorpus(uint64_t Seed, size_t NumReferences = 21,
-                  size_t NumDonors = 43);
-
 /// One tool configuration of the evaluation. SeedStream gives each tool an
 /// independent per-test seed sequence (see testSeed); standardTools assigns
 /// stable streams so a tool's tests do not depend on which other tools run.
@@ -105,9 +96,6 @@ struct ToolsetSpec {
 /// Builds the tool list described by \p Spec.
 std::vector<ToolConfig> standardTools(const ToolsetSpec &Spec);
 
-SPVFUZZ_DEPRECATED("use standardTools(ToolsetSpec)")
-std::vector<ToolConfig> standardTools(uint32_t TransformationLimit = 300);
-
 /// One generated test evaluated against the full target set.
 struct TestEvaluation {
   uint64_t Seed = 0;
@@ -134,9 +122,6 @@ FuzzResult regenerateTest(const Corpus &C, const ToolConfig &Tool,
 /// jobs can be scheduled in any order without seed collisions.
 uint64_t testSeed(uint64_t CampaignSeed, uint32_t SeedStream,
                   size_t TestIndex);
-
-SPVFUZZ_DEPRECATED("use testSeed(CampaignSeed, SeedStream, TestIndex)")
-uint64_t testSeed(uint64_t CampaignSeed, size_t TestIndex);
 
 /// Generates test number \p TestIndex for \p Tool (deterministic in
 /// (\p CampaignSeed, \p Tool.SeedStream, \p TestIndex)) and evaluates it on

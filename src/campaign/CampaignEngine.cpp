@@ -101,9 +101,32 @@ CampaignEngine::evaluateTests(const ToolConfig &Tool, size_t Count,
 
   std::vector<TestEvaluation> Evals;
   Evals.reserve(Count);
-  for (size_t WaveStart = 0; WaveStart < Count; WaveStart += ShardSize) {
-    if (checkDeadline())
+
+  // Resume: a checkpoint holds whole waves only, so restoring it and
+  // continuing from NextWave retraces exactly the uninterrupted schedule.
+  const std::string PhaseKey = "eval/" + Tool.Name + "/" +
+                               std::to_string(Count) +
+                               (CrashesOnly ? "/crashes" : "");
+  size_t StartWave = 0;
+  if (Checkpointer) {
+    EvaluationCheckpoint Saved;
+    if (Checkpointer->loadEvaluation(PhaseKey, Saved)) {
+      Evals = std::move(Saved.Evals);
+      Har->restoreBreakers(Saved.Breakers);
+      if (Saved.Complete)
+        return Evals;
+      StartWave = Saved.NextWave;
+    }
+  }
+
+  size_t WavesSinceSave = 0;
+  bool Interrupted = false;
+  for (size_t WaveStart = StartWave; WaveStart < Count;
+       WaveStart += ShardSize) {
+    if (checkDeadline()) {
+      Interrupted = true;
       break;
+    }
     size_t WaveEnd = std::min(Count, WaveStart + ShardSize);
 
     // Quarantine snapshot: targets sidelined by earlier waves stay out of
@@ -143,9 +166,24 @@ CampaignEngine::evaluateTests(const ToolConfig &Tool, size_t Count,
       }
       Evals.push_back(std::move(*Result));
     }
-    if (Truncated)
+    if (Truncated) {
+      // The wave was cut short mid-commit: its partial results (and their
+      // breaker commits) are NOT checkpointed — the last saved checkpoint
+      // still describes a state the uninterrupted run passed through, and
+      // resume recomputes this wave whole.
+      Interrupted = true;
       break;
+    }
+    if (Checkpointer && ++WavesSinceSave >= Policy.CheckpointInterval) {
+      WavesSinceSave = 0;
+      Checkpointer->saveEvaluation(
+          {PhaseKey, WaveEnd, /*Complete=*/false, Evals,
+           Har->snapshotBreakers()});
+    }
   }
+  if (Checkpointer && !Interrupted)
+    Checkpointer->saveEvaluation(
+        {PhaseKey, Count, /*Complete=*/true, Evals, Har->snapshotBreakers()});
   return Evals;
 }
 
@@ -215,6 +253,16 @@ struct ReductionTask {
   const ScanOutcome *Scan = nullptr; // owned by the wave's scan results
 };
 
+/// What one completed reduction yields: the record plus the reproducer
+/// artifacts a checkpointer persists (carried only while a checkpointer is
+/// attached; empty otherwise).
+struct ReductionOutcome {
+  ReductionRecord Record;
+  Module Reduced;
+  TransformationSequence Minimized;
+  size_t ReferenceIndex = 0;
+};
+
 } // namespace
 
 ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
@@ -250,15 +298,49 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
     size_t ReductionsDone = 0;
     // (target, signature) -> count, for the per-signature cap.
     std::map<std::pair<std::string, std::string>, size_t> SignatureCounts;
+
+    // Resume: the phase key covers every knob that shapes this tool's
+    // schedule, so a checkpoint can never be replayed into a differently
+    // configured run.
+    std::string PhaseKey =
+        "reduce/" + Tool.Name + "/" + std::to_string(Config.TestsPerTool) +
+        "/" + std::to_string(Config.MaxReductionsPerTool) + "/" +
+        std::to_string(Config.CapPerSignature) +
+        (Config.CrashesOnly ? "/crashes" : "");
+    for (const std::string &TargetName : WantedTargets)
+      PhaseKey += "/" + TargetName;
+    const size_t ToolRecordsStart = Data.Records.size();
+    size_t StartWave = 0;
+    bool AlreadyComplete = false;
+    if (Checkpointer) {
+      ReductionCheckpoint Saved;
+      if (Checkpointer->loadReduction(PhaseKey, Saved)) {
+        ReductionsDone = Saved.ReductionsDone;
+        SignatureCounts = std::move(Saved.SignatureCounts);
+        for (ReductionRecord &Record : Saved.Records)
+          Data.Records.push_back(std::move(Record));
+        Har->restoreBreakers(Saved.Breakers);
+        AlreadyComplete = Saved.Complete;
+        StartWave = Saved.NextWave;
+      }
+    }
+    if (AlreadyComplete)
+      continue;
+
     CampaignProgress Progress("reduction/" + Tool.Name,
                               Config.MaxReductionsPerTool,
                               /*ReportEvery=*/10);
 
-    for (size_t WaveStart = 0; WaveStart < Config.TestsPerTool &&
-                               ReductionsDone < Config.MaxReductionsPerTool;
+    size_t WavesSinceSave = 0;
+    bool Interrupted = false;
+    for (size_t WaveStart = StartWave;
+         WaveStart < Config.TestsPerTool &&
+         ReductionsDone < Config.MaxReductionsPerTool;
          WaveStart += ShardSize) {
-      if (checkDeadline())
+      if (checkDeadline()) {
+        Interrupted = true;
         break;
+      }
       size_t WaveEnd = std::min(Config.TestsPerTool, WaveStart + ShardSize);
 
       // Quarantine snapshot at the wave boundary (serial, so identical at
@@ -350,7 +432,7 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
           Policy.SpeculativeReduction && Pool && Tool.Name != "glsl-fuzz";
       auto RunTask = [this, &Tool, &ReduceOpts,
                       Speculative](const ReductionTask &Task)
-          -> std::optional<ReductionRecord> {
+          -> std::optional<ReductionOutcome> {
         if (cancelled())
           return std::nullopt;
         // The scan already fuzzed this test; reuse its result (tasks for
@@ -386,7 +468,8 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
           }
         }
 
-        ReductionRecord Record;
+        ReductionOutcome Out;
+        ReductionRecord &Record = Out.Record;
         Record.Tool = Tool.Name;
         Record.TargetName = Task.T->name();
         Record.Signature = Task.Signature;
@@ -398,35 +481,69 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
         Record.Checks = Reduced.Checks;
         Record.SpeculativeChecks = Reduced.SpeculativeChecks;
         Record.Types = dedupTypesOf(Reduced.Minimized);
-        return Record;
+        Out.ReferenceIndex = Task.Scan->ReferenceIndex;
+        if (Checkpointer) {
+          Out.Reduced = std::move(Reduced.ReducedVariant);
+          Out.Minimized = std::move(Reduced.Minimized);
+        }
+        return Out;
       };
 
-      std::vector<std::optional<ReductionRecord>> Records;
+      std::vector<std::optional<ReductionOutcome>> Outcomes;
       if (Speculative) {
-        Records.reserve(Accepted.size());
+        Outcomes.reserve(Accepted.size());
         for (const ReductionTask &Task : Accepted)
-          Records.push_back(RunTask(Task));
+          Outcomes.push_back(RunTask(Task));
       } else {
-        std::vector<std::function<std::optional<ReductionRecord>()>>
+        std::vector<std::function<std::optional<ReductionOutcome>()>>
             ReduceJobs;
         ReduceJobs.reserve(Accepted.size());
         for (const ReductionTask &Task : Accepted)
           ReduceJobs.push_back([&RunTask, Task] { return RunTask(Task); });
-        Records = runJobs(std::move(ReduceJobs));
+        Outcomes = runJobs(std::move(ReduceJobs));
       }
-      for (std::optional<ReductionRecord> &Record : Records) {
-        if (!Record) {
+      for (std::optional<ReductionOutcome> &Out : Outcomes) {
+        if (!Out) {
           Truncated = true;
           break;
         }
-        Progress.recordSignature(Record->TargetName, Record->Signature);
+        Progress.recordSignature(Out->Record.TargetName,
+                                 Out->Record.Signature);
         Progress.advance();
         telemetry::MetricsRegistry::global().add("campaign.reductions");
-        Data.Records.push_back(std::move(*Record));
+        if (Checkpointer) {
+          const GeneratedProgram &Reference =
+              CorpusData.References[Out->ReferenceIndex];
+          Checkpointer->recordReproducer(Out->Record, Reference.M,
+                                         Reference.Input, Out->Reduced,
+                                         Out->Minimized);
+        }
+        Data.Records.push_back(std::move(Out->Record));
       }
-      if (Truncated)
+      if (Truncated) {
+        Interrupted = true;
         break;
+      }
+      if (Checkpointer && ++WavesSinceSave >= Policy.CheckpointInterval) {
+        WavesSinceSave = 0;
+        Checkpointer->saveReduction(
+            {PhaseKey, WaveEnd, /*Complete=*/false, ReductionsDone,
+             SignatureCounts,
+             std::vector<ReductionRecord>(
+                 Data.Records.begin() +
+                     static_cast<ptrdiff_t>(ToolRecordsStart),
+                 Data.Records.end()),
+             Har->snapshotBreakers()});
+      }
     }
+    if (Checkpointer && !Interrupted)
+      Checkpointer->saveReduction(
+          {PhaseKey, Config.TestsPerTool, /*Complete=*/true, ReductionsDone,
+           SignatureCounts,
+           std::vector<ReductionRecord>(
+               Data.Records.begin() + static_cast<ptrdiff_t>(ToolRecordsStart),
+               Data.Records.end()),
+           Har->snapshotBreakers()});
   }
   return Data;
 }

@@ -75,6 +75,18 @@ struct ExecutionPolicy {
   /// Consecutive hard tool-error runs before a target is quarantined
   /// (sidelined from subsequent scheduling waves).
   uint32_t QuarantineThreshold = 3;
+  /// Directory of the persistent campaign store, empty = no persistence.
+  /// Consumed by the CLI/bench layer, which constructs a CampaignStore
+  /// there and attaches it via setCheckpointer (the engine itself never
+  /// touches the filesystem).
+  std::string StorePath;
+  /// Scheduling waves between checkpoint saves when a checkpointer is
+  /// attached. 1 (the default) saves after every wave; larger values trade
+  /// resume granularity for less write traffic. Never changes results.
+  size_t CheckpointInterval = 1;
+  /// When true, the CLI resumes the campaign found in StorePath instead of
+  /// requiring a fresh store.
+  bool Resume = false;
 
   ExecutionPolicy &withJobs(size_t Count) {
     Jobs = Count;
@@ -116,6 +128,76 @@ struct ExecutionPolicy {
     QuarantineThreshold = Threshold;
     return *this;
   }
+  ExecutionPolicy &withStorePath(std::string Path) {
+    StorePath = std::move(Path);
+    return *this;
+  }
+  ExecutionPolicy &withCheckpointInterval(size_t Waves) {
+    CheckpointInterval = Waves;
+    return *this;
+  }
+  ExecutionPolicy &withResume(bool On) {
+    Resume = On;
+    return *this;
+  }
+};
+
+/// A complete-wave snapshot of one evaluation phase. Evals holds every
+/// test evaluated so far (in test-index order); Breakers is the harness
+/// breaker state at exactly the NextWave boundary — the two are saved
+/// together at the serial commit point, so a resumed run continues from a
+/// state the uninterrupted run also passed through.
+struct EvaluationCheckpoint {
+  std::string Phase;
+  size_t NextWave = 0;
+  bool Complete = false;
+  std::vector<TestEvaluation> Evals;
+  std::map<std::string, Harness::BreakerState> Breakers;
+};
+
+/// A complete-wave snapshot of one reduction phase (one tool's loop in
+/// runReductions): the accepted records so far plus the serial cap/budget
+/// state (ReductionsDone, SignatureCounts) and breaker state at the
+/// NextWave boundary.
+struct ReductionCheckpoint {
+  std::string Phase;
+  size_t NextWave = 0;
+  bool Complete = false;
+  size_t ReductionsDone = 0;
+  std::map<std::pair<std::string, std::string>, size_t> SignatureCounts;
+  std::vector<ReductionRecord> Records;
+  std::map<std::string, Harness::BreakerState> Breakers;
+};
+
+/// The engine's persistence hook. The engine checkpoints at wave
+/// boundaries — the serial commit points where results and breaker state
+/// are schedule-independent — and hands reproducer artifacts over as
+/// reductions complete. Implemented by store/CampaignStore.h; the engine
+/// only sees this interface, keeping campaign free of any store
+/// dependency. Checkpoints never capture partial waves: an interrupted
+/// wave is simply recomputed (deterministically) on resume.
+class CampaignCheckpointer {
+public:
+  virtual ~CampaignCheckpointer() = default;
+
+  /// Loads the checkpoint saved for \p Phase; false if none exists.
+  virtual bool loadEvaluation(const std::string &Phase,
+                              EvaluationCheckpoint &Out) = 0;
+  virtual void saveEvaluation(const EvaluationCheckpoint &Checkpoint) = 0;
+
+  virtual bool loadReduction(const std::string &Phase,
+                             ReductionCheckpoint &Out) = 0;
+  virtual void saveReduction(const ReductionCheckpoint &Checkpoint) = 0;
+
+  /// Called once per completed reduction (in acceptance order, on the
+  /// aggregation thread) with the artifacts a bug report needs: the
+  /// reference module/input the reproducer applies to, the reduced variant
+  /// and the minimized transformation sequence.
+  virtual void recordReproducer(const ReductionRecord &Record,
+                                const Module &Original,
+                                const ShaderInput &Input,
+                                const Module &Reduced,
+                                const TransformationSequence &Minimized) = 0;
 };
 
 /// The campaign engine. The sole campaign entry point since the loose
@@ -152,6 +234,11 @@ public:
 
   /// Looks a tool up by name; nullptr if the engine does not have it.
   const ToolConfig *findTool(const std::string &Name) const;
+
+  /// Attaches (or detaches, with nullptr) the persistence hook. The
+  /// checkpointer must outlive the engine's campaign calls. Not owned.
+  void setCheckpointer(CampaignCheckpointer *C) { Checkpointer = C; }
+  CampaignCheckpointer *checkpointer() const { return Checkpointer; }
 
   /// Deterministically re-runs the fuzzer behind (\p Tool, \p TestIndex).
   FuzzResult regenerate(const ToolConfig &Tool, size_t TestIndex,
@@ -209,6 +296,7 @@ private:
   std::unique_ptr<ThreadPool> Pool; // null when Jobs == 1
   std::chrono::steady_clock::time_point Start;
   std::atomic<bool> CancelFlag{false};
+  CampaignCheckpointer *Checkpointer = nullptr;
 };
 
 } // namespace spvfuzz

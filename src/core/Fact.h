@@ -75,16 +75,29 @@ public:
   /// All whole-id descriptors (no indices) synonymous with id \p TheId.
   std::vector<Id> idSynonymsOf(Id TheId) const;
 
+  /// The synonym relation in canonical form, for serialization and
+  /// equality checks: one (member, representative) pair per descriptor in a
+  /// non-trivial equivalence class, where the representative is the class's
+  /// smallest member and pairs are sorted by member. Self pairs are
+  /// omitted, so the result is independent of insertion order and of any
+  /// path compression the union-find has performed.
+  std::vector<std::pair<DataDescriptor, DataDescriptor>>
+  canonicalSynonyms() const;
+
   // --- Irrelevant -------------------------------------------------------------
 
   void addIrrelevantId(Id TheId) { IrrelevantIds.insert(TheId); }
   bool idIsIrrelevant(Id TheId) const {
     return IrrelevantIds.count(TheId) != 0;
   }
+  const std::unordered_set<Id> &irrelevantIds() const { return IrrelevantIds; }
 
   void addIrrelevantPointee(Id Pointer) { IrrelevantPointees.insert(Pointer); }
   bool pointeeIsIrrelevant(Id Pointer) const {
     return IrrelevantPointees.count(Pointer) != 0;
+  }
+  const std::unordered_set<Id> &irrelevantPointees() const {
+    return IrrelevantPointees;
   }
 
   // --- LiveSafe ----------------------------------------------------------------
@@ -92,6 +105,9 @@ public:
   void addLiveSafeFunction(Id Func) { LiveSafeFunctions.insert(Func); }
   bool functionIsLiveSafe(Id Func) const {
     return LiveSafeFunctions.count(Func) != 0;
+  }
+  const std::unordered_set<Id> &liveSafeFunctions() const {
+    return LiveSafeFunctions;
   }
 
   // --- Known input values ---------------------------------------------------

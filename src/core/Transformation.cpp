@@ -6,6 +6,7 @@
 
 #include "core/Transformation.h"
 
+#include "support/BinaryIO.h"
 #include "support/Telemetry.h"
 
 #include <sstream>
@@ -130,13 +131,9 @@ std::string spvfuzz::serializeSequence(const TransformationSequence &Sequence) {
   return Out;
 }
 
-// makeTransformation is provided by TransformationRegistry.cpp; it builds a
-// concrete transformation from a kind and a parameter map.
-namespace spvfuzz {
-TransformationPtr makeTransformation(TransformationKind Kind,
-                                     const ParamMap &Params,
-                                     std::string &ErrorOut);
-} // namespace spvfuzz
+// makeTransformation is provided by TransformationRegistry.cpp (declared in
+// the header); it builds a concrete transformation from a kind and a
+// parameter map.
 
 TransformationPtr spvfuzz::deserializeTransformation(const std::string &Line,
                                                      std::string &ErrorOut) {
@@ -186,6 +183,57 @@ bool spvfuzz::deserializeSequence(const std::string &Text,
     TransformationPtr T = deserializeTransformation(Line, ErrorOut);
     if (!T)
       return false;
+    SequenceOut.push_back(std::move(T));
+  }
+  return true;
+}
+
+void spvfuzz::writeSequenceBinary(ByteWriter &W,
+                                  const TransformationSequence &Sequence) {
+  W.u32(static_cast<uint32_t>(Sequence.size()));
+  for (const TransformationPtr &T : Sequence) {
+    W.u16(static_cast<uint16_t>(T->kind()));
+    ParamMap Params = T->params();
+    W.u32(static_cast<uint32_t>(Params.size()));
+    for (const auto &[Key, Words] : Params) {
+      W.str(Key);
+      W.words(Words);
+    }
+  }
+}
+
+bool spvfuzz::readSequenceBinary(ByteReader &R,
+                                 TransformationSequence &SequenceOut) {
+  SequenceOut.clear();
+  uint32_t Count = 0;
+  // Each transformation occupies at least kind (2) + param count (4) bytes.
+  if (!R.u32(Count) || !R.checkCount(Count, 6))
+    return false;
+  SequenceOut.reserve(Count);
+  for (uint32_t I = 0; I < Count; ++I) {
+    uint16_t KindWord = 0;
+    if (!R.u16(KindWord))
+      return false;
+    if (KindWord >= NumTransformationKinds)
+      return R.failAt("unknown transformation kind " +
+                      std::to_string(KindWord));
+    uint32_t ParamCount = 0;
+    // Each param is at least key length (4) + word count (4) bytes.
+    if (!R.u32(ParamCount) || !R.checkCount(ParamCount, 8))
+      return false;
+    ParamMap Params;
+    for (uint32_t P = 0; P < ParamCount; ++P) {
+      std::string Key;
+      std::vector<uint32_t> Words;
+      if (!R.str(Key) || !R.words(Words))
+        return false;
+      Params[std::move(Key)] = std::move(Words);
+    }
+    std::string Error;
+    TransformationPtr T = makeTransformation(
+        static_cast<TransformationKind>(KindWord), Params, Error);
+    if (!T)
+      return R.failAt("invalid transformation: " + Error);
     SequenceOut.push_back(std::move(T));
   }
   return true;

@@ -134,6 +134,27 @@ bool deserializeSequence(const std::string &Text,
                          TransformationSequence &SequenceOut,
                          std::string &ErrorOut);
 
+/// Builds a concrete transformation from a kind and a parameter map
+/// (implemented by the registry, which knows every kind). Returns nullptr
+/// with a diagnostic in \p ErrorOut on missing/malformed parameters.
+TransformationPtr makeTransformation(TransformationKind Kind,
+                                     const ParamMap &Params,
+                                     std::string &ErrorOut);
+
+class ByteWriter;
+class ByteReader;
+
+/// Binary wire form of a sequence: u32 count, then per transformation a
+/// u16 kind plus its parameter map. Table-driven via each transformation's
+/// params(); round-trips through makeTransformation exactly like the text
+/// form, but endian-stable and compact for the persistent store.
+void writeSequenceBinary(ByteWriter &W, const TransformationSequence &Sequence);
+
+/// Reads a sequence written by writeSequenceBinary. Unknown kinds,
+/// malformed parameters and truncation are rejected with a diagnostic left
+/// in the reader (and false returned), never undefined behaviour.
+bool readSequenceBinary(ByteReader &R, TransformationSequence &SequenceOut);
+
 /// Definition 2.5: applies \p Sequence to (\p M, \p Facts) in order,
 /// skipping transformations whose preconditions fail. Returns the indices
 /// of the transformations that were actually applied.

@@ -10,12 +10,6 @@
 
 using namespace spvfuzz;
 
-namespace spvfuzz {
-TransformationPtr makeTransformation(TransformationKind Kind,
-                                     const ParamMap &Params,
-                                     std::string &ErrorOut);
-} // namespace spvfuzz
-
 namespace {
 
 TransformationPtr makeTransformationImpl(TransformationKind Kind,

@@ -86,6 +86,9 @@ enum class Op : uint8_t {
   FunctionCall,
 };
 
+/// Number of opcodes (for codec validation and tables indexed by opcode).
+inline constexpr size_t NumOpcodes = static_cast<size_t>(Op::FunctionCall) + 1;
+
 /// Storage classes for Variable and TypePointer.
 enum class StorageClass : uint32_t {
   Function = 0, // function-local, zero-initialized unless an initializer given

@@ -6,6 +6,8 @@
 
 #include "ir/Text.h"
 
+#include <cerrno>
+#include <limits>
 #include <sstream>
 
 using namespace spvfuzz;
@@ -36,10 +38,15 @@ static void writeInstruction(std::ostringstream &Out, const Instruction &Inst) {
     Out << " ";
     if (Op.isId()) {
       Out << "%" << Op.asId();
-    } else if (isStorageClassOperand(Inst, I)) {
+    } else if (isStorageClassOperand(Inst, I) &&
+               Op.asLiteral() <= static_cast<uint32_t>(StorageClass::Output)) {
+      // Out-of-range storage classes (only constructible by hand or by a
+      // mutated disassembly) fall through to the numeric rendering so the
+      // text round-trips instead of asserting.
       Out << storageClassName(static_cast<StorageClass>(Op.asLiteral()));
-    } else if (isControlMaskOperand(Inst, I)) {
-      Out << (Op.asLiteral() & FC_DontInline ? "DontInline" : "None");
+    } else if (isControlMaskOperand(Inst, I) &&
+               (Op.asLiteral() == FC_None || Op.asLiteral() == FC_DontInline)) {
+      Out << (Op.asLiteral() == FC_DontInline ? "DontInline" : "None");
     } else {
       Out << static_cast<int64_t>(static_cast<int32_t>(Op.asLiteral()));
     }
@@ -92,12 +99,15 @@ struct LineTokens {
 static bool parseId(const std::string &Token, Id &Out) {
   if (Token.size() < 2 || Token[0] != '%')
     return false;
-  Out = 0;
+  uint64_t Value = 0;
   for (size_t I = 1; I < Token.size(); ++I) {
     if (!isdigit(static_cast<unsigned char>(Token[I])))
       return false;
-    Out = Out * 10 + static_cast<Id>(Token[I] - '0');
+    Value = Value * 10 + static_cast<uint64_t>(Token[I] - '0');
+    if (Value > std::numeric_limits<Id>::max())
+      return false;
   }
+  Out = static_cast<Id>(Value);
   return Out != InvalidId;
 }
 
@@ -120,11 +130,15 @@ static bool parseOperandToken(const std::string &Token, Operand &Out) {
     Out = Operand::literal(FC_DontInline);
     return true;
   }
-  // Signed decimal literal.
+  // Signed decimal literal: anything a written module can contain, i.e.
+  // int32 range (negative literals) widened to uint32 (raw words).
   const char *Begin = Token.c_str();
   char *End = nullptr;
+  errno = 0;
   long long Value = strtoll(Begin, &End, 10);
-  if (End != Begin + Token.size())
+  if (End != Begin + Token.size() || errno == ERANGE ||
+      Value < std::numeric_limits<int32_t>::min() ||
+      Value > static_cast<long long>(std::numeric_limits<uint32_t>::max()))
     return false;
   Out = Operand::literal(static_cast<uint32_t>(static_cast<int64_t>(Value)));
   return true;
@@ -164,12 +178,20 @@ bool spvfuzz::readModuleText(const std::string &Text, Module &MOut,
 
     const std::string &Mnemonic = Tokens[OpIndex];
     if (Mnemonic == "OpEntryPoint") {
+      if (Result != InvalidId)
+        return Fail("OpEntryPoint cannot have a result id");
       if (OpIndex + 1 >= Tokens.size() ||
           !parseId(Tokens[OpIndex + 1], MOut.EntryPointId))
         return Fail("OpEntryPoint expects a function id");
+      if (OpIndex + 2 != Tokens.size())
+        return Fail("OpEntryPoint takes exactly one function id");
       continue;
     }
     if (Mnemonic == "OpFunctionEnd") {
+      if (Result != InvalidId)
+        return Fail("OpFunctionEnd cannot have a result id");
+      if (OpIndex + 1 != Tokens.size())
+        return Fail("OpFunctionEnd takes no operands");
       if (!CurrentFunc)
         return Fail("OpFunctionEnd outside a function");
       CurrentFunc = nullptr;
@@ -181,6 +203,8 @@ bool spvfuzz::readModuleText(const std::string &Text, Module &MOut,
         return Fail("OpLabel outside a function");
       if (Result == InvalidId)
         return Fail("OpLabel requires a result id");
+      if (OpIndex + 1 != Tokens.size())
+        return Fail("OpLabel takes no operands");
       MOut.reserveId(Result);
       CurrentFunc->Blocks.emplace_back(Result);
       CurrentBlock = &CurrentFunc->Blocks.back();
@@ -242,7 +266,8 @@ bool spvfuzz::readModuleText(const std::string &Text, Module &MOut,
   }
 
   if (CurrentFunc) {
-    ErrorOut = "unterminated function at end of input";
+    ErrorOut =
+        "line " + std::to_string(LineNo) + ": unterminated function at end of input";
     return false;
   }
   return true;

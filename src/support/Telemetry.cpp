@@ -132,6 +132,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     Stats.P50 = bucketPercentile(H.Buckets, H.Count, H.Min, H.Max, 0.50);
     Stats.P90 = bucketPercentile(H.Buckets, H.Count, H.Min, H.Max, 0.90);
     Stats.P99 = bucketPercentile(H.Buckets, H.Count, H.Min, H.Max, 0.99);
+    Stats.Buckets = H.Buckets;
     Snapshot.Histograms[Name] = Stats;
   }
   return Snapshot;
@@ -166,6 +167,39 @@ void MetricsRegistry::mergeFrom(const MetricsRegistry &Other) {
     Ours.Sum += TheirHistogram.Sum;
     for (size_t I = 0; I < Ours.Buckets.size(); ++I)
       Ours.Buckets[I] += TheirHistogram.Buckets[I];
+  }
+}
+
+void MetricsRegistry::restore(const MetricsSnapshot &Snapshot) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const auto &[Name, Value] : Snapshot.Counters)
+    Counters[Name] += Value;
+  for (const auto &[Name, Value] : Snapshot.Gauges)
+    Gauges[Name] = Value;
+  for (const auto &[Name, Stats] : Snapshot.Histograms) {
+    if (Stats.Count == 0)
+      continue;
+    std::vector<uint64_t> TheirBuckets = Stats.Buckets;
+    if (TheirBuckets.size() != NumHistogramBuckets) {
+      // Pre-bucket snapshot: approximate as Count observations at the mean.
+      TheirBuckets.assign(NumHistogramBuckets, 0);
+      TheirBuckets[bucketIndex(Stats.Mean)] = Stats.Count;
+    }
+    Histogram &Ours = Histograms[Name];
+    if (Ours.Count == 0) {
+      Ours.Min = Stats.Min;
+      Ours.Max = Stats.Max;
+      Ours.Count = Stats.Count;
+      Ours.Sum = Stats.Sum;
+      Ours.Buckets = std::move(TheirBuckets);
+      continue;
+    }
+    Ours.Min = std::min(Ours.Min, Stats.Min);
+    Ours.Max = std::max(Ours.Max, Stats.Max);
+    Ours.Count += Stats.Count;
+    Ours.Sum += Stats.Sum;
+    for (size_t I = 0; I < Ours.Buckets.size(); ++I)
+      Ours.Buckets[I] += TheirBuckets[I];
   }
 }
 
@@ -253,6 +287,19 @@ std::string telemetry::metricsToJson(const MetricsSnapshot &Snapshot) {
     Out += ", \"p50\": " + formatNumber(H.P50);
     Out += ", \"p90\": " + formatNumber(H.P90);
     Out += ", \"p99\": " + formatNumber(H.P99);
+    if (!H.Buckets.empty()) {
+      // Sparse "index:count" pairs — most of the 66 log2 buckets are empty.
+      std::string Sparse;
+      for (size_t I = 0; I < H.Buckets.size(); ++I) {
+        if (H.Buckets[I] == 0)
+          continue;
+        if (!Sparse.empty())
+          Sparse += ",";
+        Sparse += std::to_string(I) + ":" + std::to_string(H.Buckets[I]);
+      }
+      Out += ", \"buckets\": ";
+      appendJsonString(Out, Sparse);
+    }
     Out += "}";
   }
   Out += First ? "}\n" : "\n  }\n";
@@ -330,27 +377,68 @@ private:
       if (!parseString(Name) || !expect(':'))
         return false;
       HistogramStats Stats;
-      bool Ok = parseFlatObject([&](const std::string &Field, double Value) {
-        if (Field == "count")
-          Stats.Count = static_cast<uint64_t>(Value);
-        else if (Field == "sum")
-          Stats.Sum = Value;
-        else if (Field == "min")
-          Stats.Min = Value;
-        else if (Field == "max")
-          Stats.Max = Value;
-        else if (Field == "mean")
-          Stats.Mean = Value;
-        else if (Field == "p50")
-          Stats.P50 = Value;
-        else if (Field == "p90")
-          Stats.P90 = Value;
-        else if (Field == "p99")
-          Stats.P99 = Value;
-      });
-      if (!Ok)
+      if (!parseHistogramObject(Stats))
         return false;
       Snapshot.Histograms[Name] = Stats;
+    } while (consume(','));
+    return expect('}');
+  }
+
+  /// One histogram's object: numeric summary fields plus the optional
+  /// string-valued sparse "buckets" field.
+  bool parseHistogramObject(HistogramStats &Stats) {
+    if (!expect('{'))
+      return false;
+    if (consume('}'))
+      return true;
+    do {
+      std::string Field;
+      if (!parseString(Field) || !expect(':'))
+        return false;
+      if (Field == "buckets") {
+        std::string Sparse;
+        if (!parseString(Sparse))
+          return false;
+        Stats.Buckets.assign(MetricsRegistry::NumHistogramBuckets, 0);
+        size_t Cursor = 0;
+        while (Cursor < Sparse.size()) {
+          size_t Colon = Sparse.find(':', Cursor);
+          if (Colon == std::string::npos)
+            return fail("malformed buckets field");
+          size_t Comma = Sparse.find(',', Colon);
+          if (Comma == std::string::npos)
+            Comma = Sparse.size();
+          size_t Index = static_cast<size_t>(
+              std::strtoul(Sparse.substr(Cursor, Colon - Cursor).c_str(),
+                           nullptr, 10));
+          if (Index >= Stats.Buckets.size())
+            return fail("bucket index out of range");
+          Stats.Buckets[Index] = std::strtoull(
+              Sparse.substr(Colon + 1, Comma - Colon - 1).c_str(), nullptr,
+              10);
+          Cursor = Comma + 1;
+        }
+        continue;
+      }
+      double Value = 0.0;
+      if (!parseNumber(Value))
+        return false;
+      if (Field == "count")
+        Stats.Count = static_cast<uint64_t>(Value);
+      else if (Field == "sum")
+        Stats.Sum = Value;
+      else if (Field == "min")
+        Stats.Min = Value;
+      else if (Field == "max")
+        Stats.Max = Value;
+      else if (Field == "mean")
+        Stats.Mean = Value;
+      else if (Field == "p50")
+        Stats.P50 = Value;
+      else if (Field == "p90")
+        Stats.P90 = Value;
+      else if (Field == "p99")
+        Stats.P99 = Value;
     } while (consume(','));
     return expect('}');
   }

@@ -45,6 +45,11 @@ struct HistogramStats {
   double P50 = 0.0;
   double P90 = 0.0;
   double P99 = 0.0;
+  /// The raw log2 bucket counts (NumHistogramBuckets entries, or empty for
+  /// a snapshot parsed from pre-bucket JSON). Carrying the buckets makes
+  /// snapshots restorable: restore() can merge them back into a live
+  /// registry associatively, which summary percentiles alone cannot do.
+  std::vector<uint64_t> Buckets;
 };
 
 /// A point-in-time copy of every metric, decoupled from the live registry.
@@ -96,6 +101,13 @@ public:
   /// flags of both registries are ignored: merging is a bookkeeping step,
   /// not instrumentation.
   void mergeFrom(const MetricsRegistry &Other);
+
+  /// Folds a snapshot back into the live registry (the resume path:
+  /// counters add, gauges overwrite, histograms merge bucket-wise like
+  /// mergeFrom). Snapshot histograms without bucket data are merged as a
+  /// single observation mass at their mean — lossy, but only reachable for
+  /// snapshots parsed from pre-bucket JSON.
+  void restore(const MetricsSnapshot &Snapshot);
 
   /// Histogram bucket layout: bucket 0 holds values < 1 (including
   /// non-positive values); bucket i in [1, 64] holds [2^(i-1), 2^i); the

@@ -148,7 +148,7 @@ const HarnessedTarget *Harness::find(const std::string &Name) const {
 
 bool Harness::recordOutcome(const std::string &Name, bool HardToolError) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  Breaker &B = Breakers[Name];
+  BreakerState &B = Breakers[Name];
   if (!HardToolError) {
     B.ConsecutiveToolErrors = 0;
     return false;
@@ -186,4 +186,20 @@ size_t Harness::quarantinedCount() const {
     if (B.Open)
       ++N;
   return N;
+}
+
+std::map<std::string, Harness::BreakerState>
+Harness::snapshotBreakers() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Breakers;
+}
+
+void Harness::restoreBreakers(
+    const std::map<std::string, BreakerState> &Snapshot) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const auto &[Name, State] : Snapshot) {
+    auto It = Breakers.find(Name);
+    if (It != Breakers.end())
+      It->second = State;
+  }
 }

@@ -124,17 +124,29 @@ public:
 
   size_t quarantinedCount() const;
 
+  /// Externally visible breaker state, for campaign checkpoints.
+  struct BreakerState {
+    uint32_t ConsecutiveToolErrors = 0;
+    bool Open = false;
+  };
+
+  /// Snapshots every target's breaker (taken at wave boundaries, where
+  /// breaker state is schedule-independent).
+  std::map<std::string, BreakerState> snapshotBreakers() const;
+
+  /// Restores a snapshot taken by snapshotBreakers. Unknown target names
+  /// are ignored; the harness.quarantined counter is *not* bumped for
+  /// breakers restored open (the quarantine was already counted by the run
+  /// that originally opened it).
+  void restoreBreakers(const std::map<std::string, BreakerState> &Snapshot);
+
 private:
   HarnessPolicy Policy;
   std::vector<HarnessedTarget> CachedViews;
   std::vector<HarnessedTarget> UncachedViews;
 
-  struct Breaker {
-    uint32_t ConsecutiveToolErrors = 0;
-    bool Open = false;
-  };
   mutable std::mutex Mutex;
-  std::map<std::string, Breaker> Breakers;
+  std::map<std::string, BreakerState> Breakers;
 };
 
 } // namespace spvfuzz

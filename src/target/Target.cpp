@@ -394,11 +394,3 @@ TargetFleet::filter(const std::function<bool(const Target &)> &Keep) const {
       Out.add(T);
   return Out;
 }
-
-std::vector<Target> spvfuzz::standardTargets() {
-  return TargetFleet::standard().targets();
-}
-
-std::vector<std::string> spvfuzz::gpulessTargetNames() {
-  return TargetFleet::standard().gpulessNames();
-}

@@ -31,10 +31,6 @@
 #include <string>
 #include <vector>
 
-#ifndef SPVFUZZ_DEPRECATED
-#define SPVFUZZ_DEPRECATED(Msg) [[deprecated(Msg)]]
-#endif
-
 namespace spvfuzz {
 
 /// The unified outcome of handing one module to one target. This replaces
@@ -169,8 +165,7 @@ private:
 };
 
 /// The device fleet: named lookup, faultiness/capability filtering, and
-/// iteration over an ordered set of targets. Replaces the loose
-/// standardTargets()/gpulessTargetNames() free functions.
+/// iteration over an ordered set of targets.
 class TargetFleet {
 public:
   using const_iterator = std::vector<Target>::const_iterator;
@@ -214,14 +209,6 @@ public:
 private:
   std::vector<Target> Targets;
 };
-
-/// Deprecated shim over TargetFleet::standard().targets().
-SPVFUZZ_DEPRECATED("use TargetFleet::standard()")
-std::vector<Target> standardTargets();
-
-/// Deprecated shim over TargetFleet::standard().gpulessNames().
-SPVFUZZ_DEPRECATED("use TargetFleet::gpulessNames()")
-std::vector<std::string> gpulessTargetNames();
 
 } // namespace spvfuzz
 

@@ -59,15 +59,10 @@ TEST(Campaign, ToolsetSpecFilteringKeepsSeedStreams) {
 }
 
 TEST(Campaign, TestSeedStreamsAreIndependent) {
-  // Distinct (seed, stream, index) triples give distinct seeds, and the
-  // two-argument compatibility form is stream 0.
+  // Distinct (seed, stream, index) triples give distinct seeds.
   EXPECT_NE(testSeed(5, 0, 3), testSeed(5, 1, 3));
   EXPECT_NE(testSeed(5, 0, 3), testSeed(5, 0, 4));
   EXPECT_NE(testSeed(5, 0, 3), testSeed(6, 0, 3));
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_EQ(testSeed(5, 3), testSeed(5, 0, 3));
-#pragma GCC diagnostic pop
 }
 
 TEST(Campaign, TestRegenerationIsDeterministic) {

@@ -21,10 +21,21 @@
 ///   minispv campaign [--jobs N] [--tests N] [--seed N] [--limit N]
 ///                    [--deadline-ms N] [--faulty-fleet]
 ///                    [--deadline-steps N] [--flaky-retries N]
-///                    [--quarantine-threshold N]
+///                    [--quarantine-threshold N] [--dedup]
+///                    [--store DIR [--resume] [--checkpoint-interval N]]
 ///   minispv targets  [--faulty-fleet]
-///   minispv report   metrics.json
+///   minispv report   (metrics.json | --store DIR)
+///   minispv db       list  --store DIR
+///   minispv db       show  <bucket> --store DIR
+///   minispv db       diff  <bucket> --store DIR
+///   minispv db       gc    --store DIR --budget BYTES
+///   minispv db       merge --store DIR --from DIR2
 ///
+/// `campaign --store` makes the run durable: the engine checkpoints at
+/// wave boundaries, every reduced reproducer lands in the store's bug
+/// database, and an interrupted campaign rerun with `--resume` continues
+/// where it stopped — with byte-identical stdout to an uninterrupted run.
+/// `db` is the cross-campaign triage CLI over such a store.
 /// Module files use the textual assembly of ir/Text.h; input files hold
 /// one "binding kind value" triple per line (e.g. "0 int 7", "2 bool
 /// true"); sequence files hold one serialized transformation per line.
@@ -43,6 +54,7 @@
 #include "core/Reducer.h"
 #include "gen/Generator.h"
 #include "ir/Text.h"
+#include "store/CampaignStore.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
@@ -398,16 +410,44 @@ int cmdCampaign(const Args &A) {
   if (A.has("quarantine-threshold"))
     Policy.withQuarantineThreshold(static_cast<uint32_t>(
         strtoul(A.get("quarantine-threshold").c_str(), nullptr, 10)));
+
+  // A store makes the run durable: checkpoints at wave boundaries plus the
+  // reproducer database. Metrics are forced on so the persisted telemetry
+  // can be merged back on resume.
+  std::unique_ptr<CampaignStore> Store;
+  if (A.has("store")) {
+    Policy.withStorePath(A.get("store"))
+        .withResume(A.has("resume"))
+        .withCheckpointInterval(strtoull(
+            A.get("checkpoint-interval", "1").c_str(), nullptr, 10));
+    telemetry::MetricsRegistry::global().setEnabled(true);
+    std::string Error;
+    Store = CampaignStore::open(Policy.StorePath, Policy, Error);
+    if (!Store)
+      fail(Error);
+    if (Policy.Resume)
+      Store->restoreMetrics();
+  } else if (A.has("resume")) {
+    fail("--resume requires --store");
+  }
+
   CampaignEngine Engine(Policy, CorpusSpec{}, ToolsetSpec{},
                         fleetFor(A.has("faulty-fleet")));
+  if (Store)
+    Engine.setCheckpointer(Store.get());
   BugFindingConfig Config;
   Config.TestsPerTool =
       strtoull(A.get("tests", "100").c_str(), nullptr, 10);
 
-  printf("campaign: %zu tests per tool, seed %llu, limit %u, jobs %zu\n",
-         Config.TestsPerTool,
-         static_cast<unsigned long long>(Policy.Seed),
-         Policy.TransformationLimit, Policy.Jobs);
+  // Scheduling facts (jobs, resume) go to stderr: stdout carries only the
+  // decision lines, which are identical at any job count and across
+  // interrupt/resume.
+  fprintf(stderr,
+          "campaign: %zu tests per tool, seed %llu, limit %u, jobs %zu%s\n",
+          Config.TestsPerTool,
+          static_cast<unsigned long long>(Policy.Seed),
+          Policy.TransformationLimit, Policy.Jobs,
+          Store ? (Policy.Resume ? ", resuming" : ", durable") : "");
   BugFindingData Data = Engine.runBugFinding(Config);
 
   for (const std::string &Tool : Data.ToolNames) {
@@ -421,13 +461,94 @@ int cmdCampaign(const Args &A) {
     }
     printf("%s\n", Detail.empty() ? " (none)" : Detail.c_str());
   }
+
+  if (A.has("dedup") && !Engine.deadlineExpired()) {
+    ReductionConfig RC;
+    RC.TestsPerTool = Config.TestsPerTool;
+    DedupData Dedup = Engine.runDedup(RC);
+    if (!Engine.deadlineExpired()) {
+      printf("dedup: %-14s %5s %5s %8s %9s %5s\n", "target", "tests",
+             "sigs", "reports", "distinct", "dups");
+      for (const DedupTargetResult &Row : Dedup.PerTarget)
+        printf("dedup: %-14s %5zu %5zu %8zu %9zu %5zu\n",
+               Row.TargetName.c_str(), Row.Tests, Row.Sigs, Row.Reports,
+               Row.Distinct, Row.Dups);
+      printf("dedup: %-14s %5zu %5zu %8zu %9zu %5zu\n", "TOTAL",
+             Dedup.Total.Tests, Dedup.Total.Sigs, Dedup.Total.Reports,
+             Dedup.Total.Distinct, Dedup.Total.Dups);
+    }
+  }
+
   if (Engine.deadlineExpired())
-    printf("note: deadline hit; results are truncated\n");
+    fprintf(stderr, "note: deadline hit; results are truncated%s\n",
+            Store ? " (rerun with --resume to continue)" : "");
   for (const std::string &Name : Engine.fleet().names())
     if (Engine.harness().quarantined(Name))
-      printf("note: %s quarantined (consecutive tool errors)\n",
-             Name.c_str());
+      fprintf(stderr, "note: %s quarantined (consecutive tool errors)\n",
+              Name.c_str());
   return 0;
+}
+
+int cmdDb(const Args &A) {
+  if (A.Positional.empty())
+    fail("usage: minispv db <list|show|diff|gc|merge> --store DIR ...");
+  const std::string &Sub = A.Positional[0];
+  std::string Error;
+  std::unique_ptr<CampaignStore> Store =
+      CampaignStore::openForTools(A.require("store"), Error);
+  if (!Store)
+    fail(Error);
+
+  if (Sub == "list") {
+    printf("%zu campaign(s):\n", Store->manifest().Campaigns.size());
+    for (const CampaignEntry &Campaign : Store->manifest().Campaigns)
+      printf("  %-28s %zu bucket(s)\n", Campaign.Id.c_str(),
+             Campaign.Buckets.size());
+    std::vector<BugBucket> Buckets = Store->aggregatedBuckets();
+    printf("%zu distinct bucket(s):\n", Buckets.size());
+    for (const BugBucket &Bucket : Buckets)
+      printf("  %-24s x%-4llu %-14s sig=%s\n     types=%s\n",
+             Bucket.Dir.c_str(),
+             static_cast<unsigned long long>(Bucket.Count),
+             Bucket.Target.c_str(), Bucket.Signature.c_str(),
+             Bucket.TypesKey.c_str());
+    return 0;
+  }
+  if (Sub == "show" || Sub == "diff") {
+    if (A.Positional.size() < 2)
+      fail("usage: minispv db " + Sub + " <bucket> --store DIR");
+    const std::string BucketDir =
+        Store->dir() + "/bugs/" + A.Positional[1];
+    if (Sub == "show")
+      printf("%s\n--- reduced reproducer ---\n%s",
+             readFile(BucketDir + "/meta.json").c_str(),
+             readFile(BucketDir + "/repro.txt").c_str());
+    else
+      printf("%s", readFile(BucketDir + "/delta.diff").c_str());
+    return 0;
+  }
+  if (Sub == "gc") {
+    size_t Budget = strtoull(A.require("budget").c_str(), nullptr, 10);
+    size_t Before = Store->corpusBytes();
+    size_t Removed = Store->gc(Budget);
+    printf("gc: evicted %zu corpus entr%s (%zu -> %zu bytes, budget %zu)\n",
+           Removed, Removed == 1 ? "y" : "ies", Before,
+           Store->corpusBytes(), Budget);
+    return 0;
+  }
+  if (Sub == "merge") {
+    std::unique_ptr<CampaignStore> Other =
+        CampaignStore::openForTools(A.require("from"), Error);
+    if (!Other)
+      fail(Error);
+    if (!Store->merge(*Other, Error))
+      fail(Error);
+    printf("merged: %zu campaign(s), %zu distinct bucket(s)\n",
+           Store->manifest().Campaigns.size(),
+           Store->aggregatedBuckets().size());
+    return 0;
+  }
+  fail("unknown db subcommand '" + Sub + "'");
 }
 
 int cmdTargets(const Args &A) {
@@ -446,13 +567,21 @@ int cmdTargets(const Args &A) {
 }
 
 int cmdReport(const Args &A) {
-  if (A.Positional.empty())
-    fail("usage: minispv report <metrics.json>");
   telemetry::MetricsSnapshot Snapshot;
   std::string Error;
-  if (!telemetry::metricsFromJson(readFile(A.Positional[0]), Snapshot,
-                                  Error))
+  if (A.has("store")) {
+    std::unique_ptr<CampaignStore> Store =
+        CampaignStore::openForTools(A.get("store"), Error);
+    if (!Store)
+      fail(Error);
+    if (!Store->loadMetrics(Snapshot, Error))
+      fail(Error);
+  } else if (A.Positional.empty()) {
+    fail("usage: minispv report (<metrics.json> | --store DIR)");
+  } else if (!telemetry::metricsFromJson(readFile(A.Positional[0]),
+                                         Snapshot, Error)) {
     fail(A.Positional[0] + ": " + Error);
+  }
   printf("%s", telemetry::renderMetricsReport(Snapshot).c_str());
   return 0;
 }
@@ -472,6 +601,8 @@ int dispatch(const std::string &Command, const Args &A) {
     return cmdReduce(A);
   if (Command == "campaign")
     return cmdCampaign(A);
+  if (Command == "db")
+    return cmdDb(A);
   if (Command == "targets")
     return cmdTargets(A);
   if (Command == "report")
@@ -485,13 +616,14 @@ int main(int Argc, char **Argv) {
   if (Argc < 2) {
     fprintf(stderr,
             "usage: minispv "
-            "<gen|validate|run|fuzz|replay|reduce|campaign|targets|report> "
-            "[--metrics-out m.json] [--trace-out t.jsonl] ...\n");
+            "<gen|validate|run|fuzz|replay|reduce|campaign|db|targets|"
+            "report> [--metrics-out m.json] [--trace-out t.jsonl] ...\n");
     return 1;
   }
   std::string Command = Argv[1];
   Args A(Argc - 2, Argv + 2, {"baseline", "no-recommendations",
-                              "miscompilation", "faulty-fleet"});
+                              "miscompilation", "faulty-fleet", "resume",
+                              "dedup"});
 
   std::string MetricsOut = A.get("metrics-out");
   std::string TraceOut = A.get("trace-out");
