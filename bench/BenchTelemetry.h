@@ -10,7 +10,10 @@
 /// progress reporting and all instrumentation fire), destruction prints a
 /// compact counter-derived footer and honours REPRO_METRICS_OUT=<path> to
 /// dump the full registry as JSON — the same format `minispv report`
-/// renders.
+/// renders. Benches that name a rate counter also publish
+/// `bench.wall_seconds` and `bench.throughput_per_sec` gauges into the
+/// dump, which is what `minispv report --compare` judges against the
+/// committed snapshots in bench/baselines/.
 ///
 /// bench_micro deliberately does not use this: its numbers measure the
 /// disabled-telemetry fast path.
@@ -22,6 +25,7 @@
 
 #include "support/Telemetry.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -33,9 +37,15 @@ namespace bench {
 class BenchTelemetry {
 public:
   /// Enables the registry; \p FooterCounters are the counters the footer
-  /// reports (in order) when the bench exits.
-  explicit BenchTelemetry(std::vector<std::string> FooterCounters)
-      : FooterCounters(std::move(FooterCounters)) {
+  /// reports (in order) when the bench exits. When \p RateCounter is
+  /// non-empty, the destructor publishes `bench.wall_seconds` and
+  /// `bench.throughput_per_sec` (that counter's final value divided by the
+  /// bench's wall time) as gauges before the REPRO_METRICS_OUT dump.
+  explicit BenchTelemetry(std::vector<std::string> FooterCounters,
+                          std::string RateCounter = "")
+      : FooterCounters(std::move(FooterCounters)),
+        RateCounter(std::move(RateCounter)),
+        Start(std::chrono::steady_clock::now()) {
     telemetry::MetricsRegistry::global().setEnabled(true);
   }
   BenchTelemetry(const BenchTelemetry &) = delete;
@@ -43,6 +53,16 @@ public:
 
   ~BenchTelemetry() {
     telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+    if (!RateCounter.empty()) {
+      double Seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - Start)
+                           .count();
+      Metrics.set("bench.wall_seconds", Seconds);
+      if (Seconds > 0.0)
+        Metrics.set("bench.throughput_per_sec",
+                    static_cast<double>(Metrics.counterValue(RateCounter)) /
+                        Seconds);
+    }
     if (!FooterCounters.empty()) {
       printf("\ntelemetry:");
       for (const std::string &Name : FooterCounters)
@@ -63,6 +83,8 @@ public:
 
 private:
   std::vector<std::string> FooterCounters;
+  std::string RateCounter;
+  std::chrono::steady_clock::time_point Start;
 };
 
 } // namespace bench

@@ -22,7 +22,8 @@ using namespace spvfuzz;
 
 int main(int argc, char **argv) {
   bench::BenchTelemetry Telemetry(
-      {"campaign.tests", "target.compiles", "exec.runs"});
+      {"campaign.tests", "target.compiles", "exec.runs"},
+      /*RateCounter=*/"campaign.tests");
   size_t Jobs = bench::parseJobs(argc, argv);
   CampaignEngine Engine(
       ExecutionPolicy{}.withJobs(Jobs).withTransformationLimit(250));

@@ -35,7 +35,8 @@ int main(int argc, char **argv) {
     Footer.push_back("harness.quarantined");
     Footer.push_back("evalcache.flaky_consults");
   }
-  bench::BenchTelemetry Telemetry(Footer);
+  bench::BenchTelemetry Telemetry(Footer,
+                                  /*RateCounter=*/"campaign.reductions");
   size_t Jobs = bench::parseJobs(argc, argv);
   ExecutionPolicy Policy =
       ExecutionPolicy{}.withJobs(Jobs).withTransformationLimit(150);

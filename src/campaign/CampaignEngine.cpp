@@ -10,6 +10,7 @@
 #include "core/FunctionShrinker.h"
 #include "core/Reducer.h"
 #include "support/Telemetry.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <optional>
@@ -118,6 +119,16 @@ CampaignEngine::evaluateTests(const ToolConfig &Tool, size_t Count,
       StartWave = Saved.NextWave;
     }
   }
+  if (Observer)
+    Observer->onPhaseStarted(PhaseKey, StartWave, Count);
+  // Running bug-observation tally for WaveCommitted events, primed from the
+  // restored prefix so resumed tallies match the uninterrupted run's.
+  size_t BugsSoFar = 0;
+  for (const TestEvaluation &Restored : Evals)
+    BugsSoFar += Restored.Signatures.size();
+
+  telemetry::TracePhaseScope EvalPhase("fuzz");
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
 
   size_t WavesSinceSave = 0;
   bool Interrupted = false;
@@ -128,6 +139,16 @@ CampaignEngine::evaluateTests(const ToolConfig &Tool, size_t Count,
       break;
     }
     size_t WaveEnd = std::min(Count, WaveStart + ShardSize);
+
+    telemetry::TraceSpan WaveSpan("campaign.wave");
+    const uint64_t WaveId = WaveSpan.id();
+    uint64_t StepsBefore = 0;
+    if (WaveSpan.active()) {
+      WaveSpan.note({"phase_key", PhaseKey});
+      WaveSpan.note({"wave", WaveEnd});
+      if (Metrics.enabled())
+        StepsBefore = Metrics.counterValue("exec.steps");
+    }
 
     // Quarantine snapshot: targets sidelined by earlier waves stay out of
     // this whole wave. Taken serially between waves, so it is identical at
@@ -142,15 +163,21 @@ CampaignEngine::evaluateTests(const ToolConfig &Tool, size_t Count,
     Jobs.reserve(WaveEnd - WaveStart);
     for (size_t Index = WaveStart; Index < WaveEnd; ++Index)
       Jobs.push_back(
-          [this, &Tool, &WaveTargets, Index,
-           CrashesOnly]() -> std::optional<TestEvaluation> {
+          [this, &Tool, &WaveTargets, Index, CrashesOnly,
+           WaveId]() -> std::optional<TestEvaluation> {
             if (cancelled())
               return std::nullopt;
+            telemetry::TracePhaseScope JobPhase("fuzz");
+            telemetry::TraceSpan JobSpan("campaign.evaluate", WaveId);
+            JobSpan.note({"test", Index});
             return evaluateTestOn(CorpusData, Tool, WaveTargets, Policy.Seed,
                                   Index, CrashesOnly);
           });
     bool Truncated = false;
-    for (std::optional<TestEvaluation> &Result : runJobs(std::move(Jobs))) {
+    std::vector<std::optional<TestEvaluation>> Results =
+        runJobs(std::move(Jobs));
+    for (size_t Offset = 0; Offset < Results.size(); ++Offset) {
+      std::optional<TestEvaluation> &Result = Results[Offset];
       if (!Result) {
         Truncated = true;
         break;
@@ -162,8 +189,14 @@ CampaignEngine::evaluateTests(const ToolConfig &Tool, size_t Count,
         bool HardError =
             std::find(Result->ToolErrored.begin(), Result->ToolErrored.end(),
                       T->name()) != Result->ToolErrored.end();
-        Har->recordOutcome(T->name(), HardError);
+        if (Har->recordOutcome(T->name(), HardError) && Observer)
+          Observer->onTargetQuarantined(PhaseKey, WaveEnd, T->name());
       }
+      if (Observer)
+        for (const auto &[TargetName, Signature] : Result->Signatures)
+          Observer->onBugFound(PhaseKey, WaveEnd, WaveStart + Offset,
+                               TargetName, Signature);
+      BugsSoFar += Result->Signatures.size();
       Evals.push_back(std::move(*Result));
     }
     if (Truncated) {
@@ -174,16 +207,25 @@ CampaignEngine::evaluateTests(const ToolConfig &Tool, size_t Count,
       Interrupted = true;
       break;
     }
+    if (WaveSpan.active() && Metrics.enabled())
+      WaveSpan.note({"steps", Metrics.counterValue("exec.steps") - StepsBefore});
+    if (Observer)
+      Observer->onWaveCommitted(PhaseKey, WaveEnd, Count, BugsSoFar);
     if (Checkpointer && ++WavesSinceSave >= Policy.CheckpointInterval) {
       WavesSinceSave = 0;
       Checkpointer->saveEvaluation(
           {PhaseKey, WaveEnd, /*Complete=*/false, Evals,
            Har->snapshotBreakers()});
+      if (Observer)
+        Observer->onCheckpointSaved(PhaseKey, WaveEnd);
     }
   }
-  if (Checkpointer && !Interrupted)
+  if (Checkpointer && !Interrupted) {
     Checkpointer->saveEvaluation(
         {PhaseKey, Count, /*Complete=*/true, Evals, Har->snapshotBreakers()});
+    if (Observer)
+      Observer->onCheckpointSaved(PhaseKey, Count);
+  }
   return Evals;
 }
 
@@ -326,6 +368,8 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
     }
     if (AlreadyComplete)
       continue;
+    if (Observer)
+      Observer->onPhaseStarted(PhaseKey, StartWave, Config.TestsPerTool);
 
     CampaignProgress Progress("reduction/" + Tool.Name,
                               Config.MaxReductionsPerTool,
@@ -343,6 +387,13 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
       }
       size_t WaveEnd = std::min(Config.TestsPerTool, WaveStart + ShardSize);
 
+      telemetry::TraceSpan WaveSpan("campaign.wave");
+      const uint64_t WaveId = WaveSpan.id();
+      if (WaveSpan.active()) {
+        WaveSpan.note({"phase_key", PhaseKey});
+        WaveSpan.note({"wave", WaveEnd});
+      }
+
       // Quarantine snapshot at the wave boundary (serial, so identical at
       // any job count): sidelined targets sit this wave out.
       std::vector<char> Sidelined(Wanted.size(), 0);
@@ -353,10 +404,13 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
       std::vector<std::function<ScanResult()>> ScanJobs;
       ScanJobs.reserve(WaveEnd - WaveStart);
       for (size_t Index = WaveStart; Index < WaveEnd; ++Index)
-        ScanJobs.push_back([this, &Tool, &Wanted, &Config, &Sidelined,
-                            Index]() -> ScanResult {
+        ScanJobs.push_back([this, &Tool, &Wanted, &Config, &Sidelined, Index,
+                            WaveId]() -> ScanResult {
           if (cancelled())
             return std::nullopt;
+          telemetry::TracePhaseScope JobPhase("scan");
+          telemetry::TraceSpan JobSpan("campaign.scan", WaveId);
+          JobSpan.note({"test", Index});
           ScanOutcome Out;
           Out.Fuzzed = regenerate(Tool, Index, Out.ReferenceIndex);
           const GeneratedProgram &Reference =
@@ -403,8 +457,17 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
               std::find(Scans[Offset]->HardErrors.begin(),
                         Scans[Offset]->HardErrors.end(),
                         TargetIdx) != Scans[Offset]->HardErrors.end();
-          Har->recordOutcome(Wanted[TargetIdx]->name(), HardError);
+          if (Har->recordOutcome(Wanted[TargetIdx]->name(), HardError) &&
+              Observer)
+            Observer->onTargetQuarantined(PhaseKey, WaveEnd,
+                                          Wanted[TargetIdx]->name());
         }
+        // Every bug observation is journaled, whether or not the cap or
+        // budget below accepts it for reduction.
+        if (Observer)
+          for (const auto &[TargetIdx, Signature] : Scans[Offset]->Found)
+            Observer->onBugFound(PhaseKey, WaveEnd, WaveStart + Offset,
+                                 Wanted[TargetIdx]->name(), Signature);
         for (const auto &[TargetIdx, Signature] : Scans[Offset]->Found) {
           if (ReductionsDone >= Config.MaxReductionsPerTool)
             break;
@@ -430,11 +493,16 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
       //    (glsl-fuzz's group reducer has no speculative path).
       const bool Speculative =
           Policy.SpeculativeReduction && Pool && Tool.Name != "glsl-fuzz";
-      auto RunTask = [this, &Tool, &ReduceOpts,
-                      Speculative](const ReductionTask &Task)
+      auto RunTask = [this, &Tool, &ReduceOpts, Speculative,
+                      WaveId](const ReductionTask &Task)
           -> std::optional<ReductionOutcome> {
         if (cancelled())
           return std::nullopt;
+        telemetry::TracePhaseScope JobPhase("reduce");
+        telemetry::TraceSpan JobSpan("campaign.reduce", WaveId);
+        JobSpan.note({"test", Task.TestIndex});
+        JobSpan.note({"target", Task.T->name()});
+        JobSpan.note({"signature", Task.Signature});
         // The scan already fuzzed this test; reuse its result (tasks for
         // different targets may share one outcome — reads only).
         const FuzzResult &Fuzzed = Task.Scan->Fuzzed;
@@ -511,6 +579,8 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
                                  Out->Record.Signature);
         Progress.advance();
         telemetry::MetricsRegistry::global().add("campaign.reductions");
+        if (Observer)
+          Observer->onReductionStep(PhaseKey, WaveEnd, Out->Record);
         if (Checkpointer) {
           const GeneratedProgram &Reference =
               CorpusData.References[Out->ReferenceIndex];
@@ -524,6 +594,9 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
         Interrupted = true;
         break;
       }
+      if (Observer)
+        Observer->onWaveCommitted(PhaseKey, WaveEnd, Config.TestsPerTool,
+                                  ReductionsDone);
       if (Checkpointer && ++WavesSinceSave >= Policy.CheckpointInterval) {
         WavesSinceSave = 0;
         Checkpointer->saveReduction(
@@ -534,9 +607,11 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
                      static_cast<ptrdiff_t>(ToolRecordsStart),
                  Data.Records.end()),
              Har->snapshotBreakers()});
+        if (Observer)
+          Observer->onCheckpointSaved(PhaseKey, WaveEnd);
       }
     }
-    if (Checkpointer && !Interrupted)
+    if (Checkpointer && !Interrupted) {
       Checkpointer->saveReduction(
           {PhaseKey, Config.TestsPerTool, /*Complete=*/true, ReductionsDone,
            SignatureCounts,
@@ -544,6 +619,9 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
                Data.Records.begin() + static_cast<ptrdiff_t>(ToolRecordsStart),
                Data.Records.end()),
            Har->snapshotBreakers()});
+      if (Observer)
+        Observer->onCheckpointSaved(PhaseKey, Config.TestsPerTool);
+    }
   }
   return Data;
 }
@@ -572,7 +650,13 @@ DedupData CampaignEngine::runDedup(const ReductionConfig &ConfigIn) {
   CampaignProgress Progress("dedup", Config.TargetNames.size(),
                             /*ReportEvery=*/1);
 
-  for (const std::string &TargetName : Config.TargetNames) {
+  if (Observer)
+    Observer->onPhaseStarted("dedup", 0, Config.TargetNames.size());
+  telemetry::TracePhaseScope DedupPhase("dedup");
+
+  for (size_t TargetIdx = 0; TargetIdx < Config.TargetNames.size();
+       ++TargetIdx) {
+    const std::string &TargetName = Config.TargetNames[TargetIdx];
     // Gather this target's reduced tests in order.
     std::vector<const ReductionRecord *> Tests;
     for (const ReductionRecord &Record : Reductions.Records)
@@ -580,6 +664,9 @@ DedupData CampaignEngine::runDedup(const ReductionConfig &ConfigIn) {
         Tests.push_back(&Record);
     if (Tests.empty())
       continue;
+
+    telemetry::TraceSpan TargetSpan("campaign.dedup");
+    TargetSpan.note({"target", TargetName});
 
     std::vector<std::set<TransformationKind>> TestTypes;
     std::set<std::string> Sigs;
@@ -609,6 +696,10 @@ DedupData CampaignEngine::runDedup(const ReductionConfig &ConfigIn) {
       TotalSigs.insert(TargetName + ":" + Sig);
     Progress.recordClasses(Data.Total.Distinct);
     Progress.advance();
+    if (Observer)
+      Observer->onWaveCommitted("dedup", TargetIdx + 1,
+                                Config.TargetNames.size(),
+                                Data.Total.Distinct);
   }
   Data.Total.Sigs = TotalSigs.size();
   return Data;

@@ -200,6 +200,44 @@ public:
                                 const TransformationSequence &Minimized) = 0;
 };
 
+/// The engine's observability hook: decision events delivered at serial
+/// commit points on the aggregation thread, in test-index order, so the
+/// callback sequence is identical at any job count. Implemented by
+/// obs/Journal.h (JournalObserver); the engine only sees this interface,
+/// keeping campaign free of any obs dependency. All callbacks default to
+/// no-ops so observers override only what they consume.
+class CampaignObserver {
+public:
+  virtual ~CampaignObserver() = default;
+
+  /// A phase is (re)starting: waves < \p StartWave were restored from a
+  /// checkpoint; waves in [StartWave, Total) are about to be computed (and
+  /// their events re-emitted).
+  virtual void onPhaseStarted(const std::string & /*Phase*/,
+                              size_t /*StartWave*/, size_t /*Total*/) {}
+  /// A (target, signature) bug observation committed for test \p TestIndex
+  /// in the wave ending at boundary \p WaveEnd.
+  virtual void onBugFound(const std::string & /*Phase*/, size_t /*WaveEnd*/,
+                          size_t /*TestIndex*/, const std::string & /*Target*/,
+                          const std::string & /*Signature*/) {}
+  /// A breaker commit newly quarantined \p Target.
+  virtual void onTargetQuarantined(const std::string & /*Phase*/,
+                                   size_t /*WaveEnd*/,
+                                   const std::string & /*Target*/) {}
+  /// A reduction completed and its record was accepted.
+  virtual void onReductionStep(const std::string & /*Phase*/,
+                               size_t /*WaveEnd*/,
+                               const ReductionRecord & /*Record*/) {}
+  /// The wave ending at boundary \p WaveEnd (of \p Total) committed;
+  /// \p Count is the phase's running tally (bugs or reductions so far).
+  virtual void onWaveCommitted(const std::string & /*Phase*/,
+                               size_t /*WaveEnd*/, size_t /*Total*/,
+                               size_t /*Count*/) {}
+  /// A checkpoint for \p Phase at boundary \p WaveEnd was saved.
+  virtual void onCheckpointSaved(const std::string & /*Phase*/,
+                                 size_t /*WaveEnd*/) {}
+};
+
 /// The campaign engine. The sole campaign entry point since the loose
 /// free-function drivers (runBugFinding / runReductions / runDedup) were
 /// removed. Every target run goes through the fault-tolerance harness
@@ -239,6 +277,12 @@ public:
   /// checkpointer must outlive the engine's campaign calls. Not owned.
   void setCheckpointer(CampaignCheckpointer *C) { Checkpointer = C; }
   CampaignCheckpointer *checkpointer() const { return Checkpointer; }
+
+  /// Attaches (or detaches, with nullptr) the observability hook. Events
+  /// fire on the aggregation thread at serial commit points; the observer
+  /// must outlive the engine's campaign calls. Not owned.
+  void setObserver(CampaignObserver *O) { Observer = O; }
+  CampaignObserver *observer() const { return Observer; }
 
   /// Deterministically re-runs the fuzzer behind (\p Tool, \p TestIndex).
   FuzzResult regenerate(const ToolConfig &Tool, size_t TestIndex,
@@ -297,6 +341,7 @@ private:
   std::chrono::steady_clock::time_point Start;
   std::atomic<bool> CancelFlag{false};
   CampaignCheckpointer *Checkpointer = nullptr;
+  CampaignObserver *Observer = nullptr;
 };
 
 } // namespace spvfuzz

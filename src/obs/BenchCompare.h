@@ -1,0 +1,55 @@
+//===- obs/BenchCompare.h - Bench snapshot regression compare ---*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Performance-trajectory comparison between two metrics snapshots (a
+/// committed `bench/baselines/BENCH_*.json` baseline and a fresh bench
+/// run). `minispv report --compare A.json B.json` renders the delta table
+/// and exits nonzero when a throughput gauge regressed beyond the
+/// configured threshold, which is how CI gates on bench regressions.
+///
+/// Regression rules are deliberately narrow: only timing gauges are
+/// judged. A `*per_sec*` gauge dropping by more than the threshold, or a
+/// `*wall_seconds*` gauge rising by more than it, is a regression; counter
+/// drift (different work done) is reported as a warning, never a failure,
+/// because decision counters are compared exactly by the determinism CI
+/// steps instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OBS_BENCHCOMPARE_H
+#define OBS_BENCHCOMPARE_H
+
+#include "support/Telemetry.h"
+
+#include <string>
+#include <vector>
+
+namespace spvfuzz {
+namespace obs {
+
+struct CompareOptions {
+  /// Percentage change beyond which a judged gauge counts as regressed.
+  double ThresholdPct = 25.0;
+};
+
+struct CompareResult {
+  /// The rendered delta table.
+  std::string Report;
+  /// One line per regressed gauge; empty means the gate passes.
+  std::vector<std::string> Regressions;
+  /// Non-fatal observations (counter drift, metrics missing on one side).
+  std::vector<std::string> Warnings;
+};
+
+CompareResult compareSnapshots(const telemetry::MetricsSnapshot &Base,
+                               const telemetry::MetricsSnapshot &Current,
+                               const CompareOptions &Opts = CompareOptions{});
+
+} // namespace obs
+} // namespace spvfuzz
+
+#endif // OBS_BENCHCOMPARE_H

@@ -1,0 +1,165 @@
+//===- obs/FlatJson.h - Flat JSON-object line parsing -----------*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny parser for the flat one-object-per-line JSON both the journal
+/// and the tracer emit: a single top-level object whose values are strings
+/// or numbers (no nesting, arrays, booleans or nulls). Internal to the obs
+/// library; errors carry a column so callers can build line-accurate
+/// diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OBS_FLATJSON_H
+#define OBS_FLATJSON_H
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace spvfuzz {
+namespace obs {
+
+/// The parsed fields of one flat JSON object, split by value type.
+struct FlatObject {
+  std::map<std::string, std::string> Text;
+  std::map<std::string, double> Numbers;
+
+  bool hasText(const std::string &Key) const { return Text.count(Key) != 0; }
+  bool hasNumber(const std::string &Key) const {
+    return Numbers.count(Key) != 0;
+  }
+  std::string text(const std::string &Key) const {
+    auto It = Text.find(Key);
+    return It == Text.end() ? std::string() : It->second;
+  }
+  double number(const std::string &Key, double Default = 0.0) const {
+    auto It = Numbers.find(Key);
+    return It == Numbers.end() ? Default : It->second;
+  }
+  uint64_t count(const std::string &Key) const {
+    double Value = number(Key);
+    return Value <= 0 ? 0 : static_cast<uint64_t>(Value);
+  }
+};
+
+/// Parses \p Line as one flat JSON object. Returns false and sets \p Error
+/// (with a 1-based "column N" suffix) on malformed input; trailing
+/// whitespace after the closing brace is tolerated.
+inline bool parseFlatObject(const std::string &Line, FlatObject &Out,
+                            std::string &Error) {
+  size_t Pos = 0;
+  auto failAt = [&](const std::string &Message, size_t Where) {
+    Error = Message + ", column " + std::to_string(Where + 1);
+    return false;
+  };
+  auto skipSpace = [&]() {
+    while (Pos < Line.size() &&
+           std::isspace(static_cast<unsigned char>(Line[Pos])))
+      ++Pos;
+  };
+  auto parseString = [&](std::string &S) {
+    skipSpace();
+    if (Pos >= Line.size() || Line[Pos] != '"')
+      return failAt("expected string", Pos);
+    ++Pos;
+    S.clear();
+    while (Pos < Line.size() && Line[Pos] != '"') {
+      char C = Line[Pos++];
+      if (C == '\\' && Pos < Line.size()) {
+        char E = Line[Pos++];
+        switch (E) {
+        case 'n':
+          S += '\n';
+          break;
+        case 't':
+          S += '\t';
+          break;
+        case 'u':
+          if (Pos + 4 > Line.size())
+            return failAt("truncated \\u escape", Pos);
+          S += static_cast<char>(
+              std::strtoul(Line.substr(Pos, 4).c_str(), nullptr, 16));
+          Pos += 4;
+          break;
+        default:
+          S += E;
+        }
+      } else {
+        S += C;
+      }
+    }
+    if (Pos >= Line.size())
+      return failAt("unterminated string", Pos);
+    ++Pos; // closing quote
+    return true;
+  };
+  auto parseNumber = [&](double &Value) {
+    skipSpace();
+    size_t End = Pos;
+    while (End < Line.size() &&
+           (std::isdigit(static_cast<unsigned char>(Line[End])) ||
+            Line[End] == '-' || Line[End] == '+' || Line[End] == '.' ||
+            Line[End] == 'e' || Line[End] == 'E'))
+      ++End;
+    if (End == Pos)
+      return failAt("expected number", Pos);
+    Value = std::strtod(Line.substr(Pos, End - Pos).c_str(), nullptr);
+    Pos = End;
+    return true;
+  };
+
+  skipSpace();
+  if (Pos >= Line.size() || Line[Pos] != '{')
+    return failAt("expected '{'", Pos);
+  ++Pos;
+  skipSpace();
+  if (Pos < Line.size() && Line[Pos] == '}') {
+    ++Pos;
+  } else {
+    while (true) {
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipSpace();
+      if (Pos >= Line.size() || Line[Pos] != ':')
+        return failAt("expected ':'", Pos);
+      ++Pos;
+      skipSpace();
+      if (Pos < Line.size() && Line[Pos] == '"') {
+        std::string Value;
+        if (!parseString(Value))
+          return false;
+        Out.Text[Key] = std::move(Value);
+      } else {
+        double Value = 0.0;
+        if (!parseNumber(Value))
+          return false;
+        Out.Numbers[Key] = Value;
+      }
+      skipSpace();
+      if (Pos < Line.size() && Line[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Pos < Line.size() && Line[Pos] == '}') {
+        ++Pos;
+        break;
+      }
+      return failAt("expected ',' or '}'", Pos);
+    }
+  }
+  skipSpace();
+  if (Pos != Line.size())
+    return failAt("trailing garbage after object", Pos);
+  return true;
+}
+
+} // namespace obs
+} // namespace spvfuzz
+
+#endif // OBS_FLATJSON_H

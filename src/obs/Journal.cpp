@@ -1,0 +1,525 @@
+//===- obs/Journal.cpp - Crash-safe campaign event journal ----------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Journal.h"
+
+#include "obs/FlatJson.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace spvfuzz;
+using namespace spvfuzz::obs;
+
+const char *obs::journalEventKindName(JournalEventKind Kind) {
+  switch (Kind) {
+  case JournalEventKind::CampaignStarted:
+    return "CampaignStarted";
+  case JournalEventKind::WaveCommitted:
+    return "WaveCommitted";
+  case JournalEventKind::BugFound:
+    return "BugFound";
+  case JournalEventKind::ReductionStep:
+    return "ReductionStep";
+  case JournalEventKind::TargetQuarantined:
+    return "TargetQuarantined";
+  case JournalEventKind::CheckpointSaved:
+    return "CheckpointSaved";
+  case JournalEventKind::CampaignFinished:
+    return "CampaignFinished";
+  }
+  return "Unknown";
+}
+
+bool obs::journalEventKindFromName(const std::string &Name,
+                                   JournalEventKind &Out) {
+  static const JournalEventKind All[] = {
+      JournalEventKind::CampaignStarted,  JournalEventKind::WaveCommitted,
+      JournalEventKind::BugFound,         JournalEventKind::ReductionStep,
+      JournalEventKind::TargetQuarantined, JournalEventKind::CheckpointSaved,
+      JournalEventKind::CampaignFinished,
+  };
+  for (JournalEventKind Kind : All)
+    if (Name == journalEventKindName(Kind)) {
+      Out = Kind;
+      return true;
+    }
+  return false;
+}
+
+namespace {
+
+void appendQuoted(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void appendField(std::string &Out, const char *Key, const std::string &S) {
+  Out += ",\"";
+  Out += Key;
+  Out += "\":";
+  appendQuoted(Out, S);
+}
+
+void appendField(std::string &Out, const char *Key, uint64_t Value) {
+  Out += ",\"";
+  Out += Key;
+  Out += "\":";
+  Out += std::to_string(Value);
+}
+
+} // namespace
+
+std::string obs::serializeJournalEvent(const JournalEvent &Event) {
+  std::string Out = "{\"v\":" + std::to_string(JournalFormatVersion);
+  appendField(Out, "seq", Event.Seq);
+  appendField(Out, "kind", std::string(journalEventKindName(Event.Kind)));
+  switch (Event.Kind) {
+  case JournalEventKind::CampaignStarted:
+    appendField(Out, "campaign", Event.Campaign);
+    appendField(Out, "seed", Event.Seed);
+    appendField(Out, "limit", Event.Limit);
+    appendField(Out, "total", Event.Total);
+    break;
+  case JournalEventKind::WaveCommitted:
+    appendField(Out, "phase", Event.Phase);
+    appendField(Out, "wave", Event.Wave);
+    appendField(Out, "total", Event.Total);
+    appendField(Out, "count", Event.Count);
+    break;
+  case JournalEventKind::BugFound:
+    appendField(Out, "phase", Event.Phase);
+    appendField(Out, "wave", Event.Wave);
+    appendField(Out, "test", Event.Test);
+    appendField(Out, "target", Event.Target);
+    appendField(Out, "signature", Event.Signature);
+    break;
+  case JournalEventKind::ReductionStep:
+    appendField(Out, "phase", Event.Phase);
+    appendField(Out, "wave", Event.Wave);
+    appendField(Out, "test", Event.Test);
+    appendField(Out, "target", Event.Target);
+    appendField(Out, "signature", Event.Signature);
+    appendField(Out, "unreduced", Event.Unreduced);
+    appendField(Out, "reduced", Event.Reduced);
+    appendField(Out, "minimized", Event.Minimized);
+    appendField(Out, "checks", Event.Checks);
+    break;
+  case JournalEventKind::TargetQuarantined:
+    appendField(Out, "phase", Event.Phase);
+    appendField(Out, "wave", Event.Wave);
+    appendField(Out, "target", Event.Target);
+    break;
+  case JournalEventKind::CheckpointSaved:
+    appendField(Out, "phase", Event.Phase);
+    appendField(Out, "wave", Event.Wave);
+    break;
+  case JournalEventKind::CampaignFinished:
+    appendField(Out, "campaign", Event.Campaign);
+    appendField(Out, "count", Event.Count);
+    break;
+  }
+  appendField(Out, "wall_us", Event.WallUs);
+  Out += "}";
+  return Out;
+}
+
+bool obs::parseJournalLine(const std::string &Line, JournalEvent &Out,
+                           std::string &Error) {
+  FlatObject Object;
+  if (!parseFlatObject(Line, Object, Error))
+    return false;
+  if (!Object.hasNumber("v")) {
+    Error = "missing journal format version field 'v'";
+    return false;
+  }
+  uint64_t Version = Object.count("v");
+  if (Version == 0 || Version > JournalFormatVersion) {
+    Error = "unsupported journal format version " + std::to_string(Version) +
+            " (this build understands up to " +
+            std::to_string(JournalFormatVersion) + ")";
+    return false;
+  }
+  if (!Object.hasText("kind")) {
+    Error = "missing event kind";
+    return false;
+  }
+  if (!journalEventKindFromName(Object.text("kind"), Out.Kind)) {
+    Error = "unknown event kind '" + Object.text("kind") + "'";
+    return false;
+  }
+  Out.Seq = Object.count("seq");
+  Out.Campaign = Object.text("campaign");
+  Out.Phase = Object.text("phase");
+  Out.Target = Object.text("target");
+  Out.Signature = Object.text("signature");
+  Out.Wave = Object.count("wave");
+  Out.Total = Object.count("total");
+  Out.Test = Object.count("test");
+  Out.Count = Object.count("count");
+  Out.Seed = Object.count("seed");
+  Out.Limit = Object.count("limit");
+  Out.Unreduced = Object.count("unreduced");
+  Out.Reduced = Object.count("reduced");
+  Out.Minimized = Object.count("minimized");
+  Out.Checks = Object.count("checks");
+  Out.WallUs = Object.count("wall_us");
+  return true;
+}
+
+std::string obs::formatJournalEvent(const JournalEvent &Event) {
+  std::ostringstream Out;
+  Out << "#" << Event.Seq << " " << journalEventKindName(Event.Kind);
+  switch (Event.Kind) {
+  case JournalEventKind::CampaignStarted:
+    Out << " campaign=" << Event.Campaign << " seed=" << Event.Seed
+        << " limit=" << Event.Limit << " tests=" << Event.Total;
+    break;
+  case JournalEventKind::WaveCommitted:
+    Out << " [" << Event.Phase << "] wave " << Event.Wave << "/"
+        << Event.Total << " count=" << Event.Count;
+    break;
+  case JournalEventKind::BugFound:
+    Out << " [" << Event.Phase << "] test " << Event.Test
+        << " target=" << Event.Target << " sig=" << Event.Signature;
+    break;
+  case JournalEventKind::ReductionStep:
+    Out << " [" << Event.Phase << "] test " << Event.Test
+        << " target=" << Event.Target << " sig=" << Event.Signature << " "
+        << Event.Unreduced << "->" << Event.Reduced << " instrs, "
+        << Event.Minimized << " transformations, " << Event.Checks
+        << " checks";
+    break;
+  case JournalEventKind::TargetQuarantined:
+    Out << " [" << Event.Phase << "] target=" << Event.Target << " at wave "
+        << Event.Wave;
+    break;
+  case JournalEventKind::CheckpointSaved:
+    Out << " [" << Event.Phase << "] wave " << Event.Wave;
+    break;
+  case JournalEventKind::CampaignFinished:
+    Out << " campaign=" << Event.Campaign << " distinct_bugs=" << Event.Count;
+    break;
+  }
+  return Out.str();
+}
+
+std::string obs::journalPathFor(const std::string &StoreDir) {
+  return StoreDir + "/journal/events.jsonl";
+}
+
+//===----------------------------------------------------------------------===//
+// JournalWriter
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool ensureDir(const std::string &Path) {
+  return ::mkdir(Path.c_str(), 0755) == 0 || errno == EEXIST;
+}
+
+uint64_t wallClockUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+std::unique_ptr<JournalWriter> JournalWriter::open(const std::string &StoreDir,
+                                                   bool Resume,
+                                                   bool Deterministic,
+                                                   std::string &Error) {
+  if (!ensureDir(StoreDir + "/journal")) {
+    Error = "cannot create journal directory under '" + StoreDir +
+            "': " + std::strerror(errno);
+    return nullptr;
+  }
+  std::unique_ptr<JournalWriter> Writer(new JournalWriter());
+  Writer->Path = journalPathFor(StoreDir);
+  Writer->Deterministic = Deterministic;
+
+  uint64_t KeepBytes = 0;
+  if (Resume) {
+    // Keep the parseable prefix of any existing journal; a torn or
+    // malformed tail (mid-write crash) is truncated away. A journal from
+    // a newer format version is refused rather than extended.
+    std::ifstream In(Writer->Path, std::ios::binary);
+    if (In) {
+      std::string Line;
+      uint64_t Offset = 0;
+      while (std::getline(In, Line)) {
+        if (In.eof() && !In.good())
+          break; // no trailing newline: torn tail
+        uint64_t LineBytes = static_cast<uint64_t>(Line.size()) + 1;
+        if (Line.empty()) {
+          Offset += LineBytes;
+          continue;
+        }
+        JournalEvent Event;
+        std::string LineError;
+        if (!parseJournalLine(Line, Event, LineError)) {
+          if (LineError.rfind("unsupported journal format version", 0) == 0) {
+            Error = Writer->Path + ": " + LineError;
+            return nullptr;
+          }
+          break; // torn/corrupt line: keep the prefix before it
+        }
+        Offset += LineBytes;
+        Writer->Events.push_back(std::move(Event));
+        Writer->LineEnds.push_back(Offset);
+      }
+      KeepBytes = Offset;
+    }
+    if (!Writer->Events.empty())
+      Writer->NextSeq = Writer->Events.back().Seq + 1;
+  }
+
+  Writer->File = std::fopen(Writer->Path.c_str(), Resume ? "ab" : "wb");
+  if (!Writer->File) {
+    Error = "cannot open '" + Writer->Path +
+            "' for writing: " + std::strerror(errno);
+    return nullptr;
+  }
+  if (Resume) {
+    // Drop the torn tail (no-op when the file already ends cleanly).
+    if (::ftruncate(fileno(Writer->File), static_cast<off_t>(KeepBytes)) !=
+        0) {
+      Error = "cannot truncate '" + Writer->Path +
+              "': " + std::strerror(errno);
+      return nullptr;
+    }
+  }
+  return Writer;
+}
+
+JournalWriter::~JournalWriter() {
+  if (File) {
+    std::fflush(File);
+    std::fclose(File);
+  }
+}
+
+uint64_t JournalWriter::append(JournalEvent Event) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Event.Seq = NextSeq++;
+  Event.WallUs = Deterministic ? 0 : wallClockUs();
+  std::string Line = serializeJournalEvent(Event) + "\n";
+  if (File) {
+    std::fwrite(Line.data(), 1, Line.size(), File);
+    std::fflush(File);
+  }
+  uint64_t PrevEnd = LineEnds.empty() ? 0 : LineEnds.back();
+  LineEnds.push_back(PrevEnd + Line.size());
+  uint64_t Seq = Event.Seq;
+  Events.push_back(std::move(Event));
+  return Seq;
+}
+
+void JournalWriter::commit() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (File) {
+    std::fflush(File);
+    ::fsync(fileno(File));
+  }
+}
+
+void JournalWriter::truncateForPhaseResume(const std::string &Phase,
+                                           uint64_t StartWave) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  size_t Cut = Events.size();
+  for (size_t I = 0; I < Events.size(); ++I)
+    if (Events[I].Phase == Phase && Events[I].Wave > StartWave) {
+      Cut = I;
+      break;
+    }
+  if (Cut == Events.size())
+    return;
+  uint64_t KeepBytes = Cut == 0 ? 0 : LineEnds[Cut - 1];
+  Events.resize(Cut);
+  LineEnds.resize(Cut);
+  NextSeq = Events.empty() ? 0 : Events.back().Seq + 1;
+  if (File) {
+    std::fflush(File);
+    ::ftruncate(fileno(File), static_cast<off_t>(KeepBytes));
+    std::fseek(File, 0, SEEK_END);
+  }
+}
+
+bool JournalWriter::empty() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Events.empty();
+}
+
+JournalEventKind JournalWriter::lastKind() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Events.empty() ? JournalEventKind::CampaignStarted
+                        : Events.back().Kind;
+}
+
+//===----------------------------------------------------------------------===//
+// JournalTailer
+//===----------------------------------------------------------------------===//
+
+bool JournalTailer::poll(std::vector<JournalEvent> &Out, std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return true; // not created yet: no events, not an error
+  In.seekg(static_cast<std::streamoff>(Offset));
+  if (!In)
+    return true;
+  std::ostringstream Chunk;
+  Chunk << In.rdbuf();
+  std::string Bytes = Chunk.str();
+  if (Bytes.empty())
+    return true;
+  Offset += Bytes.size();
+  Pending += Bytes;
+
+  size_t Start = 0;
+  while (true) {
+    size_t Newline = Pending.find('\n', Start);
+    if (Newline == std::string::npos)
+      break;
+    std::string Line = Pending.substr(Start, Newline - Start);
+    Start = Newline + 1;
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    JournalEvent Event;
+    std::string LineError;
+    if (!parseJournalLine(Line, Event, LineError)) {
+      Error = Path + ":" + std::to_string(LineNo) + ": " + LineError;
+      return false;
+    }
+    Out.push_back(std::move(Event));
+  }
+  Pending.erase(0, Start);
+  return true;
+}
+
+bool obs::readJournalFile(const std::string &Path,
+                          std::vector<JournalEvent> &Events,
+                          std::string &Error, bool *TornTail) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  In.close();
+  JournalTailer Tailer(Path);
+  if (!Tailer.poll(Events, Error))
+    return false;
+  if (TornTail)
+    *TornTail = Tailer.hasPartial();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// JournalObserver
+//===----------------------------------------------------------------------===//
+
+void JournalObserver::onPhaseStarted(const std::string &Phase,
+                                     size_t StartWave, size_t) {
+  // The store resumes this phase at StartWave: drop journaled events from
+  // the waves about to be recomputed (they will be re-appended
+  // byte-identically in the same serial order).
+  Writer.truncateForPhaseResume(Phase, StartWave);
+}
+
+void JournalObserver::onBugFound(const std::string &Phase, size_t WaveEnd,
+                                 size_t TestIndex, const std::string &Target,
+                                 const std::string &Signature) {
+  JournalEvent Event;
+  Event.Kind = JournalEventKind::BugFound;
+  Event.Phase = Phase;
+  Event.Wave = WaveEnd;
+  Event.Test = TestIndex;
+  Event.Target = Target;
+  Event.Signature = Signature;
+  Writer.append(std::move(Event));
+}
+
+void JournalObserver::onTargetQuarantined(const std::string &Phase,
+                                          size_t WaveEnd,
+                                          const std::string &Target) {
+  JournalEvent Event;
+  Event.Kind = JournalEventKind::TargetQuarantined;
+  Event.Phase = Phase;
+  Event.Wave = WaveEnd;
+  Event.Target = Target;
+  Writer.append(std::move(Event));
+}
+
+void JournalObserver::onReductionStep(const std::string &Phase,
+                                      size_t WaveEnd,
+                                      const ReductionRecord &Record) {
+  JournalEvent Event;
+  Event.Kind = JournalEventKind::ReductionStep;
+  Event.Phase = Phase;
+  Event.Wave = WaveEnd;
+  Event.Test = Record.TestIndex;
+  Event.Target = Record.TargetName;
+  Event.Signature = Record.Signature;
+  Event.Unreduced = Record.UnreducedCount;
+  Event.Reduced = Record.ReducedCount;
+  Event.Minimized = Record.MinimizedLength;
+  Event.Checks = Record.Checks;
+  Writer.append(std::move(Event));
+}
+
+void JournalObserver::onWaveCommitted(const std::string &Phase,
+                                      size_t WaveEnd, size_t Total,
+                                      size_t Count) {
+  JournalEvent Event;
+  Event.Kind = JournalEventKind::WaveCommitted;
+  Event.Phase = Phase;
+  Event.Wave = WaveEnd;
+  Event.Total = Total;
+  Event.Count = Count;
+  Writer.append(std::move(Event));
+  // Wave boundary: make everything up to here durable *before* the store
+  // checkpoints, keeping the journal at-or-ahead of the store.
+  Writer.commit();
+}
+
+void JournalObserver::onCheckpointSaved(const std::string &Phase,
+                                        size_t WaveEnd) {
+  JournalEvent Event;
+  Event.Kind = JournalEventKind::CheckpointSaved;
+  Event.Phase = Phase;
+  Event.Wave = WaveEnd;
+  Writer.append(std::move(Event));
+  Writer.commit();
+}

@@ -1,0 +1,217 @@
+//===- obs/Monitor.cpp - Live campaign monitoring views -------------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Monitor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+using namespace spvfuzz;
+using namespace spvfuzz::obs;
+
+TopModel obs::buildTopModel(const std::vector<JournalEvent> &Events) {
+  TopModel Model;
+  for (const JournalEvent &Event : Events) {
+    if (Event.WallUs) {
+      if (!Model.FirstWallUs)
+        Model.FirstWallUs = Event.WallUs;
+      Model.LastWallUs = std::max(Model.LastWallUs, Event.WallUs);
+    }
+    switch (Event.Kind) {
+    case JournalEventKind::CampaignStarted:
+      Model.Campaign = Event.Campaign;
+      Model.Seed = Event.Seed;
+      Model.Limit = Event.Limit;
+      Model.Tests = Event.Total;
+      break;
+    case JournalEventKind::WaveCommitted: {
+      PhaseProgress *Row = nullptr;
+      for (PhaseProgress &Existing : Model.Phases)
+        if (Existing.Phase == Event.Phase)
+          Row = &Existing;
+      if (!Row) {
+        Model.Phases.push_back({Event.Phase, 0, 0, 0});
+        Row = &Model.Phases.back();
+      }
+      Row->Wave = Event.Wave;
+      Row->Total = Event.Total;
+      Row->Count = Event.Count;
+      break;
+    }
+    case JournalEventKind::BugFound:
+      ++Model.BugEvents;
+      Model.BugsPerTarget[Event.Target].insert(Event.Signature);
+      break;
+    case JournalEventKind::ReductionStep:
+      ++Model.Reductions;
+      break;
+    case JournalEventKind::TargetQuarantined:
+      Model.Quarantined.insert(Event.Target);
+      break;
+    case JournalEventKind::CheckpointSaved:
+      ++Model.Checkpoints;
+      break;
+    case JournalEventKind::CampaignFinished:
+      Model.Finished = true;
+      Model.FinalBugs = Event.Count;
+      break;
+    }
+  }
+  return Model;
+}
+
+namespace {
+
+std::string formatSeconds(double Seconds) {
+  char Buf[32];
+  if (Seconds >= 90.0)
+    std::snprintf(Buf, sizeof(Buf), "%.1fm", Seconds / 60.0);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.1fs", Seconds);
+  return Buf;
+}
+
+/// Hit rate of a hits/misses counter pair, or -1 when never exercised.
+double hitRate(const telemetry::MetricsSnapshot &Metrics,
+               const std::string &HitsName, const std::string &MissesName) {
+  auto Hits = Metrics.Counters.find(HitsName);
+  auto Misses = Metrics.Counters.find(MissesName);
+  double H = Hits == Metrics.Counters.end() ? 0.0
+                                            : static_cast<double>(Hits->second);
+  double M = Misses == Metrics.Counters.end()
+                 ? 0.0
+                 : static_cast<double>(Misses->second);
+  if (H + M == 0.0)
+    return -1.0;
+  return H / (H + M) * 100.0;
+}
+
+} // namespace
+
+std::string obs::renderTop(const TopModel &Model,
+                           const telemetry::MetricsSnapshot *Metrics) {
+  std::ostringstream Out;
+  char Line[320];
+
+  Out << "campaign " << (Model.Campaign.empty() ? "?" : Model.Campaign)
+      << "  seed=" << Model.Seed << " limit=" << Model.Limit
+      << " tests=" << Model.Tests << "  ["
+      << (Model.Finished ? "finished" : "running") << "]\n";
+
+  double ElapsedSec =
+      Model.LastWallUs > Model.FirstWallUs
+          ? static_cast<double>(Model.LastWallUs - Model.FirstWallUs) / 1e6
+          : 0.0;
+  std::snprintf(Line, sizeof(Line),
+                "bugs=%llu (events)  reductions=%llu  checkpoints=%llu",
+                (unsigned long long)Model.BugEvents,
+                (unsigned long long)Model.Reductions,
+                (unsigned long long)Model.Checkpoints);
+  Out << Line;
+  if (ElapsedSec > 0.0) {
+    std::snprintf(Line, sizeof(Line), "  elapsed=%s  bugs/sec=%.2f",
+                  formatSeconds(ElapsedSec).c_str(),
+                  static_cast<double>(Model.BugEvents) / ElapsedSec);
+    Out << Line;
+  }
+  Out << "\n\n";
+
+  Out << "phases\n";
+  size_t Width = 8;
+  for (const PhaseProgress &Phase : Model.Phases)
+    Width = std::max(Width, Phase.Phase.size());
+  std::snprintf(Line, sizeof(Line), "  %-*s %14s %6s %8s %8s", (int)Width,
+                "phase", "wave", "pct", "count", "eta");
+  Out << Line << "\n";
+  for (size_t I = 0; I < Model.Phases.size(); ++I) {
+    const PhaseProgress &Phase = Model.Phases[I];
+    double Pct = Phase.Total
+                     ? static_cast<double>(Phase.Wave) /
+                           static_cast<double>(Phase.Total) * 100.0
+                     : 0.0;
+    std::string Wave =
+        std::to_string(Phase.Wave) + "/" + std::to_string(Phase.Total);
+    std::string Eta = "-";
+    // ETA only makes sense for the phase still in flight (the last one),
+    // and only when the journal carries wall-clock stamps.
+    bool InFlight = !Model.Finished && I + 1 == Model.Phases.size() &&
+                    Phase.Wave < Phase.Total;
+    if (InFlight && ElapsedSec > 0.0 && Phase.Wave > 0) {
+      double Remaining = ElapsedSec *
+                         static_cast<double>(Phase.Total - Phase.Wave) /
+                         static_cast<double>(Phase.Wave);
+      Eta = formatSeconds(Remaining);
+    }
+    std::snprintf(Line, sizeof(Line), "  %-*s %14s %5.1f%% %8llu %8s",
+                  (int)Width, Phase.Phase.c_str(), Wave.c_str(), Pct,
+                  (unsigned long long)Phase.Count, Eta.c_str());
+    Out << Line << "\n";
+  }
+  if (Model.Phases.empty())
+    Out << "  (no waves committed yet)\n";
+  Out << "\n";
+
+  Out << "targets\n";
+  Width = 8;
+  for (const auto &[Target, Sigs] : Model.BugsPerTarget)
+    Width = std::max(Width, Target.size());
+  for (const std::string &Target : Model.Quarantined)
+    Width = std::max(Width, Target.size());
+  std::snprintf(Line, sizeof(Line), "  %-*s %14s  %s", (int)Width, "target",
+                "distinct-bugs", "state");
+  Out << Line << "\n";
+  std::set<std::string> AllTargets = Model.Quarantined;
+  for (const auto &[Target, Sigs] : Model.BugsPerTarget)
+    AllTargets.insert(Target);
+  for (const std::string &Target : AllTargets) {
+    auto Sigs = Model.BugsPerTarget.find(Target);
+    size_t Distinct = Sigs == Model.BugsPerTarget.end() ? 0
+                                                        : Sigs->second.size();
+    std::snprintf(Line, sizeof(Line), "  %-*s %14llu  %s", (int)Width,
+                  Target.c_str(), (unsigned long long)Distinct,
+                  Model.Quarantined.count(Target) ? "QUARANTINED" : "ok");
+    Out << Line << "\n";
+  }
+  if (AllTargets.empty())
+    Out << "  (no bugs observed yet)\n";
+
+  if (Metrics) {
+    Out << "\ncaches\n";
+    double EvalRate =
+        hitRate(*Metrics, "evalcache.hits", "evalcache.misses");
+    // Replay-cache "hit rate": transformation applications the prefix
+    // snapshots let the reducer skip, over all it would otherwise replay.
+    double Skipped = 0.0, Applied = 0.0;
+    for (const auto &[Name, Value] : Metrics->Counters) {
+      if (Name == "replaycache.transformations_skipped")
+        Skipped += static_cast<double>(Value);
+      else if (Name.rfind("replay.applications.", 0) == 0)
+        Applied += static_cast<double>(Value);
+    }
+    double ReplayRate =
+        Skipped + Applied > 0.0 ? Skipped / (Skipped + Applied) * 100.0 : -1.0;
+    if (EvalRate >= 0.0) {
+      std::snprintf(Line, sizeof(Line), "  evalcache hit rate: %5.1f%%",
+                    EvalRate);
+      Out << Line << "\n";
+    }
+    if (ReplayRate >= 0.0) {
+      std::snprintf(Line, sizeof(Line), "  replay-cache skip rate: %5.1f%%",
+                    ReplayRate);
+      Out << Line << "\n";
+    }
+    if (EvalRate < 0.0 && ReplayRate < 0.0)
+      Out << "  (no cache counters in metrics snapshot)\n";
+  }
+  if (Model.Finished) {
+    std::snprintf(Line, sizeof(Line),
+                  "\nCampaignFinished: %llu distinct bugs",
+                  (unsigned long long)Model.FinalBugs);
+    Out << Line << "\n";
+  }
+  return Out.str();
+}

@@ -1,0 +1,72 @@
+//===- obs/Monitor.h - Live campaign monitoring views -----------*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The read side of the live monitoring surface: `minispv top <store>`
+/// folds the journal into a TopModel — campaign identity, per-phase wave
+/// progress, per-target bug/quarantine state, throughput and an ETA — and
+/// renders it as a single screen, refreshed in place while the campaign
+/// runs. The model is pure journal-fold, so it works equally on a live
+/// journal (tail + re-fold) and on a finished one (post-mortem).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OBS_MONITOR_H
+#define OBS_MONITOR_H
+
+#include "obs/Journal.h"
+#include "support/Telemetry.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace spvfuzz {
+namespace obs {
+
+/// Wave progress of one engine phase, from its latest WaveCommitted.
+struct PhaseProgress {
+  std::string Phase;
+  uint64_t Wave = 0;
+  uint64_t Total = 0;
+  /// The phase's running tally (bugs or reductions committed so far).
+  uint64_t Count = 0;
+};
+
+/// Everything `minispv top` shows, folded from the journal events.
+struct TopModel {
+  std::string Campaign;
+  uint64_t Seed = 0;
+  uint64_t Limit = 0;
+  uint64_t Tests = 0;
+  bool Finished = false;
+  uint64_t FinalBugs = 0;
+  /// Phases in first-seen (journal) order.
+  std::vector<PhaseProgress> Phases;
+  /// Distinct signatures seen per target.
+  std::map<std::string, std::set<std::string>> BugsPerTarget;
+  std::set<std::string> Quarantined;
+  uint64_t BugEvents = 0;
+  uint64_t Reductions = 0;
+  uint64_t Checkpoints = 0;
+  /// Wall-clock range covered by the journal (0 under deterministic mode).
+  uint64_t FirstWallUs = 0;
+  uint64_t LastWallUs = 0;
+};
+
+TopModel buildTopModel(const std::vector<JournalEvent> &Events);
+
+/// Renders the single-screen `minispv top` view. \p Metrics (optional)
+/// contributes cache hit rates when the campaign also exported a metrics
+/// snapshot into the store.
+std::string renderTop(const TopModel &Model,
+                      const telemetry::MetricsSnapshot *Metrics);
+
+} // namespace obs
+} // namespace spvfuzz
+
+#endif // OBS_MONITOR_H

@@ -1,0 +1,69 @@
+//===- obs/TraceReport.h - Trace file analysis and reporting ----*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reader and report renderer for the hierarchical JSONL traces written by
+/// support/Trace.h (`--trace-out`). `minispv report --trace` loads a trace
+/// file and renders a per-phase / per-target time breakdown; span time is
+/// attributed as *self time* (a span's duration minus its children's), so
+/// nested spans never double-count. When a metrics snapshot is supplied
+/// alongside, the report also ranks the hottest transformation kinds from
+/// the per-kind `transformation.apply_us.<kind>` timing histograms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OBS_TRACEREPORT_H
+#define OBS_TRACEREPORT_H
+
+#include "support/Telemetry.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spvfuzz {
+namespace obs {
+
+/// One parsed trace record (a span or an event). The well-known keys are
+/// lifted into members; any extra fields stay in Text/Numbers.
+struct TraceRecord {
+  std::string Type; // "span" or "event"
+  std::string Name;
+  std::string Phase;
+  uint64_t TsUs = 0;
+  uint64_t DurUs = 0;
+  uint64_t Id = 0;
+  uint64_t Parent = 0;
+  std::map<std::string, std::string> Text;
+  std::map<std::string, double> Numbers;
+
+  bool isSpan() const { return Type == "span"; }
+};
+
+/// Parses one trace line. Returns false and sets \p Error (with a column
+/// position) on malformed input.
+bool parseTraceLine(const std::string &Line, TraceRecord &Out,
+                    std::string &Error);
+
+/// Loads a whole trace file. Returns false and sets \p Error in
+/// "path:line: message" form on the first malformed line, or a plain
+/// message when the file cannot be opened. Blank lines are skipped.
+bool loadTraceFile(const std::string &Path, std::vector<TraceRecord> &Out,
+                   std::string &Error);
+
+/// Renders the `minispv report --trace` breakdown: per-phase self-time
+/// (with interpreter step attribution from the wave spans), the hottest
+/// span names and per-target time, plus — when \p Metrics is non-null —
+/// the top \p TopK transformation kinds by total apply time.
+std::string renderTraceReport(const std::vector<TraceRecord> &Records,
+                              const telemetry::MetricsSnapshot *Metrics,
+                              size_t TopK = 5);
+
+} // namespace obs
+} // namespace spvfuzz
+
+#endif // OBS_TRACEREPORT_H

@@ -424,7 +424,7 @@ CampaignStore::open(const std::string &Dir, const ExecutionPolicy &Policy,
   Store->CampaignId = campaignIdFor(Policy);
   Store->ConfigDigest = campaignConfigDigest(Policy);
 
-  for (const char *Sub : {"", "/checkpoint", "/bugs", "/corpus"})
+  for (const char *Sub : {"", "/checkpoint", "/bugs", "/corpus", "/journal"})
     if (!ensureDir(Dir + Sub, ErrorOut))
       return nullptr;
 

@@ -517,8 +517,21 @@ private:
       ++Pos;
   }
   bool fail(const std::string &Message) {
-    if (Error.empty())
-      Error = Message + " at offset " + std::to_string(Pos);
+    if (Error.empty()) {
+      // Line-accurate position so a truncated or hand-edited metrics file
+      // points straight at the damage.
+      size_t Line = 1, Column = 1;
+      for (size_t I = 0; I < Pos && I < Text.size(); ++I) {
+        if (Text[I] == '\n') {
+          ++Line;
+          Column = 1;
+        } else {
+          ++Column;
+        }
+      }
+      Error = Message + " at line " + std::to_string(Line) + ", column " +
+              std::to_string(Column);
+    }
     return false;
   }
 

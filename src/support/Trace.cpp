@@ -1,4 +1,4 @@
-//===- support/Trace.cpp - Structured span/event tracing ------------------===//
+//===- support/Trace.cpp - Hierarchical span/event tracing ----------------===//
 //
 // Part of the spirv-fuzz reproduction. MIT licensed.
 //
@@ -11,6 +11,22 @@
 
 using namespace spvfuzz;
 using namespace spvfuzz::telemetry;
+
+namespace {
+
+/// Per-thread span stack and phase attribution. Spans are strictly
+/// block-scoped, so a plain vector mirrors the call structure; the phase
+/// is the innermost open TracePhaseScope's label.
+thread_local std::vector<uint64_t> ThreadSpanStack;
+thread_local std::string ThreadPhase;
+
+} // namespace
+
+uint64_t telemetry::currentSpanId() {
+  return ThreadSpanStack.empty() ? 0 : ThreadSpanStack.back();
+}
+
+const std::string &telemetry::currentTracePhase() { return ThreadPhase; }
 
 Tracer &Tracer::global() {
   static Tracer Instance;
@@ -53,17 +69,19 @@ void Tracer::event(std::string_view Name,
   if (!enabled())
     return;
   writeRecord("event", Name, nowUs(), Fields.begin(), Fields.size(),
-              /*DurUs=*/0, /*HasDur=*/false);
+              /*DurUs=*/0, /*HasDur=*/false, /*Id=*/0, currentSpanId(),
+              currentTracePhase());
 }
 
-void Tracer::span(std::string_view Name, uint64_t StartUs,
+void Tracer::span(std::string_view Name, uint64_t StartUs, uint64_t Id,
+                  uint64_t ParentId, std::string_view Phase,
                   const std::vector<TraceField> &Fields) {
   if (!enabled())
     return;
   uint64_t EndUs = nowUs();
   uint64_t DurUs = EndUs > StartUs ? EndUs - StartUs : 0;
   writeRecord("span", Name, StartUs, Fields.data(), Fields.size(), DurUs,
-              /*HasDur=*/true);
+              /*HasDur=*/true, Id, ParentId, Phase);
 }
 
 namespace {
@@ -111,14 +129,24 @@ void appendNumber(std::string &Out, double Value) {
 
 void Tracer::writeRecord(std::string_view Type, std::string_view Name,
                          uint64_t TsUs, const TraceField *Fields,
-                         size_t NumFields, uint64_t DurUs, bool HasDur) {
+                         size_t NumFields, uint64_t DurUs, bool HasDur,
+                         uint64_t Id, uint64_t ParentId,
+                         std::string_view Phase) {
   std::string Line;
-  Line.reserve(128);
+  Line.reserve(160);
   Line += "{\"type\":";
   appendQuoted(Line, Type);
   Line += ",\"ts_us\":" + std::to_string(TsUs);
   if (HasDur)
     Line += ",\"dur_us\":" + std::to_string(DurUs);
+  if (Id != 0 || ParentId != 0) {
+    Line += ",\"id\":" + std::to_string(Id);
+    Line += ",\"parent\":" + std::to_string(ParentId);
+  }
+  if (!Phase.empty()) {
+    Line += ",\"phase\":";
+    appendQuoted(Line, Phase);
+  }
   Line += ",\"name\":";
   appendQuoted(Line, Name);
   for (size_t I = 0; I < NumFields; ++I) {
@@ -136,4 +164,40 @@ void Tracer::writeRecord(std::string_view Type, std::string_view Name,
   std::lock_guard<std::mutex> Lock(Mutex);
   if (Sink.is_open())
     Sink << Line;
+}
+
+TraceSpan::TraceSpan(std::string_view Name, uint64_t ParentOverride)
+    : Name(Name), Active(Tracer::global().enabled()) {
+  if (!Active)
+    return;
+  Tracer &T = Tracer::global();
+  StartUs = T.nowUs();
+  Parent = ParentOverride == UseStack ? currentSpanId() : ParentOverride;
+  Id = T.allocateSpanId();
+  Phase = currentTracePhase();
+  ThreadSpanStack.push_back(Id);
+}
+
+TraceSpan::~TraceSpan() {
+  if (!Active)
+    return;
+  // Pop unconditionally (the stack must stay balanced even if the sink was
+  // closed while this span was open).
+  if (!ThreadSpanStack.empty() && ThreadSpanStack.back() == Id)
+    ThreadSpanStack.pop_back();
+  if (Tracer::global().enabled())
+    Tracer::global().span(Name, StartUs, Id, Parent, Phase, Fields);
+}
+
+TracePhaseScope::TracePhaseScope(std::string_view Phase)
+    : Active(Tracer::global().enabled()) {
+  if (!Active)
+    return;
+  Previous = ThreadPhase;
+  ThreadPhase.assign(Phase.data(), Phase.size());
+}
+
+TracePhaseScope::~TracePhaseScope() {
+  if (Active)
+    ThreadPhase = std::move(Previous);
 }

@@ -8,6 +8,7 @@
 
 #include "support/ModuleHash.h"
 #include "support/Telemetry.h"
+#include "support/Trace.h"
 
 using namespace spvfuzz;
 
@@ -70,11 +71,15 @@ void EvalCache::insert(uint64_t ModuleHash, const std::string &TargetName,
   if (Index.count(K))
     return; // racing insert of the same (deterministic) outcome
   while (BytesUsed + Bytes > BudgetBytes && !Lru.empty()) {
-    BytesUsed -= Lru.back().Bytes;
+    size_t EvictedBytes = Lru.back().Bytes;
+    BytesUsed -= EvictedBytes;
     Index.erase(Lru.back().K);
     Lru.pop_back();
     if (Metrics.enabled())
       Metrics.add("evalcache.evictions");
+    if (telemetry::Tracer::global().enabled())
+      telemetry::Tracer::global().event("evalcache.evict",
+                                        {{"bytes", EvictedBytes}});
   }
   Lru.push_front(Entry{K, Run, Bytes});
   Index.emplace(std::move(K), Lru.begin());

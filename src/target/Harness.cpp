@@ -8,6 +8,7 @@
 
 #include "support/ModuleHash.h"
 #include "support/Telemetry.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 
@@ -16,6 +17,10 @@ using namespace spvfuzz;
 TargetRun HarnessedTarget::run(const Module &M,
                                const ShaderInput &Input) const {
   telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+
+  telemetry::TraceSpan RunSpan("target.run");
+  if (RunSpan.active())
+    RunSpan.note({"target", Inner->name()});
 
   TargetRun Final;
   if (deterministic()) {
@@ -39,6 +44,8 @@ TargetRun HarnessedTarget::run(const Module &M,
 
   if (Metrics.enabled() && Final.RunOutcome == Outcome::Timeout)
     Metrics.add("harness.timeouts");
+  if (RunSpan.active())
+    RunSpan.note({"outcome", outcomeName(Final.RunOutcome)});
   return Final;
 }
 

@@ -170,4 +170,49 @@ TEST(Telemetry, SnapshotSurvivesJsonRoundTrip) {
   EXPECT_DOUBLE_EQ(After.Histograms["h"].P90, Before.Histograms["h"].P90);
 }
 
+TEST(Telemetry, ParserSurvivesTruncationAndBitFlips) {
+  MetricsRegistry Registry;
+  Registry.setEnabled(true);
+  Registry.add("campaign.bugs", 3);
+  Registry.set("bench.throughput_per_sec", 12.5);
+  Registry.observe("h", 3.0);
+  std::string Json = metricsToJson(Registry.snapshot());
+
+  // Every truncation of a valid dump either still contains the whole top
+  // object (only trailing whitespace was cut) or produces a line/column
+  // accurate diagnostic — never an assert or a crash.
+  const size_t LastBrace = Json.rfind('}');
+  for (size_t Keep = 0; Keep < Json.size(); ++Keep) {
+    MetricsSnapshot Out;
+    std::string Error;
+    if (metricsFromJson(Json.substr(0, Keep), Out, Error)) {
+      EXPECT_GT(Keep, LastBrace) << "incomplete dump parsed";
+      continue;
+    }
+    EXPECT_NE(Error.find("line "), std::string::npos)
+        << "truncation at " << Keep << ": " << Error;
+    EXPECT_NE(Error.find("column "), std::string::npos)
+        << "truncation at " << Keep << ": " << Error;
+  }
+
+  // Flip one bit of every byte: parse must return cleanly each time.
+  for (size_t At = 0; At < Json.size(); ++At) {
+    std::string Mutated = Json;
+    Mutated[At] = static_cast<char>(Mutated[At] ^ 0x04);
+    MetricsSnapshot Out;
+    std::string Error;
+    if (!metricsFromJson(Mutated, Out, Error)) {
+      EXPECT_FALSE(Error.empty()) << "bit flip at " << At;
+    }
+  }
+}
+
+TEST(Telemetry, ParseErrorsAreLineAccurate) {
+  MetricsSnapshot Out;
+  std::string Error;
+  ASSERT_FALSE(metricsFromJson("{\n  \"counters\": {\n    oops\n", Out,
+                               Error));
+  EXPECT_NE(Error.find("line 3"), std::string::npos) << Error;
+}
+
 } // namespace

@@ -22,9 +22,15 @@
 ///                    [--deadline-ms N] [--faulty-fleet]
 ///                    [--deadline-steps N] [--flaky-retries N]
 ///                    [--quarantine-threshold N] [--dedup]
-///                    [--store DIR [--resume] [--checkpoint-interval N]]
+///                    [--store DIR [--resume] [--checkpoint-interval N]
+///                     [--deterministic-journal]]
 ///   minispv targets  [--faulty-fleet]
-///   minispv report   (metrics.json | --store DIR)
+///   minispv report   (metrics.json... | --store DIR) [--trace t.jsonl]
+///   minispv report   --compare BASE.json CURRENT.json
+///                    [--regression-threshold PCT] [--warn-only]
+///   minispv top      <store> [--once] [--interval-ms N] [--timeout-ms N]
+///   minispv tail     <store> [--follow] [--json] [--interval-ms N]
+///                    [--timeout-ms N]
 ///   minispv db       list  --store DIR
 ///   minispv db       show  <bucket> --store DIR
 ///   minispv db       diff  <bucket> --store DIR
@@ -42,7 +48,16 @@
 ///
 /// Every command accepts `--metrics-out m.json` (write a telemetry metrics
 /// dump on exit) and `--trace-out t.jsonl` (stream span/event records);
-/// `minispv report` renders a metrics dump as a table.
+/// `minispv report` renders a metrics dump as a table, `report --trace`
+/// a per-phase/per-target time breakdown, and `report --compare` a bench
+/// regression verdict (exit 4 on regression).
+///
+/// `campaign --store` also appends a typed event journal to
+/// DIR/journal/events.jsonl at every serial commit point; `top` renders a
+/// live single-screen summary from it and `tail --follow` streams it while
+/// the campaign runs. The journal's decision events are identical at any
+/// `--jobs` count; `--deterministic-journal` additionally zeroes the
+/// wall-clock stamps so whole files diff byte-identical.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -54,16 +69,22 @@
 #include "core/Reducer.h"
 #include "gen/Generator.h"
 #include "ir/Text.h"
+#include "obs/BenchCompare.h"
+#include "obs/Journal.h"
+#include "obs/Monitor.h"
+#include "obs/TraceReport.h"
 #include "store/CampaignStore.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 using namespace spvfuzz;
 
@@ -72,6 +93,32 @@ namespace {
 [[noreturn]] void fail(const std::string &Message) {
   fprintf(stderr, "minispv: error: %s\n", Message.c_str());
   exit(1);
+}
+
+/// Exit codes of the observability commands (report/top/tail): distinct so
+/// CI can tell "bad input" from "input missing" from "bench regression".
+enum ObsExit : int {
+  ObsExitParseError = 1,
+  ObsExitMissingInput = 2,
+  ObsExitTimeout = 3,
+  ObsExitRegression = 4,
+};
+
+[[noreturn]] void failWithCode(int Code, const std::string &Message) {
+  fprintf(stderr, "minispv: error: %s\n", Message.c_str());
+  exit(Code);
+}
+
+/// Like readFile, but a missing/unreadable file is a distinct exit code
+/// (the report/monitoring commands must not blur it into a parse error).
+std::string readFileOrExit(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    failWithCode(ObsExitMissingInput,
+                 "cannot open '" + Path + "' (missing or unreadable)");
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
 }
 
 std::string readFile(const std::string &Path) {
@@ -430,14 +477,42 @@ int cmdCampaign(const Args &A) {
   } else if (A.has("resume")) {
     fail("--resume requires --store");
   }
+  if (A.has("deterministic-journal") && !Store)
+    fail("--deterministic-journal requires --store");
+
+  BugFindingConfig Config;
+  Config.TestsPerTool =
+      strtoull(A.get("tests", "100").c_str(), nullptr, 10);
+
+  // A durable campaign also journals its decision events into the store,
+  // which is what `minispv top` / `minispv tail` monitor.
+  std::unique_ptr<obs::JournalWriter> Journal;
+  std::unique_ptr<obs::JournalObserver> JournalObs;
+  if (Store) {
+    std::string Error;
+    Journal = obs::JournalWriter::open(Policy.StorePath, Policy.Resume,
+                                       A.has("deterministic-journal"), Error);
+    if (!Journal)
+      fail(Error);
+    JournalObs = std::make_unique<obs::JournalObserver>(*Journal);
+    if (Journal->empty()) {
+      obs::JournalEvent Started;
+      Started.Kind = obs::JournalEventKind::CampaignStarted;
+      Started.Campaign = Store->campaignId();
+      Started.Seed = Policy.Seed;
+      Started.Limit = Policy.TransformationLimit;
+      Started.Total = Config.TestsPerTool;
+      Journal->append(std::move(Started));
+      Journal->commit();
+    }
+  }
 
   CampaignEngine Engine(Policy, CorpusSpec{}, ToolsetSpec{},
                         fleetFor(A.has("faulty-fleet")));
   if (Store)
     Engine.setCheckpointer(Store.get());
-  BugFindingConfig Config;
-  Config.TestsPerTool =
-      strtoull(A.get("tests", "100").c_str(), nullptr, 10);
+  if (JournalObs)
+    Engine.setObserver(JournalObs.get());
 
   // Scheduling facts (jobs, resume) go to stderr: stdout carries only the
   // decision lines, which are identical at any job count and across
@@ -450,8 +525,10 @@ int cmdCampaign(const Args &A) {
           Store ? (Policy.Resume ? ", resuming" : ", durable") : "");
   BugFindingData Data = Engine.runBugFinding(Config);
 
+  size_t TotalDistinct = 0;
   for (const std::string &Tool : Data.ToolNames) {
     ToolTargetStats All = Data.allTargets(Tool);
+    TotalDistinct += All.Distinct.size();
     printf("%-18s %zu distinct bugs", Tool.c_str(), All.Distinct.size());
     std::string Detail;
     for (const std::string &TargetName : Data.TargetNames) {
@@ -486,6 +563,19 @@ int cmdCampaign(const Args &A) {
     if (Engine.harness().quarantined(Name))
       fprintf(stderr, "note: %s quarantined (consecutive tool errors)\n",
               Name.c_str());
+
+  // Seal the journal. A deadline-truncated run stays open (resume will
+  // extend it); a resumed run that was already sealed is left untouched.
+  if (Journal && !Engine.deadlineExpired() &&
+      (Journal->empty() ||
+       Journal->lastKind() != obs::JournalEventKind::CampaignFinished)) {
+    obs::JournalEvent Finished;
+    Finished.Kind = obs::JournalEventKind::CampaignFinished;
+    Finished.Campaign = Store->campaignId();
+    Finished.Count = TotalDistinct;
+    Journal->append(std::move(Finished));
+    Journal->commit();
+  }
   return 0;
 }
 
@@ -566,23 +656,192 @@ int cmdTargets(const Args &A) {
   return 0;
 }
 
-int cmdReport(const Args &A) {
+/// Loads one metrics snapshot from a JSON file, with the observability
+/// exit-code contract: missing file -> 2, malformed JSON -> 1.
+telemetry::MetricsSnapshot loadMetricsFileOrExit(const std::string &Path) {
   telemetry::MetricsSnapshot Snapshot;
   std::string Error;
+  if (!telemetry::metricsFromJson(readFileOrExit(Path), Snapshot, Error))
+    failWithCode(ObsExitParseError, Path + ": " + Error);
+  return Snapshot;
+}
+
+int cmdReport(const Args &A) {
+  std::string Error;
+
+  // Every metrics source named on the command line contributes: --store
+  // loads the store's persisted snapshot, and each positional file loads a
+  // --metrics-out dump. They compose (multiple sources render in
+  // sequence) instead of one silently shadowing the other.
+  std::vector<std::pair<std::string, telemetry::MetricsSnapshot>> Sources;
   if (A.has("store")) {
     std::unique_ptr<CampaignStore> Store =
         CampaignStore::openForTools(A.get("store"), Error);
     if (!Store)
-      fail(Error);
+      failWithCode(ObsExitMissingInput, Error);
+    telemetry::MetricsSnapshot Snapshot;
     if (!Store->loadMetrics(Snapshot, Error))
-      fail(Error);
-  } else if (A.Positional.empty()) {
-    fail("usage: minispv report (<metrics.json> | --store DIR)");
-  } else if (!telemetry::metricsFromJson(readFile(A.Positional[0]),
-                                         Snapshot, Error)) {
-    fail(A.Positional[0] + ": " + Error);
+      failWithCode(ObsExitParseError, Error);
+    Sources.emplace_back("store " + A.get("store"), std::move(Snapshot));
   }
-  printf("%s", telemetry::renderMetricsReport(Snapshot).c_str());
+
+  if (A.has("compare")) {
+    // `report --compare BASE CURRENT`: the perf-trajectory gate. BASE is
+    // the flag value (the committed bench/baselines snapshot), CURRENT the
+    // positional file from the fresh bench run.
+    if (A.Positional.size() != 1)
+      fail("usage: minispv report --compare BASE.json CURRENT.json "
+           "[--regression-threshold PCT] [--warn-only]");
+    telemetry::MetricsSnapshot Base = loadMetricsFileOrExit(A.get("compare"));
+    telemetry::MetricsSnapshot Current =
+        loadMetricsFileOrExit(A.Positional[0]);
+    obs::CompareOptions Opts;
+    Opts.ThresholdPct =
+        strtod(A.get("regression-threshold", "25").c_str(), nullptr);
+    obs::CompareResult Result = obs::compareSnapshots(Base, Current, Opts);
+    printf("comparing %s (base) vs %s (current)\n\n", A.get("compare").c_str(),
+           A.Positional[0].c_str());
+    printf("%s", Result.Report.c_str());
+    for (const std::string &Warning : Result.Warnings)
+      fprintf(stderr, "minispv: warning: %s\n", Warning.c_str());
+    if (Result.Regressions.empty()) {
+      printf("\nno regressions beyond %.0f%%\n", Opts.ThresholdPct);
+      return 0;
+    }
+    for (const std::string &Regression : Result.Regressions)
+      fprintf(stderr, "minispv: %s: %s\n",
+              A.has("warn-only") ? "warning (regression)" : "REGRESSION",
+              Regression.c_str());
+    return A.has("warn-only") ? 0 : ObsExitRegression;
+  }
+
+  for (const std::string &Path : A.Positional)
+    Sources.emplace_back(Path, loadMetricsFileOrExit(Path));
+
+  if (A.has("trace")) {
+    // `report --trace t.jsonl`: the per-phase/per-target time breakdown.
+    // A metrics source (if also given) contributes the hottest
+    // transformation kinds from its timing histograms.
+    std::vector<obs::TraceRecord> Records;
+    std::string TracePath = A.get("trace");
+    if (!std::ifstream(TracePath))
+      failWithCode(ObsExitMissingInput, "cannot open '" + TracePath +
+                                            "' (missing or unreadable)");
+    if (!obs::loadTraceFile(TracePath, Records, Error))
+      failWithCode(ObsExitParseError, Error);
+    printf("%s", obs::renderTraceReport(
+                     Records, Sources.empty() ? nullptr : &Sources[0].second)
+                     .c_str());
+    return 0;
+  }
+
+  if (Sources.empty())
+    fail("usage: minispv report (<metrics.json>... | --store DIR) "
+         "[--trace t.jsonl] [--compare BASE.json CURRENT.json]");
+  for (const auto &[Label, Snapshot] : Sources) {
+    if (Sources.size() > 1)
+      printf("=== %s ===\n", Label.c_str());
+    printf("%s", telemetry::renderMetricsReport(Snapshot).c_str());
+    if (Sources.size() > 1)
+      printf("\n");
+  }
+  return 0;
+}
+
+int cmdTail(const Args &A) {
+  if (A.Positional.empty())
+    fail("usage: minispv tail <store> [--follow] [--json] "
+         "[--timeout-ms N] [--interval-ms N]");
+  const std::string JournalPath = obs::journalPathFor(A.Positional[0]);
+  const bool Follow = A.has("follow");
+  const bool Json = A.has("json");
+  const uint64_t TimeoutMs =
+      strtoull(A.get("timeout-ms", "0").c_str(), nullptr, 10);
+  const uint64_t IntervalMs =
+      strtoull(A.get("interval-ms", "200").c_str(), nullptr, 10);
+
+  if (!Follow && !std::ifstream(JournalPath))
+    failWithCode(ObsExitMissingInput, "cannot open '" + JournalPath +
+                                          "' (missing or unreadable)");
+
+  obs::JournalTailer Tailer(JournalPath);
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(TimeoutMs);
+  bool Finished = false;
+  while (true) {
+    std::vector<obs::JournalEvent> Fresh;
+    std::string Error;
+    if (!Tailer.poll(Fresh, Error))
+      failWithCode(ObsExitParseError, Error);
+    for (const obs::JournalEvent &Event : Fresh) {
+      printf("%s\n", Json ? obs::serializeJournalEvent(Event).c_str()
+                          : obs::formatJournalEvent(Event).c_str());
+      if (Event.Kind == obs::JournalEventKind::CampaignFinished)
+        Finished = true;
+    }
+    fflush(stdout);
+    if (!Follow || Finished)
+      break;
+    if (TimeoutMs && std::chrono::steady_clock::now() >= Deadline)
+      failWithCode(ObsExitTimeout,
+                   "tail --follow timed out after " +
+                       std::to_string(TimeoutMs) +
+                       " ms without seeing CampaignFinished");
+    std::this_thread::sleep_for(std::chrono::milliseconds(IntervalMs));
+  }
+  return 0;
+}
+
+int cmdTop(const Args &A) {
+  if (A.Positional.empty())
+    fail("usage: minispv top <store> [--once] [--timeout-ms N] "
+         "[--interval-ms N]");
+  const std::string StoreDir = A.Positional[0];
+  const std::string JournalPath = obs::journalPathFor(StoreDir);
+  const bool Once = A.has("once");
+  const uint64_t TimeoutMs =
+      strtoull(A.get("timeout-ms", "0").c_str(), nullptr, 10);
+  const uint64_t IntervalMs =
+      strtoull(A.get("interval-ms", "500").c_str(), nullptr, 10);
+
+  if (Once && !std::ifstream(JournalPath))
+    failWithCode(ObsExitMissingInput, "cannot open '" + JournalPath +
+                                          "' (missing or unreadable)");
+
+  obs::JournalTailer Tailer(JournalPath);
+  std::vector<obs::JournalEvent> Events;
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(TimeoutMs);
+  while (true) {
+    std::string Error;
+    if (!Tailer.poll(Events, Error))
+      failWithCode(ObsExitParseError, Error);
+    obs::TopModel Model = obs::buildTopModel(Events);
+
+    // The store's persisted metrics snapshot (saved at checkpoints) adds
+    // cache hit rates when available; its absence is not an error.
+    telemetry::MetricsSnapshot Metrics;
+    bool HaveMetrics = false;
+    {
+      std::string StoreError;
+      std::unique_ptr<CampaignStore> Store =
+          CampaignStore::openForTools(StoreDir, StoreError);
+      HaveMetrics = Store && Store->loadMetrics(Metrics, StoreError);
+    }
+
+    if (!Once)
+      printf("\033[H\033[2J"); // refresh in place
+    printf("%s", obs::renderTop(Model, HaveMetrics ? &Metrics : nullptr)
+                     .c_str());
+    fflush(stdout);
+    if (Once || Model.Finished)
+      break;
+    if (TimeoutMs && std::chrono::steady_clock::now() >= Deadline)
+      failWithCode(ObsExitTimeout,
+                   "top timed out after " + std::to_string(TimeoutMs) +
+                       " ms without seeing CampaignFinished");
+    std::this_thread::sleep_for(std::chrono::milliseconds(IntervalMs));
+  }
   return 0;
 }
 
@@ -607,6 +866,10 @@ int dispatch(const std::string &Command, const Args &A) {
     return cmdTargets(A);
   if (Command == "report")
     return cmdReport(A);
+  if (Command == "top")
+    return cmdTop(A);
+  if (Command == "tail")
+    return cmdTail(A);
   fail("unknown command '" + Command + "'");
 }
 
@@ -617,13 +880,15 @@ int main(int Argc, char **Argv) {
     fprintf(stderr,
             "usage: minispv "
             "<gen|validate|run|fuzz|replay|reduce|campaign|db|targets|"
-            "report> [--metrics-out m.json] [--trace-out t.jsonl] ...\n");
+            "report|top|tail> [--metrics-out m.json] [--trace-out t.jsonl] "
+            "...\n");
     return 1;
   }
   std::string Command = Argv[1];
-  Args A(Argc - 2, Argv + 2, {"baseline", "no-recommendations",
-                              "miscompilation", "faulty-fleet", "resume",
-                              "dedup"});
+  Args A(Argc - 2, Argv + 2,
+         {"baseline", "no-recommendations", "miscompilation", "faulty-fleet",
+          "resume", "dedup", "follow", "json", "once", "warn-only",
+          "deterministic-journal"});
 
   std::string MetricsOut = A.get("metrics-out");
   std::string TraceOut = A.get("trace-out");
