@@ -15,8 +15,10 @@
 /// dump, which is what `minispv report --compare` judges against the
 /// committed snapshots in bench/baselines/.
 ///
-/// bench_micro deliberately does not use this: its numbers measure the
-/// disabled-telemetry fast path.
+/// bench_micro deliberately does not use this: its google-benchmark loops
+/// measure the disabled-telemetry fast path, and its REPRO_METRICS_OUT
+/// dump (the BENCH_interp.json dispatch-throughput gate) enables the
+/// registry itself only after those loops finish.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -60,10 +60,22 @@ int main(int argc, char **argv) {
   bench::BenchTelemetry Telemetry(Footer,
                                   /*RateCounter=*/"campaign.reductions");
   size_t Jobs = bench::parseJobs(argc, argv);
-  CampaignEngine Engine(
-      ExecutionPolicy{}.withJobs(Jobs).withTransformationLimit(150),
-      CorpusSpec{}, ToolsetSpec{},
-      FaultyFleet ? TargetFleet::faulty() : TargetFleet{});
+  ExecutionPolicy Policy =
+      ExecutionPolicy{}.withJobs(Jobs).withTransformationLimit(150);
+  // `--exec tree` routes every execution through the tree interpreter;
+  // diffing its stdout against the default lowered run is the end-to-end
+  // engine-equivalence check of EXPERIMENTS.md.
+  std::string EngineArg = bench::parseString(argc, argv, "--exec");
+  if (!EngineArg.empty()) {
+    ExecEngine ExecSel = ExecEngine::Lowered;
+    if (!execEngineFromName(EngineArg, ExecSel)) {
+      fprintf(stderr, "unknown execution engine '%s'\n", EngineArg.c_str());
+      return 1;
+    }
+    Policy.withEngine(ExecSel);
+  }
+  CampaignEngine Engine(Policy, CorpusSpec{}, ToolsetSpec{},
+                        FaultyFleet ? TargetFleet::faulty() : TargetFleet{});
   ReductionConfig Config;
   Config.TestsPerTool = envSize("REPRO_TESTS", 300);
   Config.MaxReductionsPerTool = envSize("REPRO_REDUCTIONS", 120);

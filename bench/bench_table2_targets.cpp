@@ -7,10 +7,22 @@
 /// \file
 /// Prints the target inventory of Table 2: name, version, GPU type, plus
 /// the simulation-specific columns (pipeline length, injected bug count,
-/// execution capability).
+/// execution capability). With `--throughput N` it additionally measures
+/// execution-engine throughput: N generated modules, each compiled once
+/// per executing target (artifacts shared through an ExecutableCache) and
+/// run over a uniform-input matrix for several rounds. `--exec tree`
+/// selects the tree-walking interpreter; the per-target result digests on
+/// stdout are engine-independent, so
+/// `diff <(bench --throughput N) <(bench --throughput N --exec tree)` is
+/// the cross-engine equivalence check, and the `bench.throughput_per_sec`
+/// gauge (exec.runs per wall second) in the REPRO_METRICS_OUT dump is the
+/// speedup measurement.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "campaign/Campaign.h"
+#include "gen/Generator.h"
+#include "target/ExecutableCache.h"
 #include "target/Target.h"
 
 #include "BenchEngine.h"
@@ -18,6 +30,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 using namespace spvfuzz;
 
@@ -46,10 +59,60 @@ static std::string faultSummary(const TargetSpec &Spec) {
   return Out.empty() ? "-" : Out;
 }
 
+/// FNV-1a over the rendered result, so the digest is stable across builds
+/// and identical whenever the two engines agree.
+static uint64_t resultDigest(uint64_t Digest, const TargetRun &Run) {
+  std::string Rendered = std::to_string(static_cast<int>(Run.RunOutcome)) +
+                         Run.Signature + Run.Result.str();
+  for (char C : Rendered)
+    Digest = (Digest ^ static_cast<unsigned char>(C)) * 0x100000001b3ULL;
+  return Digest;
+}
+
+/// Execution-engine throughput over \p NumModules generated modules ×
+/// \p NumInputs uniform vectors × \p Rounds repeat rounds per executing
+/// target. Rounds after the first hit the ExecutableCache, so the measured
+/// path is runBatch over a shared artifact — the campaign's steady state.
+static void runThroughput(const TargetFleet &Fleet, ExecEngine Engine,
+                          size_t NumModules, size_t NumInputs, size_t Rounds) {
+  ExecutableCache ExeCache(256ull << 20);
+  printf("\nExecution throughput: %zu modules x %zu inputs x %zu rounds\n",
+         NumModules, NumInputs, Rounds);
+  std::vector<GeneratedProgram> Programs;
+  for (size_t I = 0; I < NumModules; ++I)
+    Programs.push_back(generateProgram(1000 + I));
+  for (const Target &T : Fleet) {
+    if (!T.canExecute() || !T.spec().deterministic())
+      continue;
+    uint64_t Digest = 0xcbf29ce484222325ULL;
+    RunContext Ctx;
+    Ctx.Engine = Engine;
+    Ctx.ExeCache = &ExeCache;
+    for (const GeneratedProgram &Program : Programs) {
+      std::vector<ShaderInput> Matrix =
+          uniformInputMatrix(Program.Input, NumInputs, 1000);
+      for (size_t Round = 0; Round < Rounds; ++Round)
+        for (const TargetRun &Run : T.runBatch(Program.M, Matrix, Ctx))
+          Digest = resultDigest(Digest, Run);
+    }
+    printf("  %-14s digest=%016llx\n", T.spec().Name.c_str(),
+           static_cast<unsigned long long>(Digest));
+  }
+}
+
 int main(int argc, char **argv) {
-  // Inventory only — no campaign runs, so no footer counters; still
-  // honours REPRO_METRICS_OUT for uniformity with the other binaries.
-  bench::BenchTelemetry Telemetry({});
+  size_t NumModules = 0;
+  std::string ThroughputArg = bench::parseString(argc, argv, "--throughput");
+  if (!ThroughputArg.empty())
+    NumModules = std::strtoull(ThroughputArg.c_str(), nullptr, 10);
+  // Inventory-only runs print no footer counters, keeping the default
+  // stdout byte-identical to the pre-throughput bench; still honours
+  // REPRO_METRICS_OUT for uniformity with the other binaries.
+  bench::BenchTelemetry Telemetry(
+      NumModules ? std::vector<std::string>{"exec.runs", "exec.steps",
+                                            "target.compiles"}
+                 : std::vector<std::string>{},
+      NumModules ? "exec.runs" : "");
   bool FaultyFleet = bench::parseFlag(argc, argv, "--faulty-fleet");
   TargetFleet Fleet =
       FaultyFleet ? TargetFleet::faulty() : TargetFleet::standard();
@@ -70,5 +133,23 @@ int main(int argc, char **argv) {
   printf("\nCrash-only targets (no execution): AMD-LLPC, spirv-opt, "
          "spirv-opt-old (as in the paper,\nwhich lacked an AMD GPU and notes "
          "spirv-opt is not a full Vulkan implementation).\n");
+
+  if (NumModules) {
+    ExecEngine Engine = ExecEngine::Lowered;
+    std::string EngineArg = bench::parseString(argc, argv, "--exec");
+    if (!EngineArg.empty() && !execEngineFromName(EngineArg, Engine)) {
+      fprintf(stderr, "unknown execution engine '%s'\n", EngineArg.c_str());
+      return 1;
+    }
+    size_t NumInputs = 16, Rounds = 8;
+    std::string InputsArg = bench::parseString(argc, argv, "--inputs");
+    if (!InputsArg.empty())
+      NumInputs = std::strtoull(InputsArg.c_str(), nullptr, 10);
+    std::string RoundsArg = bench::parseString(argc, argv, "--rounds");
+    if (!RoundsArg.empty())
+      Rounds = std::strtoull(RoundsArg.c_str(), nullptr, 10);
+    fprintf(stderr, "engine: %s\n", execEngineName(Engine));
+    runThroughput(Fleet, Engine, NumModules, NumInputs, Rounds);
+  }
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "support/Telemetry.h"
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <cstdio>
 
 using namespace spvfuzz;
@@ -65,6 +66,47 @@ uint64_t spvfuzz::testSeed(uint64_t CampaignSeed, uint32_t SeedStream,
   uint64_t X = splitmix64(CampaignSeed);
   X = splitmix64(X ^ SeedStream);
   return splitmix64(X ^ static_cast<uint64_t>(TestIndex));
+}
+
+/// Rewrites every scalar leaf of \p V from a splitmix chain threaded
+/// through \p State; composites recurse, so the leaf position orders the
+/// chain deterministically. Booleans stay 0/1.
+static void perturbValue(Value &V, uint64_t &State) {
+  switch (V.ValueKind) {
+  case Value::Kind::Int:
+    State = splitmix64(State);
+    V.Scalar = static_cast<int32_t>(State);
+    break;
+  case Value::Kind::Bool:
+    State = splitmix64(State);
+    V.Scalar = static_cast<int32_t>((State >> 32) & 1);
+    break;
+  case Value::Kind::Composite:
+    for (Value &Elem : V.Elements)
+      perturbValue(Elem, State);
+    break;
+  case Value::Kind::Pointer:
+    break; // pointers never appear in shader inputs
+  }
+}
+
+std::vector<ShaderInput> spvfuzz::uniformInputMatrix(const ShaderInput &Base,
+                                                     size_t Count,
+                                                     uint64_t Seed) {
+  std::vector<ShaderInput> Matrix;
+  Matrix.reserve(std::max<size_t>(Count, 1));
+  Matrix.push_back(Base);
+  for (size_t K = 1; K < Count; ++K) {
+    ShaderInput Input = Base;
+    for (auto &[Binding, V] : Input.Bindings) {
+      uint64_t State = splitmix64(Seed ^ 0x756e69666f726dULL); // "uniform"
+      State = splitmix64(State ^ static_cast<uint64_t>(K));
+      State = splitmix64(State ^ Binding);
+      perturbValue(V, State);
+    }
+    Matrix.push_back(std::move(Input));
+  }
+  return Matrix;
 }
 
 FuzzResult spvfuzz::regenerateTest(const Corpus &C, const ToolConfig &Tool,

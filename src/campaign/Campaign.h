@@ -123,44 +123,96 @@ FuzzResult regenerateTest(const Corpus &C, const ToolConfig &Tool,
 uint64_t testSeed(uint64_t CampaignSeed, uint32_t SeedStream,
                   size_t TestIndex);
 
+/// Derives a deterministic matrix of \p Count uniform inputs from \p Base:
+/// element 0 is \p Base itself, later elements perturb every integer and
+/// boolean leaf by a seeded mix over (Seed, element index, binding, leaf
+/// position). One compiled artifact evaluated over the whole matrix is the
+/// batched variant of the paper's differential check — more inputs, same
+/// compile.
+std::vector<ShaderInput> uniformInputMatrix(const ShaderInput &Base,
+                                            size_t Count, uint64_t Seed);
+
 /// Generates test number \p TestIndex for \p Tool (deterministic in
 /// (\p CampaignSeed, \p Tool.SeedStream, \p TestIndex)) and evaluates it on
 /// all \p Targets. With \p CrashesOnly, the differential (miscompilation)
 /// check is skipped and only interesting signatures are recorded.
 /// Templated over the target type so harnessed/cached wrappers fit; any
-/// TargetT whose run(Module, ShaderInput) returns a TargetRun works.
+/// TargetT whose run(Module, ShaderInput) returns a TargetRun (and whose
+/// runBatch(Module, span) returns one TargetRun per input) works.
+///
+/// With \p UniformInputs > 1 each target evaluates the whole
+/// uniformInputMatrix(Reference.Input, UniformInputs, MatrixSeed) through
+/// runBatch — one compile, many executions. The per-input decision ladder
+/// is identical to the single-input path, applied in input order; the
+/// first input producing a verdict (tool error or interesting signature,
+/// then first differential mismatch) decides the target's entry.
 template <typename TargetT>
 TestEvaluation evaluateTestOn(const Corpus &C, const ToolConfig &Tool,
                               const std::vector<const TargetT *> &Targets,
                               uint64_t CampaignSeed, size_t TestIndex,
-                              bool CrashesOnly = false) {
+                              bool CrashesOnly = false,
+                              size_t UniformInputs = 1,
+                              uint64_t MatrixSeed = 0) {
   TestEvaluation Eval;
   Eval.Seed = testSeed(CampaignSeed, Tool.SeedStream, TestIndex);
   FuzzResult Fuzzed =
       regenerateTest(C, Tool, CampaignSeed, TestIndex, Eval.ReferenceIndex);
   const GeneratedProgram &Reference = C.References[Eval.ReferenceIndex];
 
-  for (const TargetT *TP : Targets) {
-    const TargetT &T = *TP;
-    TargetRun VariantRun = T.run(Fuzzed.Variant, Reference.Input);
-    if (VariantRun.RunOutcome == Outcome::ToolError) {
-      Eval.ToolErrored.push_back(T.name());
-      continue;
+  if (UniformInputs <= 1) {
+    for (const TargetT *TP : Targets) {
+      const TargetT &T = *TP;
+      TargetRun VariantRun = T.run(Fuzzed.Variant, Reference.Input);
+      if (VariantRun.RunOutcome == Outcome::ToolError) {
+        Eval.ToolErrored.push_back(T.name());
+        continue;
+      }
+      if (VariantRun.interesting()) {
+        Eval.Signatures[T.name()] = VariantRun.Signature;
+        continue;
+      }
+      if (CrashesOnly || !T.canExecute())
+        continue;
+      // Differential check (Theorem 2.6): the variant's result through the
+      // implementation must match the original's result through the same
+      // implementation.
+      TargetRun OriginalRun = T.run(Reference.M, Reference.Input);
+      if (!OriginalRun.executed())
+        continue; // the target cannot even handle the original; skip
+      if (VariantRun.Result != OriginalRun.Result)
+        Eval.Signatures[T.name()] = MiscompilationSignature;
     }
-    if (VariantRun.interesting()) {
-      Eval.Signatures[T.name()] = VariantRun.Signature;
-      continue;
+  } else {
+    const std::vector<ShaderInput> Matrix =
+        uniformInputMatrix(Reference.Input, UniformInputs, MatrixSeed);
+    for (const TargetT *TP : Targets) {
+      const TargetT &T = *TP;
+      std::vector<TargetRun> VariantRuns = T.runBatch(Fuzzed.Variant, Matrix);
+      bool Decided = false;
+      for (const TargetRun &R : VariantRuns) {
+        if (R.RunOutcome == Outcome::ToolError) {
+          Eval.ToolErrored.push_back(T.name());
+          Decided = true;
+          break;
+        }
+        if (R.interesting()) {
+          Eval.Signatures[T.name()] = R.Signature;
+          Decided = true;
+          break;
+        }
+      }
+      if (Decided || CrashesOnly || !T.canExecute())
+        continue;
+      std::vector<TargetRun> OriginalRuns = T.runBatch(Reference.M, Matrix);
+      for (size_t K = 0; K < Matrix.size(); ++K) {
+        if (!VariantRuns[K].executed() || !OriginalRuns[K].executed())
+          continue;
+        if (VariantRuns[K].Result != OriginalRuns[K].Result) {
+          Eval.Signatures[T.name()] = MiscompilationSignature;
+          break;
+        }
+      }
     }
-    if (CrashesOnly || !T.canExecute())
-      continue;
-    // Differential check (Theorem 2.6): the variant's result through the
-    // implementation must match the original's result through the same
-    // implementation.
-    TargetRun OriginalRun = T.run(Reference.M, Reference.Input);
-    if (!OriginalRun.executed())
-      continue; // the target cannot even handle the original; skip
-    if (VariantRun.Result != OriginalRun.Result)
-      Eval.Signatures[T.name()] = MiscompilationSignature;
   }
 
   telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();

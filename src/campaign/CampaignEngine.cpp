@@ -29,12 +29,14 @@ CampaignEngine::CampaignEngine(ExecutionPolicy PolicyIn, CorpusSpec CorpusOpts,
   Tools = standardTools(ToolOpts);
   Fleet = FleetIn.empty() ? TargetFleet::standard() : std::move(FleetIn);
   Eval = std::make_unique<EvalCache>(Policy.EvalCacheBudget);
+  ExeC = std::make_unique<ExecutableCache>(Policy.ExecutableCacheBudget);
   HarnessPolicy HarnessOpts;
   HarnessOpts.CampaignSeed = Policy.Seed;
   HarnessOpts.TargetDeadlineSteps = Policy.TargetDeadlineSteps;
   HarnessOpts.FlakyRetries = Policy.FlakyRetries;
   HarnessOpts.QuarantineThreshold = Policy.QuarantineThreshold;
-  Har = std::make_unique<Harness>(Fleet, HarnessOpts, Eval.get());
+  HarnessOpts.Engine = Policy.Engine;
+  Har = std::make_unique<Harness>(Fleet, HarnessOpts, Eval.get(), ExeC.get());
   if (Policy.Jobs != 1)
     Pool = std::make_unique<ThreadPool>(Policy.Jobs);
 }
@@ -171,7 +173,8 @@ CampaignEngine::evaluateTests(const ToolConfig &Tool, size_t Count,
             telemetry::TraceSpan JobSpan("campaign.evaluate", WaveId);
             JobSpan.note({"test", Index});
             return evaluateTestOn(CorpusData, Tool, WaveTargets, Policy.Seed,
-                                  Index, CrashesOnly);
+                                  Index, CrashesOnly, Policy.UniformInputs,
+                                  Policy.Seed);
           });
     bool Truncated = false;
     std::vector<std::optional<TestEvaluation>> Results =

@@ -87,6 +87,20 @@ struct ExecutionPolicy {
   /// When true, the CLI resumes the campaign found in StorePath instead of
   /// requiring a fresh store.
   bool Resume = false;
+  /// Execution engine for every target run (exec/Executable.h). Lowered
+  /// and Tree produce byte-identical campaign outputs; Tree exists as the
+  /// differential oracle and for the CI equivalence gate.
+  ExecEngine Engine = ExecEngine::Lowered;
+  /// Uniform inputs evaluated per (test, target) in the bug-finding scan:
+  /// 1 (the default) is the paper's single-input differential check; K > 1
+  /// runs uniformInputMatrix through batched evaluation — one compile per
+  /// module, K executions. Changing K changes which bugs a scan can see
+  /// (more inputs, more miscompilation coverage), never determinism.
+  size_t UniformInputs = 1;
+  /// Approximate byte budget for the engine-wide compiled-artifact cache
+  /// (target/ExecutableCache.h); 0 disables artifact sharing. Never
+  /// changes results or counter totals, only cost.
+  size_t ExecutableCacheBudget = 64ull << 20;
 
   ExecutionPolicy &withJobs(size_t Count) {
     Jobs = Count;
@@ -138,6 +152,18 @@ struct ExecutionPolicy {
   }
   ExecutionPolicy &withResume(bool On) {
     Resume = On;
+    return *this;
+  }
+  ExecutionPolicy &withEngine(ExecEngine E) {
+    Engine = E;
+    return *this;
+  }
+  ExecutionPolicy &withUniformInputs(size_t Count) {
+    UniformInputs = Count;
+    return *this;
+  }
+  ExecutionPolicy &withExecutableCacheBudget(size_t Bytes) {
+    ExecutableCacheBudget = Bytes;
     return *this;
   }
 };
@@ -269,6 +295,8 @@ public:
   /// The engine-wide evaluation cache (hit/miss/byte accounting for tests
   /// and bench footers).
   const EvalCache &evalCache() const { return *Eval; }
+  /// The engine-wide compiled-artifact cache (hit/miss/byte accounting).
+  const ExecutableCache &executableCache() const { return *ExeC; }
 
   /// Looks a tool up by name; nullptr if the engine does not have it.
   const ToolConfig *findTool(const std::string &Name) const;
@@ -333,6 +361,9 @@ private:
   /// Memoizes TargetRun outcomes across the reduction and dedup phases
   /// (deterministic targets only; the harness bypasses it for flaky ones).
   std::unique_ptr<EvalCache> Eval;
+  /// Shares compiled artifacts (pipeline output + lowered bytecode) across
+  /// every phase; counter-replaying hits keep metric totals cache-blind.
+  std::unique_ptr<ExecutableCache> ExeC;
   /// Harnessed views of the fleet plus quarantine breakers. A stable
   /// member (not built per phase) because interestingness tests capture
   /// the harnessed wrappers by pointer.

@@ -1,0 +1,237 @@
+//===- exec/Bytecode.h - Register-bytecode program form ---------*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lowered program representation the compiled execution engine runs
+/// (exec/Executable.h). A validated Module is flattened into:
+///
+///  * dense 32-bit register frames — every SSA id becomes a (base, width)
+///    slot assigned at lowering time, so the dispatch loop performs no id
+///    hashing or map lookups;
+///  * SoA instruction storage — parallel opcode/operand arrays so the hot
+///    loop touches contiguous memory;
+///  * arena-allocated constants — each function's frame template is
+///    pre-filled with its constant words and global-pointer bases, so a
+///    call prologue is one memcpy;
+///  * explicit CFG edges carrying the phi parallel-moves (and any
+///    statically-known fault the tree interpreter would raise when the
+///    edge is taken), so block entry is a table jump plus a block-granular
+///    step charge.
+///
+/// Composites are flattened by value: a type's *shape* records its
+/// recursive structure (for converting ShaderInput values to words and
+/// frame words back to output Values) and its flattened word width.
+/// Lowering is total-or-nothing: anything the lowerer cannot prove it
+/// reproduces exactly (unknown ids, ill-typed operands) clears
+/// LoweredProgram::Ok and the Executable falls back to the reference tree
+/// interpreter, which *is* the semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXEC_BYTECODE_H
+#define EXEC_BYTECODE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spvfuzz {
+namespace bytecode {
+
+/// Sentinel operand: "no register / no pool entry".
+inline constexpr uint32_t NoSlot = 0xFFFFFFFFu;
+
+/// Indices of the fault messages every lowered program pre-registers (the
+/// strings match the tree interpreter's byte for byte).
+inline constexpr uint32_t StepLimitFault = 0;
+inline constexpr uint32_t CallDepthFault = 1;
+
+/// Lowered opcodes. Operand meanings (registers are frame-relative word
+/// offsets; see the executor in Executable.cpp):
+///   Add..CmpGe:  A = lhs, B = rhs, D = dst (width-1 slots)
+///   Neg/LNot:    A = src, D = dst
+///   Select:      A = cond, B = true base, C = false base, D = dst, E = width
+///   Copy:        A = src base, D = dst base, E = width
+///   Load:        A = pointer reg, D = dst base, E = width
+///   Store:       A = pointer reg, B = src base, E = width
+///   AllocVar:    A = init-pool offset or NoSlot, D = dst (pointer reg),
+///                E = width
+///   Call:        A = callee function index, B = arg-list offset into
+///                Extra ([count, base...]), D = dst base or NoSlot
+///   RetVoid:     (none)
+///   RetVal:      A = src base, E = return width
+///   Kill:        (none)
+///   Fault:       A = fault-message index
+///   Br:          A = edge index
+///   BrCond:      A = cond reg, B = true edge index, C = false edge index
+enum class BcOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  SDiv,
+  SMod,
+  Neg,
+  LAnd,
+  LOr,
+  LNot,
+  CmpEq,
+  CmpNe,
+  CmpLt,
+  CmpLe,
+  CmpGt,
+  CmpGe,
+  Select,
+  Copy,
+  Load,
+  Store,
+  AllocVar,
+  Call,
+  RetVoid,
+  RetVal,
+  Kill,
+  Fault,
+  Br,
+  BrCond,
+};
+inline constexpr size_t NumBcOps = static_cast<size_t>(BcOp::BrCond) + 1;
+
+/// SoA instruction storage: one opcode stream plus parallel operand
+/// columns. Not every op uses every column; unused columns hold zero.
+struct Code {
+  std::vector<BcOp> Ops;
+  std::vector<uint32_t> A, B, C, D, E;
+
+  size_t size() const { return Ops.size(); }
+
+  void emit(BcOp Op, uint32_t OpA = 0, uint32_t OpB = 0, uint32_t OpC = 0,
+            uint32_t OpD = 0, uint32_t OpE = 0) {
+    Ops.push_back(Op);
+    A.push_back(OpA);
+    B.push_back(OpB);
+    C.push_back(OpC);
+    D.push_back(OpD);
+    E.push_back(OpE);
+  }
+};
+
+/// One phi-induced register copy performed when an edge is taken. All of
+/// an edge's moves read their sources simultaneously (the executor gathers
+/// into a scratch buffer first), matching phi semantics.
+struct PhiMove {
+  uint32_t Dst = 0;
+  uint32_t Src = 0;
+  uint32_t Width = 0;
+};
+
+/// One CFG edge. Taking an edge applies its moves and enters TargetBlock —
+/// unless FaultIndex is set, in which case the run faults exactly where
+/// the tree interpreter would (unknown branch target, phi with no entry
+/// for the predecessor).
+struct Edge {
+  uint32_t TargetBlock = 0;
+  uint32_t MovesBegin = 0;
+  uint32_t MovesEnd = 0;
+  uint32_t FaultIndex = NoSlot;
+};
+
+/// Per-block dispatch info. Cost is the number of non-phi source
+/// instructions: the step budget is charged per block on entry, not per
+/// instruction (the tree interpreter uses the same accounting so timeout
+/// outcomes agree).
+struct BlockInfo {
+  uint32_t CodeBegin = 0;
+  uint32_t Cost = 0;
+};
+
+/// One lowered function. Frame layout: [0, ReturnWidth) is the return
+/// slot, parameters follow, then SSA results, then constant/global-pointer
+/// slots. FrameTemplate covers the whole frame (zeros plus pre-evaluated
+/// constant words), so the prologue is a single copy.
+struct LoweredFunction {
+  uint32_t FrameWords = 0;
+  std::vector<int32_t> FrameTemplate;
+  std::vector<uint32_t> ParamOffsets;
+  std::vector<uint32_t> ParamWidths;
+  uint32_t ReturnWidth = 0;
+  std::vector<BlockInfo> Blocks;
+  std::vector<Edge> Edges;
+  std::vector<PhiMove> Moves;
+  /// Call argument lists: [count, src base...] runs, indexed by Call's B.
+  std::vector<uint32_t> Extra;
+  Code Body;
+};
+
+/// The flattened structure of a value type (see file comment). Composite
+/// children index into LoweredProgram::ShapeChildren.
+struct ValueShape {
+  enum class Kind : uint8_t { Bool, Int, Pointer, Composite };
+  Kind ShapeKind = Kind::Int;
+  uint32_t Width = 1;
+  uint32_t FirstChild = 0;
+  uint32_t NumChildren = 0;
+};
+
+/// A module-scope Uniform variable: input binding -> memory placement.
+struct UniformSlot {
+  uint32_t Binding = 0;
+  uint32_t MemBase = 0;
+  uint32_t Shape = 0;
+};
+
+/// A module-scope Output variable: memory placement -> result location.
+/// Kept in declaration order so duplicate locations overwrite exactly as
+/// the tree interpreter's output map does.
+struct OutputSlot {
+  uint32_t Location = 0;
+  uint32_t MemBase = 0;
+  uint32_t Shape = 0;
+};
+
+/// A whole lowered module. When Ok is false the lowerer could not prove
+/// exact equivalence and the Executable runs the tree interpreter instead.
+struct LoweredProgram {
+  bool Ok = false;
+  uint32_t EntryFunction = 0;
+  std::vector<LoweredFunction> Functions;
+  std::vector<ValueShape> Shapes;
+  std::vector<uint32_t> ShapeChildren;
+  /// Module-scope memory image: zeros plus Private initializers; Uniform
+  /// bindings are flattened over it at run start.
+  uint32_t GlobalWords = 0;
+  std::vector<int32_t> GlobalTemplate;
+  std::vector<UniformSlot> Uniforms;
+  std::vector<OutputSlot> Outputs;
+  /// Pre-flattened function-local variable initializers (AllocVar's A).
+  std::vector<int32_t> InitPool;
+  std::vector<std::string> FaultMessages;
+
+  size_t approxBytes() const {
+    size_t Bytes = sizeof(LoweredProgram);
+    for (const LoweredFunction &F : Functions) {
+      Bytes += sizeof(LoweredFunction);
+      Bytes += F.FrameTemplate.size() * sizeof(int32_t);
+      Bytes += (F.ParamOffsets.size() + F.ParamWidths.size() + F.Extra.size()) *
+               sizeof(uint32_t);
+      Bytes += F.Blocks.size() * sizeof(BlockInfo);
+      Bytes += F.Edges.size() * sizeof(Edge);
+      Bytes += F.Moves.size() * sizeof(PhiMove);
+      Bytes += F.Body.size() * (sizeof(BcOp) + 5 * sizeof(uint32_t));
+    }
+    Bytes += Shapes.size() * sizeof(ValueShape);
+    Bytes += ShapeChildren.size() * sizeof(uint32_t);
+    Bytes += (GlobalTemplate.size() + InitPool.size()) * sizeof(int32_t);
+    Bytes += Uniforms.size() * sizeof(UniformSlot);
+    Bytes += Outputs.size() * sizeof(OutputSlot);
+    for (const std::string &Message : FaultMessages)
+      Bytes += Message.size();
+    return Bytes;
+  }
+};
+
+} // namespace bytecode
+} // namespace spvfuzz
+
+#endif // EXEC_BYTECODE_H

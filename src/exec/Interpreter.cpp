@@ -216,9 +216,14 @@ private:
       for (auto &[Dest, V] : PhiWrites)
         Env[Dest] = std::move(V);
 
+      // The step budget is charged per block (phis are free), not per
+      // instruction — the same accounting the lowered executor uses, so
+      // both engines agree on exactly when a run times out.
+      Steps += Block->Body.size() - Index;
+      if (Steps > Options.StepLimit)
+        return faultOut("step limit exceeded");
+
       for (; Index < Block->Body.size(); ++Index) {
-        if (++Steps > Options.StepLimit)
-          return faultOut("step limit exceeded");
         const Instruction &Inst = Block->Body[Index];
         switch (Inst.Opcode) {
         case Op::Variable: {

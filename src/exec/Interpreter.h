@@ -12,6 +12,12 @@
 /// zero, variables are zero-initialized — so every valid module is
 /// well-defined with respect to every input, up to the step limit.
 ///
+/// Layering: interpret() is the semantics of record and the differential
+/// oracle, used directly only by exec unit tests and as the fallback /
+/// comparison engine inside exec/Executable.h. Target, harness and
+/// campaign code executes modules through the Executable artifact API,
+/// never by calling interpret() itself.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXEC_INTERPRETER_H
@@ -48,7 +54,9 @@ struct ExecResult {
 
 struct InterpreterOptions {
   /// Execution aborts with a fault after this many instruction steps; the
-  /// paper regards non-termination as faulting (ğ2.2).
+  /// paper regards non-termination as faulting (ğ2.2). Steps are charged
+  /// block-granularly (a block's non-phi instruction count is charged on
+  /// entry), matching the lowered executor's accounting.
   uint64_t StepLimit = 1u << 22;
   /// Call-stack depth limit.
   uint32_t MaxCallDepth = 64;

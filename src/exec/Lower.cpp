@@ -1,0 +1,930 @@
+//===- exec/Lower.cpp - Module -> register-bytecode lowering --------------===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+//
+// The lowering contract: a lowered program must be observationally
+// identical to interpret() on every input — same outputs, same
+// Killed/Fault status, same fault message, and the same step count under
+// the shared block-granular accounting. The lowerer therefore refuses
+// (Ok = false) whenever it would have to guess: every id must resolve to
+// a register, constant or global slot; every operand must be structurally
+// well-typed so that flattened widths line up; every global must have a
+// zero value. Faults the tree interpreter raises at runtime on *valid*
+// control flow (unknown branch targets, phis missing a predecessor,
+// out-of-range extracts, unexpected opcodes, fall-through blocks, unknown
+// callees) are compiled into static Fault ops or fault edges at the exact
+// program point where the tree interpreter would raise them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Lower.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+using namespace spvfuzz;
+using namespace spvfuzz::bytecode;
+
+bool spvfuzz::valueMatchesShape(const LoweredProgram &P, const Value &V,
+                                uint32_t Shape) {
+  const ValueShape &S = P.Shapes[Shape];
+  switch (S.ShapeKind) {
+  case ValueShape::Kind::Bool:
+    return V.ValueKind == Value::Kind::Bool;
+  case ValueShape::Kind::Int:
+    return V.ValueKind == Value::Kind::Int;
+  case ValueShape::Kind::Pointer:
+    return V.ValueKind == Value::Kind::Pointer;
+  case ValueShape::Kind::Composite:
+    if (V.ValueKind != Value::Kind::Composite ||
+        V.Elements.size() != S.NumChildren)
+      return false;
+    for (uint32_t I = 0; I != S.NumChildren; ++I)
+      if (!valueMatchesShape(P, V.Elements[I],
+                             P.ShapeChildren[S.FirstChild + I]))
+        return false;
+    return true;
+  }
+  return false;
+}
+
+void spvfuzz::flattenValue(const Value &V, std::vector<int32_t> &Words) {
+  if (V.ValueKind == Value::Kind::Composite) {
+    for (const Value &Element : V.Elements)
+      flattenValue(Element, Words);
+    return;
+  }
+  Words.push_back(V.Scalar);
+}
+
+Value spvfuzz::rebuildValue(const LoweredProgram &P, uint32_t Shape,
+                            const int32_t *&Words) {
+  const ValueShape &S = P.Shapes[Shape];
+  Value V;
+  switch (S.ShapeKind) {
+  case ValueShape::Kind::Bool:
+    V.ValueKind = Value::Kind::Bool;
+    V.Scalar = *Words++;
+    return V;
+  case ValueShape::Kind::Int:
+    V.ValueKind = Value::Kind::Int;
+    V.Scalar = *Words++;
+    return V;
+  case ValueShape::Kind::Pointer:
+    V.ValueKind = Value::Kind::Pointer;
+    V.Scalar = *Words++;
+    return V;
+  case ValueShape::Kind::Composite:
+    V.ValueKind = Value::Kind::Composite;
+    V.Elements.reserve(S.NumChildren);
+    for (uint32_t I = 0; I != S.NumChildren; ++I)
+      V.Elements.push_back(
+          rebuildValue(P, P.ShapeChildren[S.FirstChild + I], Words));
+    return V;
+  }
+  return V;
+}
+
+namespace {
+
+constexpr unsigned MaxTypeDepth = 64;
+
+/// A constant-folded Value, mirroring evalConstant but total: returns
+/// nullopt instead of asserting on malformed declarations.
+std::optional<Value> safeConstValue(const Module &M, Id ConstantId,
+                                    unsigned Depth = 0) {
+  if (Depth > MaxTypeDepth)
+    return std::nullopt;
+  const Instruction *Def = M.findDef(ConstantId);
+  if (!Def)
+    return std::nullopt;
+  switch (Def->Opcode) {
+  case Op::ConstantTrue:
+    return Value::makeBool(true);
+  case Op::ConstantFalse:
+    return Value::makeBool(false);
+  case Op::Constant:
+    if (Def->Operands.empty() || !Def->Operands[0].isLiteral())
+      return std::nullopt;
+    return Value::makeInt(static_cast<int32_t>(Def->Operands[0].Word));
+  case Op::ConstantComposite: {
+    std::vector<Value> Elements;
+    for (const Operand &Component : Def->Operands) {
+      if (!Component.isId())
+        return std::nullopt;
+      std::optional<Value> Element =
+          safeConstValue(M, Component.Word, Depth + 1);
+      if (!Element)
+        return std::nullopt;
+      Elements.push_back(std::move(*Element));
+    }
+    return Value::makeComposite(std::move(Elements));
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+/// A resolved value id inside one function: frame word offset and width.
+struct SlotInfo {
+  uint32_t Offset = 0;
+  uint32_t Width = 0;
+};
+
+class Lowerer {
+public:
+  explicit Lowerer(const Module &M) : M(M) {
+    P.FaultMessages = {"step limit exceeded", "call depth limit exceeded"};
+  }
+
+  LoweredProgram lower() {
+    lowerGlobals();
+    if (!Failed)
+      lowerFunctions();
+    if (Failed)
+      return LoweredProgram{};
+    P.Ok = true;
+    return std::move(P);
+  }
+
+private:
+  void fail() { Failed = true; }
+
+  uint32_t intern(const char *Message) {
+    for (uint32_t I = 0; I != P.FaultMessages.size(); ++I)
+      if (P.FaultMessages[I] == Message)
+        return I;
+    P.FaultMessages.push_back(Message);
+    return static_cast<uint32_t>(P.FaultMessages.size() - 1);
+  }
+
+  /// Lowered shape of a value type; nullopt for non-value types, unknown
+  /// ids and over-deep (cyclic) declarations.
+  std::optional<uint32_t> shapeOfType(Id TypeId, unsigned Depth = 0) {
+    auto Cached = ShapeOfTypeId.find(TypeId);
+    if (Cached != ShapeOfTypeId.end())
+      return Cached->second;
+    if (Depth > MaxTypeDepth)
+      return std::nullopt;
+    const Instruction *Def = M.findDef(TypeId);
+    if (!Def)
+      return std::nullopt;
+    ValueShape S;
+    switch (Def->Opcode) {
+    case Op::TypeBool:
+      S.ShapeKind = ValueShape::Kind::Bool;
+      break;
+    case Op::TypeInt:
+      S.ShapeKind = ValueShape::Kind::Int;
+      break;
+    case Op::TypePointer:
+      S.ShapeKind = ValueShape::Kind::Pointer;
+      break;
+    case Op::TypeVector: {
+      if (Def->Operands.size() != 2 || !Def->Operands[0].isId() ||
+          !Def->Operands[1].isLiteral())
+        return std::nullopt;
+      std::optional<uint32_t> Component =
+          shapeOfType(Def->Operands[0].Word, Depth + 1);
+      if (!Component)
+        return std::nullopt;
+      uint32_t Count = Def->Operands[1].Word;
+      S.ShapeKind = ValueShape::Kind::Composite;
+      S.FirstChild = static_cast<uint32_t>(P.ShapeChildren.size());
+      S.NumChildren = Count;
+      S.Width = Count * P.Shapes[*Component].Width;
+      for (uint32_t I = 0; I != Count; ++I)
+        P.ShapeChildren.push_back(*Component);
+      break;
+    }
+    case Op::TypeStruct: {
+      std::vector<uint32_t> Members;
+      uint32_t Width = 0;
+      for (const Operand &Member : Def->Operands) {
+        if (!Member.isId())
+          return std::nullopt;
+        std::optional<uint32_t> MemberShape =
+            shapeOfType(Member.Word, Depth + 1);
+        if (!MemberShape)
+          return std::nullopt;
+        Members.push_back(*MemberShape);
+        Width += P.Shapes[*MemberShape].Width;
+      }
+      S.ShapeKind = ValueShape::Kind::Composite;
+      S.FirstChild = static_cast<uint32_t>(P.ShapeChildren.size());
+      S.NumChildren = static_cast<uint32_t>(Members.size());
+      S.Width = Width;
+      P.ShapeChildren.insert(P.ShapeChildren.end(), Members.begin(),
+                             Members.end());
+      break;
+    }
+    default:
+      return std::nullopt;
+    }
+    uint32_t Index = static_cast<uint32_t>(P.Shapes.size());
+    P.Shapes.push_back(S);
+    ShapeOfTypeId[TypeId] = Index;
+    return Index;
+  }
+
+  uint32_t widthOfShape(uint32_t Shape) const { return P.Shapes[Shape].Width; }
+
+  /// True when zeroValueOfType is defined for this shape (no pointer
+  /// leaves); the tree interpreter asserts otherwise, so globals and
+  /// uninitialized locals of such shapes make lowering fail.
+  bool isZeroable(uint32_t Shape) const {
+    const ValueShape &S = P.Shapes[Shape];
+    switch (S.ShapeKind) {
+    case ValueShape::Kind::Bool:
+    case ValueShape::Kind::Int:
+      return true;
+    case ValueShape::Kind::Pointer:
+      return false;
+    case ValueShape::Kind::Composite:
+      for (uint32_t I = 0; I != S.NumChildren; ++I)
+        if (!isZeroable(P.ShapeChildren[S.FirstChild + I]))
+          return false;
+      return true;
+    }
+    return false;
+  }
+
+  void lowerGlobals() {
+    const Function *Entry = M.entryPoint();
+    if (!Entry || !Entry->Params.empty() || Entry->Blocks.empty())
+      return fail();
+    for (const Instruction &Global : M.GlobalInsts) {
+      if (Global.Opcode != Op::Variable)
+        continue;
+      if (Global.Operands.empty() || !Global.Operands[0].isLiteral() ||
+          !M.isPointerTypeId(Global.ResultType))
+        return fail();
+      auto SC = static_cast<StorageClass>(Global.Operands[0].Word);
+      Id Pointee = M.pointerInfo(Global.ResultType).second;
+      std::optional<uint32_t> Shape = shapeOfType(Pointee);
+      if (!Shape || !isZeroable(*Shape))
+        return fail();
+      uint32_t Width = widthOfShape(*Shape);
+      uint32_t Base = P.GlobalWords;
+      P.GlobalWords += Width;
+      P.GlobalTemplate.resize(P.GlobalWords, 0);
+      if (!GlobalBases.emplace(Global.Result, Base).second)
+        return fail();
+      if (SC == StorageClass::Uniform || SC == StorageClass::Output) {
+        if (Global.Operands.size() < 2 || !Global.Operands[1].isLiteral())
+          return fail();
+        if (SC == StorageClass::Uniform)
+          P.Uniforms.push_back({Global.Operands[1].Word, Base, *Shape});
+        else
+          P.Outputs.push_back({Global.Operands[1].Word, Base, *Shape});
+      } else if (SC == StorageClass::Private && Global.Operands.size() == 2) {
+        if (!Global.Operands[1].isId())
+          return fail();
+        std::optional<Value> Init = safeConstValue(M, Global.Operands[1].Word);
+        if (!Init || !matches(*Init, *Shape))
+          return fail();
+        std::vector<int32_t> Words;
+        flattenValue(*Init, Words);
+        std::copy(Words.begin(), Words.end(),
+                  P.GlobalTemplate.begin() + Base);
+      }
+    }
+  }
+
+  bool matches(const Value &V, uint32_t Shape) {
+    return valueMatchesShape(P, V, Shape);
+  }
+
+  void lowerFunctions() {
+    // Signatures first: calls may reference functions lowered later.
+    for (uint32_t I = 0; I != M.Functions.size(); ++I) {
+      const Function &Func = M.Functions[I];
+      FunctionIndex.emplace(Func.id(), I);
+      LoweredFunction LF;
+      if (!M.isVoidTypeId(Func.returnTypeId())) {
+        std::optional<uint32_t> Shape = shapeOfType(Func.returnTypeId());
+        if (!Shape)
+          return fail();
+        LF.ReturnWidth = widthOfShape(*Shape);
+      }
+      for (const Instruction &Param : Func.Params) {
+        std::optional<uint32_t> Shape = shapeOfType(Param.ResultType);
+        if (!Shape)
+          return fail();
+        LF.ParamWidths.push_back(widthOfShape(*Shape));
+      }
+      P.Functions.push_back(std::move(LF));
+    }
+    std::optional<uint32_t> EntryIndex = functionIndexOf(M.EntryPointId);
+    if (!EntryIndex)
+      return fail();
+    P.EntryFunction = *EntryIndex;
+    for (uint32_t I = 0; I != M.Functions.size() && !Failed; ++I)
+      lowerFunction(M.Functions[I], P.Functions[I]);
+  }
+
+  std::optional<uint32_t> functionIndexOf(Id FuncId) const {
+    auto It = FunctionIndex.find(FuncId);
+    if (It == FunctionIndex.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  // --- Per-function state -------------------------------------------------
+
+  /// Invokes \p Action on each operand index of \p Inst that the tree
+  /// interpreter evaluates as a runtime value (and therefore needs a
+  /// resolvable slot). Labels, literals, callee ids and constant-decl
+  /// initializers are not values.
+  template <typename Callable>
+  static void forEachValueOperand(const Instruction &Inst, Callable Action) {
+    switch (Inst.Opcode) {
+    case Op::Load:
+    case Op::SNegate:
+    case Op::LogicalNot:
+    case Op::CopyObject:
+    case Op::CompositeExtract:
+    case Op::ReturnValue:
+    case Op::BranchConditional:
+      if (!Inst.Operands.empty())
+        Action(0);
+      break;
+    case Op::Store:
+    case Op::IAdd:
+    case Op::ISub:
+    case Op::IMul:
+    case Op::SDiv:
+    case Op::SMod:
+    case Op::LogicalAnd:
+    case Op::LogicalOr:
+    case Op::IEqual:
+    case Op::INotEqual:
+    case Op::SLessThan:
+    case Op::SLessThanEqual:
+    case Op::SGreaterThan:
+    case Op::SGreaterThanEqual:
+      for (size_t I = 0; I != Inst.Operands.size() && I != 2; ++I)
+        Action(I);
+      break;
+    case Op::Select:
+      for (size_t I = 0; I != Inst.Operands.size() && I != 3; ++I)
+        Action(I);
+      break;
+    case Op::CompositeConstruct:
+      for (size_t I = 0; I != Inst.Operands.size(); ++I)
+        Action(I);
+      break;
+    case Op::Phi:
+      for (size_t I = 0; I + 1 < Inst.Operands.size(); I += 2)
+        Action(I);
+      break;
+    case Op::FunctionCall:
+      for (size_t I = 1; I < Inst.Operands.size(); ++I)
+        Action(I);
+      break;
+    default:
+      break;
+    }
+  }
+
+  /// True for body opcodes whose result the tree interpreter writes to the
+  /// environment (FunctionCall only when the callee returns a value —
+  /// handled separately).
+  static bool producesRegister(Op Opcode) {
+    switch (Opcode) {
+    case Op::Variable:
+    case Op::Load:
+    case Op::IAdd:
+    case Op::ISub:
+    case Op::IMul:
+    case Op::SDiv:
+    case Op::SMod:
+    case Op::SNegate:
+    case Op::LogicalAnd:
+    case Op::LogicalOr:
+    case Op::LogicalNot:
+    case Op::IEqual:
+    case Op::INotEqual:
+    case Op::SLessThan:
+    case Op::SLessThanEqual:
+    case Op::SGreaterThan:
+    case Op::SGreaterThanEqual:
+    case Op::Select:
+    case Op::CopyObject:
+    case Op::CompositeConstruct:
+    case Op::CompositeExtract:
+    case Op::Phi:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  void lowerFunction(const Function &Func, LoweredFunction &LF) {
+    if (Func.Blocks.empty())
+      return fail(); // entryBlock() has no meaning; the tree asserts.
+    Slots.clear();
+    uint32_t Frame = LF.ReturnWidth;
+
+    auto defineSlot = [&](Id TheId, uint32_t Width) {
+      if (!Slots.emplace(TheId, SlotInfo{Frame, Width}).second)
+        return fail();
+      Frame += Width;
+    };
+
+    for (size_t I = 0; I != Func.Params.size(); ++I) {
+      LF.ParamOffsets.push_back(Frame);
+      defineSlot(Func.Params[I].Result, LF.ParamWidths[I]);
+      if (Failed)
+        return;
+    }
+
+    // Pass A: registers for every result the tree interpreter would write.
+    for (const BasicBlock &Block : Func.Blocks) {
+      for (const Instruction &Inst : Block.Body) {
+        if (Inst.Opcode == Op::FunctionCall) {
+          if (Inst.Operands.empty() || !Inst.Operands[0].isId())
+            continue; // Becomes a fault or bails during emission.
+          std::optional<uint32_t> Callee =
+              functionIndexOf(Inst.Operands[0].Word);
+          if (!Callee || P.Functions[*Callee].ReturnWidth == 0)
+            continue; // Unknown callee faults; void callees store nothing.
+          if (Inst.Result == InvalidId)
+            return fail();
+          std::optional<uint32_t> Shape = shapeOfType(Inst.ResultType);
+          if (!Shape || widthOfShape(*Shape) != P.Functions[*Callee].ReturnWidth)
+            return fail();
+          defineSlot(Inst.Result, P.Functions[*Callee].ReturnWidth);
+        } else if (producesRegister(Inst.Opcode)) {
+          uint32_t Width = 1;
+          if (Inst.Opcode == Op::Variable) {
+            if (!M.isPointerTypeId(Inst.ResultType))
+              return fail();
+          } else {
+            std::optional<uint32_t> Shape = shapeOfType(Inst.ResultType);
+            if (!Shape)
+              return fail();
+            Width = widthOfShape(*Shape);
+          }
+          defineSlot(Inst.Result, Width);
+        }
+        if (Failed)
+          return;
+      }
+    }
+
+    // Pass B: constant and global-pointer slots for the remaining value
+    // operands. Their words are recorded for the frame template.
+    std::vector<std::pair<uint32_t, std::vector<int32_t>>> TemplateFills;
+    auto resolveOperand = [&](Id TheId) {
+      if (Failed || Slots.count(TheId))
+        return;
+      auto GlobalIt = GlobalBases.find(TheId);
+      if (GlobalIt != GlobalBases.end()) {
+        TemplateFills.push_back(
+            {Frame, {static_cast<int32_t>(GlobalIt->second)}});
+        defineSlot(TheId, 1);
+        return;
+      }
+      std::optional<Value> Constant = safeConstValue(M, TheId);
+      if (!Constant)
+        return fail();
+      const Instruction *Def = M.findDef(TheId);
+      std::optional<uint32_t> Shape = shapeOfType(Def->ResultType);
+      if (!Shape || !matches(*Constant, *Shape))
+        return fail();
+      std::vector<int32_t> Words;
+      flattenValue(*Constant, Words);
+      TemplateFills.push_back({Frame, std::move(Words)});
+      defineSlot(TheId, widthOfShape(*Shape));
+    };
+    for (const BasicBlock &Block : Func.Blocks)
+      for (const Instruction &Inst : Block.Body)
+        forEachValueOperand(Inst, [&](size_t OperandIndex) {
+          if (Failed)
+            return;
+          const Operand &Opnd = Inst.Operands[OperandIndex];
+          if (!Opnd.isId())
+            return fail(); // The tree interpreter asserts here.
+          resolveOperand(Opnd.Word);
+        });
+    if (Failed)
+      return;
+
+    LF.FrameWords = Frame;
+    LF.FrameTemplate.assign(Frame, 0);
+    for (auto &[Offset, Words] : TemplateFills)
+      std::copy(Words.begin(), Words.end(), LF.FrameTemplate.begin() + Offset);
+
+    // Block label -> index; first declaration wins, like findBlock.
+    BlockIndexOf.clear();
+    for (uint32_t I = 0; I != Func.Blocks.size(); ++I)
+      BlockIndexOf.emplace(Func.Blocks[I].LabelId, I);
+
+    // The entry block is (re)entered with no predecessor on every call;
+    // leading phis there would need a virtual edge — punt to the tree.
+    if (!Func.Blocks.empty() && !Func.Blocks[0].Body.empty() &&
+        Func.Blocks[0].Body[0].Opcode == Op::Phi)
+      return fail();
+
+    // Pass C: emit code block by block.
+    for (const BasicBlock &Block : Func.Blocks) {
+      emitBlock(Func, LF, Block);
+      if (Failed)
+        return;
+    }
+  }
+
+  SlotInfo slotOf(Id TheId) {
+    auto It = Slots.find(TheId);
+    if (It == Slots.end()) {
+      fail();
+      return {};
+    }
+    return It->second;
+  }
+
+  /// Slot of a value operand requiring width exactly \p Width.
+  uint32_t slotExpecting(const Instruction &Inst, size_t OperandIndex,
+                         uint32_t Width) {
+    SlotInfo Slot = slotOf(Inst.Operands[OperandIndex].Word);
+    if (!Failed && Slot.Width != Width)
+      fail();
+    return Slot.Offset;
+  }
+
+  uint32_t makeEdge(const Function &Func, LoweredFunction &LF, Id FromLabel,
+                    Id ToLabel) {
+    Edge E;
+    auto TargetIt = BlockIndexOf.find(ToLabel);
+    if (TargetIt == BlockIndexOf.end()) {
+      E.FaultIndex = intern("branch to unknown block");
+    } else {
+      E.TargetBlock = TargetIt->second;
+      E.MovesBegin = static_cast<uint32_t>(LF.Moves.size());
+      const BasicBlock &Target = Func.Blocks[TargetIt->second];
+      for (const Instruction &Phi : Target.Body) {
+        if (Phi.Opcode != Op::Phi)
+          break;
+        SlotInfo Dst = slotOf(Phi.Result);
+        bool Matched = false;
+        for (size_t I = 0; I + 1 < Phi.Operands.size(); I += 2) {
+          if (!Phi.Operands[I].isId() || !Phi.Operands[I + 1].isId()) {
+            fail();
+            return 0;
+          }
+          if (Phi.Operands[I + 1].Word != FromLabel)
+            continue;
+          SlotInfo Src = slotOf(Phi.Operands[I].Word);
+          if (Failed)
+            return 0;
+          if (Src.Width != Dst.Width) {
+            fail();
+            return 0;
+          }
+          LF.Moves.push_back({Dst.Offset, Src.Offset, Dst.Width});
+          Matched = true;
+          break;
+        }
+        if (Failed)
+          return 0;
+        if (!Matched) {
+          LF.Moves.resize(E.MovesBegin);
+          E.FaultIndex = intern("phi has no entry for predecessor");
+          break;
+        }
+      }
+      E.MovesEnd = static_cast<uint32_t>(LF.Moves.size());
+    }
+    LF.Edges.push_back(E);
+    return static_cast<uint32_t>(LF.Edges.size() - 1);
+  }
+
+  void emitBlock(const Function &Func, LoweredFunction &LF,
+                 const BasicBlock &Block) {
+    size_t PhiCount = 0;
+    while (PhiCount < Block.Body.size() &&
+           Block.Body[PhiCount].Opcode == Op::Phi)
+      ++PhiCount;
+
+    BlockInfo Info;
+    Info.CodeBegin = static_cast<uint32_t>(LF.Body.size());
+    Info.Cost = static_cast<uint32_t>(Block.Body.size() - PhiCount);
+    LF.Blocks.push_back(Info);
+
+    Code &C = LF.Body;
+    for (size_t Index = PhiCount; Index != Block.Body.size(); ++Index) {
+      const Instruction &Inst = Block.Body[Index];
+      switch (Inst.Opcode) {
+      case Op::Variable: {
+        Id Pointee = M.pointerInfo(Inst.ResultType).second;
+        std::optional<uint32_t> Shape = shapeOfType(Pointee);
+        if (!Shape)
+          return fail();
+        uint32_t Width = widthOfShape(*Shape);
+        uint32_t InitOffset = NoSlot;
+        if (Inst.Operands.size() == 2) {
+          if (!Inst.Operands[1].isId())
+            return fail();
+          std::optional<Value> Init =
+              safeConstValue(M, Inst.Operands[1].Word);
+          if (!Init || !matches(*Init, *Shape))
+            return fail();
+          InitOffset = static_cast<uint32_t>(P.InitPool.size());
+          flattenValue(*Init, P.InitPool);
+        } else if (!isZeroable(*Shape)) {
+          return fail();
+        }
+        C.emit(BcOp::AllocVar, InitOffset, 0, 0, slotOf(Inst.Result).Offset,
+               Width);
+        break;
+      }
+      case Op::Load: {
+        if (Inst.Operands.empty())
+          return fail();
+        SlotInfo Dst = slotOf(Inst.Result);
+        uint32_t Ptr = slotExpecting(Inst, 0, 1);
+        if (Failed || !checkPointeeWidth(Inst.Operands[0].Word, Dst.Width))
+          return fail();
+        C.emit(BcOp::Load, Ptr, 0, 0, Dst.Offset, Dst.Width);
+        break;
+      }
+      case Op::Store: {
+        if (Inst.Operands.size() < 2)
+          return fail();
+        SlotInfo Src = slotOf(Inst.Operands[1].Word);
+        uint32_t Ptr = slotExpecting(Inst, 0, 1);
+        if (Failed || !checkPointeeWidth(Inst.Operands[0].Word, Src.Width))
+          return fail();
+        C.emit(BcOp::Store, Ptr, Src.Offset, 0, 0, Src.Width);
+        break;
+      }
+      case Op::IAdd:
+      case Op::ISub:
+      case Op::IMul:
+      case Op::SDiv:
+      case Op::SMod:
+      case Op::LogicalAnd:
+      case Op::LogicalOr:
+      case Op::IEqual:
+      case Op::INotEqual:
+      case Op::SLessThan:
+      case Op::SLessThanEqual:
+      case Op::SGreaterThan:
+      case Op::SGreaterThanEqual: {
+        if (Inst.Operands.size() < 2)
+          return fail();
+        uint32_t Dst = scalarResult(Inst);
+        uint32_t Lhs = slotExpecting(Inst, 0, 1);
+        uint32_t Rhs = slotExpecting(Inst, 1, 1);
+        if (Failed)
+          return;
+        C.emit(scalarBinOp(Inst.Opcode), Lhs, Rhs, 0, Dst);
+        break;
+      }
+      case Op::SNegate:
+      case Op::LogicalNot: {
+        if (Inst.Operands.empty())
+          return fail();
+        uint32_t Dst = scalarResult(Inst);
+        uint32_t Src = slotExpecting(Inst, 0, 1);
+        if (Failed)
+          return;
+        C.emit(Inst.Opcode == Op::SNegate ? BcOp::Neg : BcOp::LNot, Src, 0, 0,
+               Dst);
+        break;
+      }
+      case Op::Select: {
+        if (Inst.Operands.size() < 3)
+          return fail();
+        SlotInfo Dst = slotOf(Inst.Result);
+        uint32_t Cond = slotExpecting(Inst, 0, 1);
+        uint32_t TrueSrc = slotExpecting(Inst, 1, Dst.Width);
+        uint32_t FalseSrc = slotExpecting(Inst, 2, Dst.Width);
+        if (Failed)
+          return;
+        C.emit(BcOp::Select, Cond, TrueSrc, FalseSrc, Dst.Offset, Dst.Width);
+        break;
+      }
+      case Op::CopyObject: {
+        if (Inst.Operands.empty())
+          return fail();
+        SlotInfo Dst = slotOf(Inst.Result);
+        uint32_t Src = slotExpecting(Inst, 0, Dst.Width);
+        if (Failed)
+          return;
+        C.emit(BcOp::Copy, Src, 0, 0, Dst.Offset, Dst.Width);
+        break;
+      }
+      case Op::CompositeConstruct: {
+        SlotInfo Dst = slotOf(Inst.Result);
+        if (Failed)
+          return;
+        uint32_t Offset = 0;
+        for (const Operand &Component : Inst.Operands) {
+          if (!Component.isId())
+            return fail();
+          SlotInfo Src = slotOf(Component.Word);
+          if (Failed || Offset + Src.Width > Dst.Width)
+            return fail();
+          C.emit(BcOp::Copy, Src.Offset, 0, 0, Dst.Offset + Offset,
+                 Src.Width);
+          Offset += Src.Width;
+        }
+        if (Offset != Dst.Width)
+          return fail();
+        break;
+      }
+      case Op::CompositeExtract: {
+        if (Inst.Operands.empty())
+          return fail();
+        SlotInfo Dst = slotOf(Inst.Result);
+        SlotInfo Src = slotOf(Inst.Operands[0].Word);
+        if (Failed)
+          return;
+        std::optional<uint32_t> Shape =
+            shapeOfType(M.typeOfId(Inst.Operands[0].Word));
+        if (!Shape || widthOfShape(*Shape) != Src.Width)
+          return fail();
+        uint32_t Offset = 0;
+        bool OutOfRange = false;
+        for (size_t I = 1; I < Inst.Operands.size(); ++I) {
+          if (!Inst.Operands[I].isLiteral())
+            return fail();
+          const ValueShape &S = P.Shapes[*Shape];
+          uint32_t ExtractIndex = Inst.Operands[I].Word;
+          if (S.ShapeKind != ValueShape::Kind::Composite ||
+              ExtractIndex >= S.NumChildren) {
+            OutOfRange = true;
+            break;
+          }
+          for (uint32_t Child = 0; Child != ExtractIndex; ++Child)
+            Offset +=
+                widthOfShape(P.ShapeChildren[S.FirstChild + Child]);
+          Shape = P.ShapeChildren[S.FirstChild + ExtractIndex];
+        }
+        if (OutOfRange) {
+          C.emit(BcOp::Fault, intern("composite extract out of range"));
+          return; // Dead code past a certain fault.
+        }
+        if (widthOfShape(*Shape) != Dst.Width)
+          return fail();
+        C.emit(BcOp::Copy, Src.Offset + Offset, 0, 0, Dst.Offset, Dst.Width);
+        break;
+      }
+      case Op::FunctionCall: {
+        if (Inst.Operands.empty() || !Inst.Operands[0].isId())
+          return fail();
+        std::optional<uint32_t> Callee =
+            functionIndexOf(Inst.Operands[0].Word);
+        if (!Callee) {
+          C.emit(BcOp::Fault, intern("call to unknown function"));
+          return;
+        }
+        const LoweredFunction &CalleeLF = P.Functions[*Callee];
+        if (Inst.Operands.size() - 1 != CalleeLF.ParamWidths.size())
+          return fail(); // The tree interpreter asserts on arity mismatch.
+        uint32_t ArgsAt = static_cast<uint32_t>(LF.Extra.size());
+        LF.Extra.push_back(
+            static_cast<uint32_t>(CalleeLF.ParamWidths.size()));
+        for (size_t I = 1; I < Inst.Operands.size(); ++I) {
+          LF.Extra.push_back(
+              slotExpecting(Inst, I, CalleeLF.ParamWidths[I - 1]));
+          if (Failed)
+            return;
+        }
+        uint32_t Dst = NoSlot;
+        if (CalleeLF.ReturnWidth != 0)
+          Dst = slotOf(Inst.Result).Offset;
+        if (Failed)
+          return;
+        C.emit(BcOp::Call, *Callee, ArgsAt, 0, Dst);
+        break;
+      }
+      case Op::Branch: {
+        if (Inst.Operands.empty() || !Inst.Operands[0].isId())
+          return fail();
+        uint32_t EdgeIndex =
+            makeEdge(Func, LF, Block.LabelId, Inst.Operands[0].Word);
+        if (Failed)
+          return;
+        C.emit(BcOp::Br, EdgeIndex);
+        return; // Terminator: anything after it is unreachable.
+      }
+      case Op::BranchConditional: {
+        if (Inst.Operands.size() < 3 || !Inst.Operands[1].isId() ||
+            !Inst.Operands[2].isId())
+          return fail();
+        uint32_t Cond = slotExpecting(Inst, 0, 1);
+        uint32_t TrueEdge =
+            makeEdge(Func, LF, Block.LabelId, Inst.Operands[1].Word);
+        uint32_t FalseEdge =
+            makeEdge(Func, LF, Block.LabelId, Inst.Operands[2].Word);
+        if (Failed)
+          return;
+        C.emit(BcOp::BrCond, Cond, TrueEdge, FalseEdge);
+        return;
+      }
+      case Op::Return:
+        if (LF.ReturnWidth != 0)
+          return fail(); // Ill-typed; the caller would read a stale slot.
+        C.emit(BcOp::RetVoid);
+        return;
+      case Op::ReturnValue: {
+        if (Inst.Operands.empty())
+          return fail();
+        if (LF.ReturnWidth == 0) {
+          // The returned value is evaluated but discarded by the caller.
+          C.emit(BcOp::RetVoid);
+          return;
+        }
+        uint32_t Src = slotExpecting(Inst, 0, LF.ReturnWidth);
+        if (Failed)
+          return;
+        C.emit(BcOp::RetVal, Src, 0, 0, 0, LF.ReturnWidth);
+        return;
+      }
+      case Op::Kill:
+        C.emit(BcOp::Kill);
+        return;
+      default:
+        // Including non-leading phis, exactly like the tree interpreter's
+        // switch default.
+        C.emit(BcOp::Fault, intern("unexpected opcode in function body"));
+        return;
+      }
+    }
+    C.emit(BcOp::Fault, intern("block fell through without a terminator"));
+  }
+
+  /// Register of a result that is always a 1-word scalar in the tree
+  /// interpreter (arithmetic, comparisons, logic); a wider declared result
+  /// type would make the static layout lie about the dynamic value.
+  uint32_t scalarResult(const Instruction &Inst) {
+    SlotInfo Slot = slotOf(Inst.Result);
+    if (!Failed && Slot.Width != 1)
+      fail();
+    return Slot.Offset;
+  }
+
+  /// True when the static pointee of pointer-typed value \p PointerId is
+  /// \p Width words wide — the condition for a Load/Store width to match
+  /// what the tree interpreter moves cell-at-a-time.
+  bool checkPointeeWidth(Id PointerId, uint32_t Width) {
+    Id TypeId = M.typeOfId(PointerId);
+    if (!M.isPointerTypeId(TypeId))
+      return false;
+    std::optional<uint32_t> Shape =
+        shapeOfType(M.pointerInfo(TypeId).second);
+    return Shape && widthOfShape(*Shape) == Width;
+  }
+
+  static BcOp scalarBinOp(Op Opcode) {
+    switch (Opcode) {
+    case Op::IAdd:
+      return BcOp::Add;
+    case Op::ISub:
+      return BcOp::Sub;
+    case Op::IMul:
+      return BcOp::Mul;
+    case Op::SDiv:
+      return BcOp::SDiv;
+    case Op::SMod:
+      return BcOp::SMod;
+    case Op::LogicalAnd:
+      return BcOp::LAnd;
+    case Op::LogicalOr:
+      return BcOp::LOr;
+    case Op::IEqual:
+      return BcOp::CmpEq;
+    case Op::INotEqual:
+      return BcOp::CmpNe;
+    case Op::SLessThan:
+      return BcOp::CmpLt;
+    case Op::SLessThanEqual:
+      return BcOp::CmpLe;
+    case Op::SGreaterThan:
+      return BcOp::CmpGt;
+    default:
+      return BcOp::CmpGe;
+    }
+  }
+
+  const Module &M;
+  LoweredProgram P;
+  bool Failed = false;
+  std::unordered_map<Id, uint32_t> ShapeOfTypeId;
+  std::unordered_map<Id, uint32_t> GlobalBases;
+  std::unordered_map<Id, uint32_t> FunctionIndex;
+  std::unordered_map<Id, SlotInfo> Slots;
+  std::unordered_map<Id, uint32_t> BlockIndexOf;
+};
+
+} // namespace
+
+LoweredProgram spvfuzz::lowerModule(const Module &M) {
+  return Lowerer(M).lower();
+}

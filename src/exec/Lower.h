@@ -1,0 +1,48 @@
+//===- exec/Lower.h - Module -> register-bytecode lowering ------*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a Module into the bytecode::LoweredProgram form the compiled
+/// executor runs (see Bytecode.h for the program shape and Executable.h
+/// for the public API). The lowerer is deliberately conservative: it only
+/// claims success (LoweredProgram::Ok) when every construct is provably
+/// reproduced with the tree interpreter's exact semantics — including
+/// fault messages and their trigger points. Anything it cannot prove
+/// (unresolvable ids, structurally ill-typed operands, globals without a
+/// zero value) makes the whole program fall back to interpret().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXEC_LOWER_H
+#define EXEC_LOWER_H
+
+#include "exec/Bytecode.h"
+#include "exec/Value.h"
+#include "ir/Module.h"
+
+namespace spvfuzz {
+
+/// Lowers \p M; on any construct outside the provable subset the result
+/// has Ok == false and carries no code.
+bytecode::LoweredProgram lowerModule(const Module &M);
+
+/// True when \p V structurally matches \p Shape (leaf kinds and composite
+/// arities agree recursively). Raw scalar words are not inspected, so
+/// e.g. a Bool carrying the word 7 still matches a Bool leaf.
+bool valueMatchesShape(const bytecode::LoweredProgram &P, const Value &V,
+                       uint32_t Shape);
+
+/// Appends \p V's scalar words to \p Words in flattening order.
+void flattenValue(const Value &V, std::vector<int32_t> &Words);
+
+/// Rebuilds a Value of shape \p Shape from the words at \p Words
+/// (advancing the pointer past the consumed span).
+Value rebuildValue(const bytecode::LoweredProgram &P, uint32_t Shape,
+                   const int32_t *&Words);
+
+} // namespace spvfuzz
+
+#endif // EXEC_LOWER_H

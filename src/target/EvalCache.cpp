@@ -33,17 +33,15 @@ size_t approxRunBytes(const TargetRun &Run) {
 
 size_t EvalCache::KeyHasher::operator()(const Key &K) const {
   StructuralHasher H;
-  H.word(K.ModuleHash);
+  H.word(K.ArtifactId);
   H.word(K.InputHash);
-  for (char C : K.TargetName)
-    H.word(static_cast<unsigned char>(C));
   return static_cast<size_t>(H.digest());
 }
 
-bool EvalCache::lookup(uint64_t ModuleHash, const std::string &TargetName,
-                       uint64_t InputHash, TargetRun &Out) {
+bool EvalCache::lookup(uint64_t ArtifactId, uint64_t InputHash,
+                       TargetRun &Out) {
   telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
-  Key K{ModuleHash, InputHash, TargetName};
+  Key K{ArtifactId, InputHash};
   std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Index.find(K);
   if (It == Index.end()) {
@@ -60,11 +58,11 @@ bool EvalCache::lookup(uint64_t ModuleHash, const std::string &TargetName,
   return true;
 }
 
-void EvalCache::insert(uint64_t ModuleHash, const std::string &TargetName,
-                       uint64_t InputHash, const TargetRun &Run) {
+void EvalCache::insert(uint64_t ArtifactId, uint64_t InputHash,
+                       const TargetRun &Run) {
   telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
-  Key K{ModuleHash, InputHash, TargetName};
-  size_t Bytes = approxRunBytes(Run) + TargetName.size();
+  Key K{ArtifactId, InputHash};
+  size_t Bytes = approxRunBytes(Run);
   if (Bytes > BudgetBytes)
     return; // covers the budget-0 "cache disabled" case
   std::lock_guard<std::mutex> Lock(Mutex);
@@ -118,12 +116,12 @@ TargetRun CachedTarget::run(const Module &M, const ShaderInput &Input) const {
       Metrics.add("evalcache.flaky_consults");
     return Inner->run(M, Input);
   }
-  uint64_t MHash = hashModule(M);
+  uint64_t AId = Inner->artifactId(hashModule(M));
   uint64_t IHash = hashShaderInput(Input);
   TargetRun Cached;
-  if (Cache->lookup(MHash, Inner->name(), IHash, Cached))
+  if (Cache->lookup(AId, IHash, Cached))
     return Cached;
   TargetRun Fresh = Inner->run(M, Input);
-  Cache->insert(MHash, Inner->name(), IHash, Fresh);
+  Cache->insert(AId, IHash, Fresh);
   return Fresh;
 }

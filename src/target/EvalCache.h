@@ -7,8 +7,9 @@
 /// \file
 /// Memoization of Target::run outcomes. A *deterministic* target is a pure
 /// function of (module, input) — so an outcome can be replayed from a
-/// cache keyed by (structural module hash, target name, input hash)
-/// instead of re-running the pipeline. Flaky-flavored targets are not pure
+/// cache keyed by (artifact id, input hash), where the artifact id
+/// (Target::artifactId) already encodes both the structural module hash
+/// and the target identity, instead of re-running the pipeline. Flaky-flavored targets are not pure
 /// attempt-free: memoizing them would silently freeze one sample as truth,
 /// so CachedTarget refuses to (bypassing the cache and raising the
 /// evalcache.flaky_consults alarm counter, which CI asserts stays zero);
@@ -32,6 +33,7 @@
 
 #include <list>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 
 namespace spvfuzz {
@@ -47,15 +49,14 @@ public:
   EvalCache &operator=(const EvalCache &) = delete;
 
   /// True (and fills \p Out) iff an outcome for the key is cached; a hit
-  /// refreshes the entry's LRU position.
-  bool lookup(uint64_t ModuleHash, const std::string &TargetName,
-              uint64_t InputHash, TargetRun &Out);
+  /// refreshes the entry's LRU position. \p ArtifactId is
+  /// Target::artifactId of the module's structural hash.
+  bool lookup(uint64_t ArtifactId, uint64_t InputHash, TargetRun &Out);
 
   /// Caches \p Run under the key, evicting least-recently-used entries
   /// until the byte budget holds. No-op when the budget is 0 or the entry
   /// alone exceeds it.
-  void insert(uint64_t ModuleHash, const std::string &TargetName,
-              uint64_t InputHash, const TargetRun &Run);
+  void insert(uint64_t ArtifactId, uint64_t InputHash, const TargetRun &Run);
 
   size_t bytesUsed() const;
   size_t entryCount() const;
@@ -64,13 +65,11 @@ public:
 
 private:
   struct Key {
-    uint64_t ModuleHash = 0;
+    uint64_t ArtifactId = 0;
     uint64_t InputHash = 0;
-    std::string TargetName;
 
     bool operator==(const Key &Other) const {
-      return ModuleHash == Other.ModuleHash && InputHash == Other.InputHash &&
-             TargetName == Other.TargetName;
+      return ArtifactId == Other.ArtifactId && InputHash == Other.InputHash;
     }
   };
   struct KeyHasher {
@@ -108,6 +107,17 @@ public:
   const Target &target() const { return *Inner; }
 
   TargetRun run(const Module &M, const ShaderInput &Input) const;
+
+  /// Per-input memoized batch: element i equals run(M, Inputs[i]). The
+  /// cache key is per (artifact, input), so batching here is a loop.
+  std::vector<TargetRun> runBatch(const Module &M,
+                                  std::span<const ShaderInput> Inputs) const {
+    std::vector<TargetRun> Runs;
+    Runs.reserve(Inputs.size());
+    for (const ShaderInput &Input : Inputs)
+      Runs.push_back(run(M, Input));
+    return Runs;
+  }
 
 private:
   const Target *Inner;

@@ -1,0 +1,97 @@
+//===- target/ExecutableCache.h - Shared compiled artifacts -----*- C++ -*-===//
+//
+// Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe LRU cache of TargetArtifacts keyed by (artifact id,
+/// engine). Campaign evaluation compiles the same module on the same
+/// target over and over — every test re-runs its reference program, every
+/// failed chunk removal in delta debugging regenerates an already-seen
+/// variant — and for a *deterministic* target the artifact is a pure
+/// function of the module, so the pipeline and the register-bytecode
+/// lowering need only happen once per distinct module.
+///
+/// Cache hits replay the compile-side counters a fresh compile would have
+/// bumped (Target::replayCompileMetrics), so counter totals stay exactly
+/// what they would be with no cache at all — independent of job count and
+/// hit/miss interleaving, which the campaign determinism gates assert.
+/// Only wall-time histograms (opt.pass_time_us) reflect real compiles.
+/// Hit/miss/eviction tallies are exposed through accessors, deliberately
+/// not through the registry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TARGET_EXECUTABLECACHE_H
+#define TARGET_EXECUTABLECACHE_H
+
+#include "target/Target.h"
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace spvfuzz {
+
+/// Thread-safe LRU cache of compiled target artifacts, bounded by an
+/// approximate byte budget. A budget of 0 disables storage (every call
+/// compiles fresh). Compilation happens outside the lock; a racing miss on
+/// the same key may compile twice, but each call still bumps compile
+/// counters exactly once, so totals are schedule-independent.
+class ExecutableCache {
+public:
+  explicit ExecutableCache(size_t BudgetBytes) : BudgetBytes(BudgetBytes) {}
+
+  ExecutableCache(const ExecutableCache &) = delete;
+  ExecutableCache &operator=(const ExecutableCache &) = delete;
+
+  /// The artifact of compiling \p M (whose structural hash is
+  /// \p ModuleHash) on \p T for \p Engine — cached, or compiled and
+  /// cached. \p T must be deterministic (the caller's responsibility: a
+  /// flaky target's artifact depends on the attempt draw and must not be
+  /// frozen). A hit replays compile metrics; a miss compiles and bumps
+  /// them for real.
+  std::shared_ptr<const TargetArtifact>
+  getOrCompile(const Target &T, const Module &M, ExecEngine Engine,
+               uint64_t ModuleHash);
+
+  size_t bytesUsed() const;
+  size_t entryCount() const;
+  uint64_t hitCount() const;
+  uint64_t missCount() const;
+  uint64_t evictionCount() const;
+
+private:
+  struct Key {
+    uint64_t ArtifactId = 0;
+    ExecEngine Engine = ExecEngine::Lowered;
+
+    bool operator==(const Key &Other) const {
+      return ArtifactId == Other.ArtifactId && Engine == Other.Engine;
+    }
+  };
+  struct KeyHasher {
+    size_t operator()(const Key &K) const;
+  };
+  struct Entry {
+    Key K;
+    std::shared_ptr<const TargetArtifact> Art;
+    size_t Bytes = 0;
+  };
+
+  mutable std::mutex Mutex;
+  const size_t BudgetBytes;
+  size_t BytesUsed = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+  /// Front = most recently used.
+  std::list<Entry> Lru;
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHasher> Index;
+};
+
+} // namespace spvfuzz
+
+#endif // TARGET_EXECUTABLECACHE_H

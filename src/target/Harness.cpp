@@ -28,14 +28,16 @@ TargetRun HarnessedTarget::run(const Module &M,
     RunContext Ctx;
     Ctx.CampaignSeed = Policy.CampaignSeed;
     Ctx.StepBudget = Policy.TargetDeadlineSteps;
+    Ctx.Engine = Policy.Engine;
+    Ctx.ExeCache = ExeC;
     if (!Cache) {
       Final = Inner->run(M, Input, Ctx);
     } else {
-      const uint64_t MHash = hashModule(M);
+      const uint64_t AId = Inner->artifactId(hashModule(M));
       const uint64_t IHash = hashShaderInput(Input);
-      if (!Cache->lookup(MHash, Inner->name(), IHash, Final)) {
+      if (!Cache->lookup(AId, IHash, Final)) {
         Final = Inner->run(M, Input, Ctx);
-        Cache->insert(MHash, Inner->name(), IHash, Final);
+        Cache->insert(AId, IHash, Final);
       }
     }
   } else {
@@ -47,6 +49,42 @@ TargetRun HarnessedTarget::run(const Module &M,
   if (RunSpan.active())
     RunSpan.note({"outcome", outcomeName(Final.RunOutcome)});
   return Final;
+}
+
+std::vector<TargetRun>
+HarnessedTarget::runBatch(const Module &M,
+                          std::span<const ShaderInput> Inputs) const {
+  std::vector<TargetRun> Runs;
+  if (Inputs.empty())
+    return Runs;
+  // Memoized views and flaky targets go input-by-input: the EvalCache key
+  // and the retry vote are both per (module, input). The artifact cache
+  // (when wired) still amortizes the compile across the loop.
+  if (!deterministic() || Cache) {
+    Runs.reserve(Inputs.size());
+    for (const ShaderInput &Input : Inputs)
+      Runs.push_back(run(M, Input));
+    return Runs;
+  }
+
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+  telemetry::TraceSpan BatchSpan("target.run_batch");
+  if (BatchSpan.active()) {
+    BatchSpan.note({"target", Inner->name()});
+    BatchSpan.note({"inputs", std::to_string(Inputs.size())});
+  }
+
+  RunContext Ctx;
+  Ctx.CampaignSeed = Policy.CampaignSeed;
+  Ctx.StepBudget = Policy.TargetDeadlineSteps;
+  Ctx.Engine = Policy.Engine;
+  Ctx.ExeCache = ExeC;
+  Runs = Inner->runBatch(M, Inputs, Ctx);
+  if (Metrics.enabled())
+    for (const TargetRun &R : Runs)
+      if (R.RunOutcome == Outcome::Timeout)
+        Metrics.add("harness.timeouts");
+  return Runs;
 }
 
 TargetRun HarnessedTarget::votedRun(const Module &M,
@@ -76,6 +114,8 @@ TargetRun HarnessedTarget::votedRun(const Module &M,
     Ctx.CampaignSeed = Policy.CampaignSeed;
     Ctx.Attempt = Attempt;
     Ctx.StepBudget = Policy.TargetDeadlineSteps;
+    Ctx.Engine = Policy.Engine;
+    Ctx.ExeCache = ExeC;
     TargetRun R = Inner->run(M, Input, Ctx);
     ++Used;
     if (R.RunOutcome == Outcome::ToolError) {
@@ -135,13 +175,13 @@ TargetRun HarnessedTarget::votedRun(const Module &M,
 }
 
 Harness::Harness(const TargetFleet &Fleet, HarnessPolicy Policy,
-                 EvalCache *Cache)
+                 EvalCache *Cache, ExecutableCache *ExeC)
     : Policy(Policy) {
   CachedViews.reserve(Fleet.size());
   UncachedViews.reserve(Fleet.size());
   for (const Target &T : Fleet) {
-    CachedViews.emplace_back(T, Policy, Cache);
-    UncachedViews.emplace_back(T, Policy, nullptr);
+    CachedViews.emplace_back(T, Policy, Cache, ExeC);
+    UncachedViews.emplace_back(T, Policy, nullptr, ExeC);
     Breakers[T.name()];
   }
 }

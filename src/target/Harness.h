@@ -31,10 +31,12 @@
 #define TARGET_HARNESS_H
 
 #include "target/EvalCache.h"
+#include "target/ExecutableCache.h"
 #include "target/Target.h"
 
 #include <map>
 #include <mutex>
+#include <span>
 
 namespace spvfuzz {
 
@@ -51,6 +53,9 @@ struct HarnessPolicy {
   uint32_t FlakyRetries = 5;
   /// Consecutive hard tool-error runs before a target is quarantined.
   uint32_t QuarantineThreshold = 3;
+  /// Which execution engine targets run compiled artifacts on. Lowered and
+  /// Tree produce byte-identical results; see exec/Executable.h.
+  ExecEngine Engine = ExecEngine::Lowered;
 };
 
 /// One target wrapped with the harness's deadline, retry/voting and
@@ -61,10 +66,12 @@ struct HarnessPolicy {
 class HarnessedTarget {
 public:
   /// \p Cache, if given, memoizes runs — but only for deterministic
-  /// targets; flaky outcomes always bypass it.
+  /// targets; flaky outcomes always bypass it. \p ExeC, if given, shares
+  /// compiled artifacts across runs of the same module (safe for any view:
+  /// hits replay compile counters, so totals stay schedule-independent).
   HarnessedTarget(const Target &T, const HarnessPolicy &Policy,
-                  EvalCache *Cache = nullptr)
-      : Inner(&T), Policy(Policy), Cache(Cache) {}
+                  EvalCache *Cache = nullptr, ExecutableCache *ExeC = nullptr)
+      : Inner(&T), Policy(Policy), Cache(Cache), ExeC(ExeC) {}
 
   const std::string &name() const { return Inner->name(); }
   const TargetSpec &spec() const { return Inner->spec(); }
@@ -78,12 +85,20 @@ public:
   /// dominated by hard toolchain failures (circuit-breaker material).
   TargetRun run(const Module &M, const ShaderInput &Input) const;
 
+  /// The whole uniform-input matrix in one harnessed attempt: element i
+  /// equals run(M, Inputs[i]). Deterministic unmemoized targets compile
+  /// once and execute the artifact per input (Target::runBatch); memoized
+  /// and flaky targets fall back to per-input run().
+  std::vector<TargetRun> runBatch(const Module &M,
+                                  std::span<const ShaderInput> Inputs) const;
+
 private:
   TargetRun votedRun(const Module &M, const ShaderInput &Input) const;
 
   const Target *Inner;
   HarnessPolicy Policy;
   EvalCache *Cache;
+  ExecutableCache *ExeC;
 };
 
 /// The harness over a whole fleet: harnessed views of every target plus
@@ -94,9 +109,12 @@ private:
 class Harness {
 public:
   /// The fleet must outlive the harness. \p Cache (optional) memoizes the
-  /// cached() views; uncached() views never touch it.
+  /// cached() views; uncached() views never touch it. \p ExeC (optional)
+  /// shares compiled artifacts across *both* view sets — unlike outcome
+  /// memoization, artifact sharing never changes counters or results, only
+  /// cost, so the scan may use it too.
   Harness(const TargetFleet &Fleet, HarnessPolicy Policy,
-          EvalCache *Cache = nullptr);
+          EvalCache *Cache = nullptr, ExecutableCache *ExeC = nullptr);
 
   const HarnessPolicy &policy() const { return Policy; }
 

@@ -8,6 +8,7 @@
 
 #include "support/ModuleHash.h"
 #include "support/Telemetry.h"
+#include "target/ExecutableCache.h"
 
 using namespace spvfuzz;
 
@@ -79,6 +80,16 @@ bool spvfuzz::toolErrorFires(uint64_t Seed, uint64_t ModuleHash,
   return seededDraw(X, Rate);
 }
 
+size_t spvfuzz::TargetArtifact::approxBytes() const {
+  size_t Bytes =
+      sizeof(TargetArtifact) + PassesRun.capacity() * sizeof(OptPassKind);
+  if (Crash)
+    Bytes += Crash->size();
+  if (Exe)
+    Bytes += Exe->approxBytes();
+  return Bytes;
+}
+
 PassCrash Target::compile(const Module &M, Module &OptimizedOut) const {
   OptimizedOut = M;
   PassCrash Crash = runPipeline(Spec.Pipeline, OptimizedOut, Spec.Bugs);
@@ -92,77 +103,150 @@ PassCrash Target::compile(const Module &M, Module &OptimizedOut) const {
   return Crash;
 }
 
+uint64_t Target::artifactId(uint64_t ModuleHash) const {
+  return StructuralHasher::mix(ModuleHash ^ hashName(Spec.Name));
+}
+
+std::shared_ptr<const TargetArtifact>
+Target::compileWith(const Module &M, const BugHost &Bugs, ExecEngine Engine,
+                    uint64_t ModuleHash) const {
+  auto Art = std::make_shared<TargetArtifact>();
+  Art->ModuleHash = ModuleHash;
+  Art->ArtifactId = artifactId(ModuleHash);
+  Art->CompileCost = compileStepCost(M, Spec);
+
+  Module Optimized = M;
+  Art->PassesRun.reserve(Spec.Pipeline.size());
+  for (OptPassKind Pass : Spec.Pipeline) {
+    Art->PassesRun.push_back(Pass);
+    if ((Art->Crash = runOptPass(Pass, Optimized, Bugs)))
+      break;
+  }
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+  if (Metrics.enabled()) {
+    Metrics.add("target.compiles");
+    Metrics.add("target.compiles." + Spec.Name);
+    if (Art->Crash)
+      Metrics.add("target.crashes." + Spec.Name);
+  }
+  if (Art->Crash)
+    Art->HangCrash = isHangFlavor(Bugs.flavorOfSignature(*Art->Crash));
+  else if (Spec.CanExecute)
+    Art->Exe =
+        Executable::compile(std::move(Optimized), Engine, Art->ArtifactId);
+  return Art;
+}
+
+std::shared_ptr<const TargetArtifact>
+Target::compile(const Module &M, ExecEngine Engine) const {
+  return compileWith(M, Spec.Bugs, Engine, hashModule(M));
+}
+
+void Target::replayCompileMetrics(const TargetArtifact &Art) const {
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+  if (!Metrics.enabled())
+    return;
+  for (OptPassKind Pass : Art.PassesRun)
+    Metrics.add(std::string("opt.pass_runs.") + optPassName(Pass));
+  if (Art.Crash)
+    Metrics.add(std::string("opt.bug_triggers.") + *Art.Crash);
+  Metrics.add("target.compiles");
+  Metrics.add("target.compiles." + Spec.Name);
+  if (Art.Crash)
+    Metrics.add("target.crashes." + Spec.Name);
+}
+
 TargetRun Target::run(const Module &M, const ShaderInput &Input) const {
   return run(M, Input, RunContext());
 }
 
 TargetRun Target::run(const Module &M, const ShaderInput &Input,
                       const RunContext &Ctx) const {
-  TargetRun Run;
+  std::vector<TargetRun> Runs =
+      runBatch(M, std::span<const ShaderInput>(&Input, 1), Ctx);
+  return std::move(Runs.front());
+}
 
-  // Infrastructure faults fire before the compiler even starts.
+std::vector<TargetRun>
+Target::runBatch(const Module &M, std::span<const ShaderInput> Inputs,
+                 const RunContext &Ctx) const {
+  std::vector<TargetRun> Runs;
+  if (Inputs.empty())
+    return Runs;
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+
+  // Infrastructure faults fire before the compiler even starts; the draw
+  // does not depend on the input, so one covers the whole batch (one
+  // toolchain invocation, one failure).
   if (Spec.Faults.ToolErrorRate > 0.0 &&
       toolErrorFires(Ctx.CampaignSeed, hashModule(M), Spec.Name, Ctx.Attempt,
                      Spec.Faults.ToolErrorRate)) {
+    TargetRun Run;
     Run.RunOutcome = Outcome::ToolError;
     Run.Signature = ToolErrorSignature;
-    telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
     if (Metrics.enabled())
       Metrics.add("target.tool_errors." + Spec.Name);
-    return Run;
+    Runs.assign(Inputs.size(), Run);
+    return Runs;
   }
 
-  // Resolve flaky-flavored bugs for this attempt: non-firing ones are
-  // simply absent from the compiler this time around.
-  const BugHost *Bugs = &Spec.Bugs;
-  BugHost Resolved;
-  if (Spec.Bugs.hasNondeterministic()) {
-    const uint64_t MHash = hashModule(M);
-    Resolved = Spec.Bugs.resolve([&](BugPoint P) {
+  // Acquire the compiled artifact: shared through the cache when the
+  // target is deterministic (the artifact is then a pure function of the
+  // module), compiled fresh under this attempt's resolved bug host
+  // otherwise — a non-firing flaky bug is simply absent from the compiler
+  // this time around.
+  const uint64_t MHash = hashModule(M);
+  std::shared_ptr<const TargetArtifact> Art;
+  if (!Spec.Bugs.hasNondeterministic()) {
+    if (Ctx.ExeCache && Spec.deterministic())
+      Art = Ctx.ExeCache->getOrCompile(*this, M, Ctx.Engine, MHash);
+    else
+      Art = compileWith(M, Spec.Bugs, Ctx.Engine, MHash);
+  } else {
+    BugHost Resolved = Spec.Bugs.resolve([&](BugPoint P) {
       return flakyBugFires(Ctx.CampaignSeed, MHash, P, Ctx.Attempt);
     });
-    Bugs = &Resolved;
+    Art = compileWith(M, Resolved, Ctx.Engine, MHash);
   }
 
-  Module Optimized = M;
-  PassCrash Crash = runPipeline(Spec.Pipeline, Optimized, *Bugs);
-  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
-  if (Metrics.enabled()) {
-    Metrics.add("target.compiles");
-    Metrics.add("target.compiles." + Spec.Name);
-    if (Crash)
-      Metrics.add("target.crashes." + Spec.Name);
-  }
-  if (Crash) {
+  if (Art->Crash) {
+    TargetRun Run;
     // Hang-flavored bugs wedge the pipeline instead of aborting it; under
     // a step budget that surfaces as a timeout, signature-less by design.
-    if (isHangFlavor(Bugs->flavorOfSignature(*Crash))) {
+    if (Art->HangCrash) {
       Run.RunOutcome = Outcome::Timeout;
       Run.Signature = TimeoutSignature;
-      return Run;
+    } else {
+      Run.RunOutcome = Outcome::Crash;
+      Run.Signature = *Art->Crash;
     }
-    Run.RunOutcome = Outcome::Crash;
-    Run.Signature = *Crash;
-    return Run;
+    Runs.assign(Inputs.size(), Run);
+    return Runs;
   }
 
   // Even a healthy pipeline can exhaust the budget on oversized modules.
-  if (Ctx.StepBudget != 0 && compileStepCost(M, Spec) > Ctx.StepBudget) {
+  if (Ctx.StepBudget != 0 && Art->CompileCost > Ctx.StepBudget) {
+    TargetRun Run;
     Run.RunOutcome = Outcome::Timeout;
     Run.Signature = TimeoutSignature;
-    return Run;
+    Runs.assign(Inputs.size(), Run);
+    return Runs;
   }
 
-  Run.RunOutcome = Outcome::Executed;
-  if (Spec.CanExecute) {
-    InterpreterOptions Opts;
-    // Only a budget *tighter* than the interpreter's own limit changes
-    // semantics: step-limit faults then become timeouts. With the default
-    // (or no) budget, behaviour is identical to the unbudgeted overload.
-    const bool Tighter = Ctx.StepBudget != 0 && Ctx.StepBudget < Opts.StepLimit;
-    if (Tighter)
-      Opts.StepLimit = Ctx.StepBudget;
-    Run.Result = interpret(Optimized, Input, Opts);
+  Runs.resize(Inputs.size());
+  if (!Spec.CanExecute)
+    return Runs;
+
+  InterpreterOptions Opts;
+  // Only a budget *tighter* than the engine's own limit changes semantics:
+  // step-limit faults then become timeouts. With the default (or no)
+  // budget, behaviour is identical to the unbudgeted overload.
+  const bool Tighter = Ctx.StepBudget != 0 && Ctx.StepBudget < Opts.StepLimit;
+  if (Tighter)
+    Opts.StepLimit = Ctx.StepBudget;
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    TargetRun &Run = Runs[I];
+    Run.Result = Art->Exe->run(Inputs[I], Opts);
     if (Tighter && Run.Result.ExecStatus == ExecResult::Status::Fault &&
         Run.Result.FaultMessage == "step limit exceeded") {
       Run.RunOutcome = Outcome::Timeout;
@@ -172,7 +256,7 @@ TargetRun Target::run(const Module &M, const ShaderInput &Input,
     if (Metrics.enabled())
       Metrics.add("target.executions." + Spec.Name);
   }
-  return Run;
+  return Runs;
 }
 
 namespace {

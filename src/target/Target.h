@@ -24,14 +24,19 @@
 #ifndef TARGET_TARGET_H
 #define TARGET_TARGET_H
 
+#include "exec/Executable.h"
 #include "exec/Interpreter.h"
 #include "opt/Passes.h"
 
 #include <functional>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 namespace spvfuzz {
+
+class ExecutableCache;
 
 /// The unified outcome of handing one module to one target. This replaces
 /// the old TargetRun::Kind / ExecStatus::Fault split: every consumer asks
@@ -85,6 +90,44 @@ struct RunContext {
   /// Simulated compile/execute step budget; 0 = unlimited. Hang-flavored
   /// bugs and oversized pipelines surface as Outcome::Timeout against it.
   uint64_t StepBudget = 0;
+  /// Which execution engine compiled artifacts run on. Lowered and Tree
+  /// produce byte-identical ExecResults (exec/Executable.h's contract);
+  /// the knob exists for the differential gate and for benchmarks.
+  ExecEngine Engine = ExecEngine::Lowered;
+  /// Optional shared artifact cache. Only consulted for deterministic
+  /// targets (a flaky bug resolution changes the compiled artifact, so
+  /// those always compile fresh); hits replay compile-side counters so
+  /// metric totals are independent of hit/miss scheduling.
+  ExecutableCache *ExeCache = nullptr;
+};
+
+/// The immutable product of compiling one module on one target: the
+/// pipeline verdict plus (for executing targets) an Executable artifact.
+/// One artifact amortizes the pipeline and the register-bytecode lowering
+/// across every input it is run on — the batched-evaluation story — and is
+/// safe to share across threads (Executable::run keeps per-thread state).
+struct TargetArtifact {
+  /// Structural hash of the *source* module this artifact was compiled
+  /// from.
+  uint64_t ModuleHash = 0;
+  /// Dense identity of (target, source module): Target::artifactId. Keys
+  /// the ExecutableCache and the EvalCache.
+  uint64_t ArtifactId = 0;
+  /// The crash signature, if an injected bug fired during the pipeline.
+  PassCrash Crash;
+  /// True if Crash is hang-flavored (surfaces as Timeout, not Crash).
+  bool HangCrash = false;
+  /// Simulated compile cost of the source module (budget accounting).
+  uint64_t CompileCost = 0;
+  /// The passes that actually ran, in order (the pipeline prefix up to and
+  /// including a crashing pass). Replayed into opt.pass_runs.* counters on
+  /// cache hits.
+  std::vector<OptPassKind> PassesRun;
+  /// The compiled module, ready to execute; null for crash-only targets
+  /// and for crashed compiles.
+  std::shared_ptr<const Executable> Exe;
+
+  size_t approxBytes() const;
 };
 
 /// Pure seeded draw: does a flaky-flavored bug fire on this attempt?
@@ -135,8 +178,9 @@ struct TargetSpec {
   }
 };
 
-/// One simulated target: compiles via its pipeline and, if a GPU is
-/// modelled, executes via the reference interpreter.
+/// One simulated target: compiles via its pipeline into an Executable
+/// artifact and, if a GPU is modelled, executes it through the execution
+/// engine (exec/Executable.h).
 class Target {
 public:
   explicit Target(TargetSpec Spec) : Spec(std::move(Spec)) {}
@@ -149,6 +193,23 @@ public:
   /// \p OptimizedOut. Returns the crash signature if an injected bug fired.
   PassCrash compile(const Module &M, Module &OptimizedOut) const;
 
+  /// Compiles \p M into a shareable artifact under this target's static
+  /// bug host (the deterministic, attempt-0 view): runs the pipeline,
+  /// records the pass trail, and — when the target executes and the
+  /// pipeline did not crash — lowers the optimized module for \p Engine.
+  std::shared_ptr<const TargetArtifact> compile(const Module &M,
+                                                ExecEngine Engine) const;
+
+  /// Dense identity of (this target, source module hash). Stable across
+  /// processes; keys artifact and evaluation caches.
+  uint64_t artifactId(uint64_t ModuleHash) const;
+
+  /// Re-applies the compile-side counters a fresh compile of \p Art would
+  /// have bumped (target.compiles[.*], target.crashes.*, opt.pass_runs.*,
+  /// opt.bug_triggers.*), so ExecutableCache hits leave counter totals
+  /// schedule-independent. Timing histograms are not replayed.
+  void replayCompileMetrics(const TargetArtifact &Art) const;
+
   /// Compiles \p M and, if this target can execute, runs the optimized
   /// module on \p Input. Equivalent to run(M, Input, RunContext{}): no
   /// step budget, attempt 0 — on the solid fleet this is the full story.
@@ -157,10 +218,32 @@ public:
   /// One attempt under a fault context: resolves flaky draws for
   /// \p Ctx.Attempt, maps hang-flavored crashes and budget exhaustion to
   /// Outcome::Timeout, and surfaces tool errors. Pure in (M, Input, Ctx).
+  /// Equivalent to runBatch(M, {Input}, Ctx)[0].
   TargetRun run(const Module &M, const ShaderInput &Input,
                 const RunContext &Ctx) const;
 
+  /// One attempt over a whole uniform-input matrix: the pipeline (and the
+  /// tool-error/flaky draws, which do not depend on the input) run once,
+  /// the compiled artifact executes once per input. Compile-side outcomes
+  /// (Crash/Timeout/ToolError) replicate across all results; per-input
+  /// step-budget exhaustion maps to Timeout individually. Element i equals
+  /// what run(M, Inputs[i], Ctx) would return. Returns one TargetRun per
+  /// input, in order.
+  std::vector<TargetRun> runBatch(const Module &M,
+                                  std::span<const ShaderInput> Inputs,
+                                  const RunContext &Ctx) const;
+
+  /// Convenience: runBatch under a default context (no budget, attempt 0).
+  std::vector<TargetRun> runBatch(const Module &M,
+                                  std::span<const ShaderInput> Inputs) const {
+    return runBatch(M, Inputs, RunContext());
+  }
+
 private:
+  std::shared_ptr<const TargetArtifact>
+  compileWith(const Module &M, const BugHost &Bugs, ExecEngine Engine,
+              uint64_t ModuleHash) const;
+
   TargetSpec Spec;
 };
 

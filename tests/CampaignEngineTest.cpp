@@ -418,4 +418,74 @@ TEST(CampaignEngine, FaultyFleetNeverConsultsEvalCacheForFlakyTargets) {
   EXPECT_GT(Counters["harness.tool_errors"], 0u);
 }
 
+CampaignEngine makeEngineWith(size_t Jobs, ExecEngine Engine,
+                              size_t UniformInputs = 1) {
+  return CampaignEngine(ExecutionPolicy{}
+                            .withJobs(Jobs)
+                            .withTransformationLimit(120)
+                            .withEngine(Engine)
+                            .withUniformInputs(UniformInputs),
+                        smallCorpus());
+}
+
+TEST(CampaignEngine, TreeAndLoweredEnginesProduceIdenticalEvaluations) {
+  // The Executable contract: routing every execution through the lowered
+  // bytecode engine changes only cost, never a decision.
+  CampaignEngine Lowered = makeEngineWith(4, ExecEngine::Lowered);
+  CampaignEngine Tree = makeEngineWith(4, ExecEngine::Tree);
+  for (const ToolConfig &Tool : Lowered.tools()) {
+    std::vector<TestEvaluation> A = Lowered.evaluateTests(Tool, 48);
+    std::vector<TestEvaluation> B = Tree.evaluateTests(Tool, 48);
+    ASSERT_EQ(A.size(), 48u) << Tool.Name;
+    expectSameEvaluations(A, B);
+  }
+}
+
+TEST(CampaignEngine, TreeAndLoweredEnginesProduceIdenticalCounters) {
+  // Stronger than result equality: the two engines publish the very same
+  // counter totals (exec.runs, exec.steps, target.*, opt.*), so any
+  // telemetry-derived gate sees one execution semantics.
+  using telemetry::MetricsRegistry;
+  BugFindingConfig Config;
+  Config.TestsPerTool = 40;
+  Config.NumGroups = 4;
+
+  MetricsRegistry::global().setEnabled(true);
+  MetricsRegistry::global().reset();
+  {
+    CampaignEngine Lowered = makeEngineWith(2, ExecEngine::Lowered);
+    Lowered.runBugFinding(Config);
+  }
+  std::map<std::string, uint64_t> LoweredCounters =
+      MetricsRegistry::global().snapshot().Counters;
+
+  MetricsRegistry::global().reset();
+  {
+    CampaignEngine Tree = makeEngineWith(2, ExecEngine::Tree);
+    Tree.runBugFinding(Config);
+  }
+  std::map<std::string, uint64_t> TreeCounters =
+      MetricsRegistry::global().snapshot().Counters;
+  MetricsRegistry::global().reset();
+  MetricsRegistry::global().setEnabled(false);
+
+  EXPECT_EQ(LoweredCounters, TreeCounters);
+  EXPECT_GT(LoweredCounters["exec.runs"], 0u);
+}
+
+TEST(CampaignEngine, UniformInputBatchesAreIdenticalAcrossJobCounts) {
+  // Batched evaluation (K perturbed inputs per test, amortized over one
+  // lowering) keeps the scan deterministic at any job count.
+  CampaignEngine Serial =
+      makeEngineWith(1, ExecEngine::Lowered, /*UniformInputs=*/4);
+  CampaignEngine Parallel =
+      makeEngineWith(8, ExecEngine::Lowered, /*UniformInputs=*/4);
+  for (const ToolConfig &Tool : Serial.tools()) {
+    std::vector<TestEvaluation> A = Serial.evaluateTests(Tool, 48);
+    std::vector<TestEvaluation> B = Parallel.evaluateTests(Tool, 48);
+    ASSERT_EQ(A.size(), 48u) << Tool.Name;
+    expectSameEvaluations(A, B);
+  }
+}
+
 } // namespace

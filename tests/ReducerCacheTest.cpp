@@ -110,24 +110,23 @@ TargetRun makeRun(const std::string &Signature) {
 TEST(EvalCache, HitReturnsInsertedOutcome) {
   EvalCache Cache(1 << 20);
   TargetRun Out;
-  EXPECT_FALSE(Cache.lookup(1, "gpu-a", 2, Out));
-  Cache.insert(1, "gpu-a", 2, makeRun("sig-x"));
-  ASSERT_TRUE(Cache.lookup(1, "gpu-a", 2, Out));
+  EXPECT_FALSE(Cache.lookup(1, 2, Out));
+  Cache.insert(1, 2, makeRun("sig-x"));
+  ASSERT_TRUE(Cache.lookup(1, 2, Out));
   EXPECT_EQ(Out.RunOutcome, Outcome::Crash);
   EXPECT_EQ(Out.Signature, "sig-x");
   // Key components are all significant.
-  EXPECT_FALSE(Cache.lookup(2, "gpu-a", 2, Out));
-  EXPECT_FALSE(Cache.lookup(1, "gpu-b", 2, Out));
-  EXPECT_FALSE(Cache.lookup(1, "gpu-a", 3, Out));
+  EXPECT_FALSE(Cache.lookup(2, 2, Out));
+  EXPECT_FALSE(Cache.lookup(1, 3, Out));
   EXPECT_EQ(Cache.hitCount(), 1u);
-  EXPECT_EQ(Cache.missCount(), 4u);
+  EXPECT_EQ(Cache.missCount(), 3u);
 }
 
 TEST(EvalCache, ZeroBudgetDisables) {
   EvalCache Cache(0);
-  Cache.insert(1, "gpu-a", 2, makeRun("sig-x"));
+  Cache.insert(1, 2, makeRun("sig-x"));
   TargetRun Out;
-  EXPECT_FALSE(Cache.lookup(1, "gpu-a", 2, Out));
+  EXPECT_FALSE(Cache.lookup(1, 2, Out));
   EXPECT_EQ(Cache.entryCount(), 0u);
   EXPECT_EQ(Cache.bytesUsed(), 0u);
 }
@@ -136,17 +135,17 @@ TEST(EvalCache, EvictsLeastRecentlyUsed) {
   // Budget for only a few entries: the oldest (and only the oldest)
   // untouched entries must fall out.
   EvalCache Tiny(1);
-  Tiny.insert(1, "t", 0, makeRun("a"));
+  Tiny.insert(1, 0, makeRun("a"));
   EXPECT_EQ(Tiny.entryCount(), 0u) << "oversized entry must not be stored";
 
   EvalCache Cache(4096);
   size_t N = 0;
   while (Cache.bytesUsed() == 0 || Cache.entryCount() == N)
-    Cache.insert(++N, "t", 0, makeRun("sig"));
+    Cache.insert(++N, 0, makeRun("sig"));
   // Insertion N evicted the LRU entry (key 1); the newest still hits.
   TargetRun Out;
-  EXPECT_FALSE(Cache.lookup(1, "t", 0, Out));
-  EXPECT_TRUE(Cache.lookup(N, "t", 0, Out));
+  EXPECT_FALSE(Cache.lookup(1, 0, Out));
+  EXPECT_TRUE(Cache.lookup(N, 0, Out));
 }
 
 TEST(EvalCache, CachedTargetMatchesTarget) {

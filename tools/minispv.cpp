@@ -303,17 +303,28 @@ int cmdValidate(const Args &A) {
 
 int cmdRun(const Args &A) {
   if (A.Positional.empty())
-    fail("usage: minispv run <module.mvs> --inputs <file> [--target NAME]");
+    fail("usage: minispv run <module.mvs> --inputs <file> [--target NAME] "
+         "[--exec lowered|tree]");
   Module M = readModule(A.Positional[0]);
   ShaderInput Input = readInputs(A.require("inputs"));
+  ExecEngine Engine = ExecEngine::Lowered;
+  if (A.has("exec") && !execEngineFromName(A.get("exec"), Engine))
+    fail("unknown execution engine '" + A.get("exec") +
+         "' (expected lowered or tree)");
   if (!A.has("target")) {
-    ExecResult Result = interpret(M, Input);
+    // Output is engine-independent by the Executable equivalence
+    // contract, so `--exec tree` diffs cleanly against the default.
+    std::shared_ptr<const Executable> Exe =
+        Executable::compile(std::move(M), Engine);
+    ExecResult Result = Exe->run(Input);
     printf("reference semantics: %s\n", Result.str().c_str());
     return Result.ExecStatus == ExecResult::Status::Fault ? 1 : 0;
   }
   TargetFleet Fleet = fleetFor(A.has("faulty-fleet"));
   const Target *T = findTarget(Fleet, A.get("target"));
-  TargetRun Run = T->run(M, Input);
+  RunContext Ctx;
+  Ctx.Engine = Engine;
+  TargetRun Run = T->run(M, Input, Ctx);
   if (Run.interesting()) {
     printf("%s: %s: %s\n", T->name().c_str(),
            Run.RunOutcome == Outcome::Timeout ? "TIMEOUT" : "CRASH",
@@ -457,6 +468,16 @@ int cmdCampaign(const Args &A) {
   if (A.has("quarantine-threshold"))
     Policy.withQuarantineThreshold(static_cast<uint32_t>(
         strtoul(A.get("quarantine-threshold").c_str(), nullptr, 10)));
+  if (A.has("exec")) {
+    ExecEngine Engine = ExecEngine::Lowered;
+    if (!execEngineFromName(A.get("exec"), Engine))
+      fail("unknown execution engine '" + A.get("exec") +
+           "' (expected lowered or tree)");
+    Policy.withEngine(Engine);
+  }
+  if (A.has("uniform-inputs"))
+    Policy.withUniformInputs(
+        strtoull(A.get("uniform-inputs").c_str(), nullptr, 10));
 
   // A store makes the run durable: checkpoints at wave boundaries plus the
   // reproducer database. Metrics are forced on so the persisted telemetry
