@@ -11,18 +11,160 @@
 /// Mann-Whitney U confidences of Table 3. Scaled by REPRO_TESTS
 /// (default 400 tests per tool; the paper used 10,000).
 ///
+/// Scale-out mode: `--scaleout 1,4 --store DIR --minispv PATH` runs the
+/// same campaign once per worker count — serial in-process for 1, a
+/// ServeCoordinator spawning `minispv worker` processes otherwise — and
+/// publishes `scaleout.w<K>.wall_seconds` / `scaleout.w<K>.tests_per_sec`
+/// gauges into the REPRO_METRICS_OUT dump, which is what `minispv report
+/// --compare bench/baselines/BENCH_scaleout.json` gates on.
+///
 //===----------------------------------------------------------------------===//
 
 #include "campaign/Experiments.h"
+#include "serve/Coordinator.h"
+#include "store/CampaignStore.h"
 
 #include "BenchEngine.h"
 #include "BenchTelemetry.h"
 
+#include <chrono>
 #include <cstdio>
+#include <memory>
+
+#include <sys/stat.h>
 
 using namespace spvfuzz;
 
+namespace {
+
+ExecutionPolicy scaleoutPolicy(const std::string &StoreDir) {
+  return ExecutionPolicy{}.withTransformationLimit(250).withStorePath(
+      StoreDir);
+}
+
+/// One full campaign at \p Workers worker processes over a fresh store
+/// subdirectory; returns the wall seconds or a negative value on failure.
+double runAtWorkerCount(size_t Workers, const std::string &StoreDir,
+                        const std::string &MinispvPath, size_t Tests) {
+  const std::string Dir = StoreDir + "/w" + std::to_string(Workers);
+  ExecutionPolicy Policy = scaleoutPolicy(Dir);
+  std::string Error;
+  std::unique_ptr<CampaignStore> Store = CampaignStore::open(Dir, Policy, Error);
+  if (!Store) {
+    fprintf(stderr, "scaleout: cannot open store %s: %s\n", Dir.c_str(),
+            Error.c_str());
+    return -1.0;
+  }
+  CampaignEngine Engine(Policy);
+  Engine.setCheckpointer(Store.get());
+
+  std::unique_ptr<serve::ServeCoordinator> Coordinator;
+  if (Workers > 1) {
+    serve::ServeOptions SOpts;
+    SOpts.StoreDir = Dir;
+    SOpts.Workers = Workers;
+    SOpts.WorkerJobs = 1;
+    SOpts.MinispvPath = MinispvPath;
+    // Generous TTL: a spurious expiry costs a recomputation, which would
+    // pollute the wall-clock measurement.
+    SOpts.LeaseTtlMs = 30000;
+    SOpts.PollMs = 5;
+    Coordinator = std::make_unique<serve::ServeCoordinator>(Engine, SOpts);
+    serve::WorkerConfigMsg WC;
+    WC.CampaignId = Store->campaignId();
+    WC.Seed = Policy.Seed;
+    WC.TransformationLimit = Policy.TransformationLimit;
+    WC.TargetDeadlineSteps = Policy.TargetDeadlineSteps;
+    WC.FlakyRetries = Policy.FlakyRetries;
+    WC.QuarantineThreshold = Policy.QuarantineThreshold;
+    WC.Engine = static_cast<uint8_t>(Policy.Engine);
+    WC.UniformInputs = Policy.UniformInputs;
+    WC.Tests = Tests;
+    WC.LeaseTtlMs = SOpts.LeaseTtlMs;
+    if (!Coordinator->start(WC, Error)) {
+      fprintf(stderr, "scaleout: %s\n", Error.c_str());
+      return -1.0;
+    }
+    Engine.setShardProvider(Coordinator.get());
+  }
+
+  BugFindingConfig Config;
+  Config.TestsPerTool = Tests;
+  auto Start = std::chrono::steady_clock::now();
+  BugFindingData Data = Engine.runBugFinding(Config);
+  double Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  if (Coordinator)
+    Coordinator->shutdown();
+  size_t TotalTests = Data.ToolNames.size() * Tests;
+  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
+  const std::string Prefix = "scaleout.w" + std::to_string(Workers);
+  Metrics.set(Prefix + ".wall_seconds", Seconds);
+  if (Seconds > 0.0)
+    Metrics.set(Prefix + ".tests_per_sec",
+                static_cast<double>(TotalTests) / Seconds);
+  return Seconds;
+}
+
+int runScaleout(const std::string &Spec, int argc, char **argv) {
+  bench::BenchTelemetry Telemetry({"campaign.tests", "exec.runs"});
+  const std::string StoreDir = bench::parseString(argc, argv, "--store");
+  if (StoreDir.empty()) {
+    fprintf(stderr, "scaleout: --store DIR is required\n");
+    return 2;
+  }
+  ::mkdir(StoreDir.c_str(), 0755); // per-K stores live underneath
+  std::string MinispvPath = bench::parseString(argc, argv, "--minispv");
+  if (MinispvPath.empty())
+    if (const char *Env = std::getenv("REPRO_MINISPV"))
+      MinispvPath = Env;
+
+  std::vector<size_t> Counts;
+  for (size_t Pos = 0; Pos < Spec.size();) {
+    size_t Comma = Spec.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Spec.size();
+    char *End = nullptr;
+    unsigned long long K = strtoull(Spec.substr(Pos, Comma - Pos).c_str(),
+                                    &End, 10);
+    if (!K) {
+      fprintf(stderr, "scaleout: bad worker count in '%s'\n", Spec.c_str());
+      return 1;
+    }
+    Counts.push_back(static_cast<size_t>(K));
+    Pos = Comma + 1;
+  }
+  for (size_t K : Counts)
+    if (K > 1 && MinispvPath.empty()) {
+      // /proc/self/exe would re-exec this bench, not minispv.
+      fprintf(stderr,
+              "scaleout: --minispv PATH (or REPRO_MINISPV) is required for "
+              "worker counts > 1\n");
+      return 2;
+    }
+
+  size_t Tests = envSize("REPRO_TESTS", 600);
+  printf("Table 3 scale-out: %zu tests per tool\n", Tests);
+  double Reference = -1.0;
+  for (size_t K : Counts) {
+    double Seconds = runAtWorkerCount(K, StoreDir, MinispvPath, Tests);
+    if (Seconds < 0.0)
+      return 2;
+    if (Reference < 0.0)
+      Reference = Seconds;
+    printf("scaleout: workers=%zu wall=%.2fs speedup=%.2fx\n", K, Seconds,
+           Reference / Seconds);
+  }
+  return 0;
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
+  const std::string Scaleout = bench::parseString(argc, argv, "--scaleout");
+  if (!Scaleout.empty())
+    return runScaleout(Scaleout, argc, argv);
   bench::BenchTelemetry Telemetry(
       {"campaign.tests", "target.compiles", "exec.runs"},
       /*RateCounter=*/"campaign.tests");

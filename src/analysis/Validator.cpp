@@ -41,7 +41,14 @@ public:
 private:
   void error(const std::string &Message) { Diags.push_back(Message); }
 
-  std::string idStr(Id TheId) { return "%" + std::to_string(TheId); }
+  // Built with append rather than `"%" + std::to_string(...)`: inserting
+  // into the rvalue temporary trips GCC 12's -Wrestrict false positive
+  // (PR105651) under -Werror.
+  std::string idStr(Id TheId) {
+    std::string S("%");
+    S += std::to_string(TheId);
+    return S;
+  }
 
   // --- Id uniqueness and bound -------------------------------------------
 

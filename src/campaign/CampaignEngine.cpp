@@ -129,6 +129,27 @@ CampaignEngine::evaluateTests(const ToolConfig &Tool, size_t Count,
   for (const TestEvaluation &Restored : Evals)
     BugsSoFar += Restored.Signatures.size();
 
+  // The quarantine mask in provider terms: target *names* sidelined at the
+  // current wave boundary, in fleet order. A remote worker rebuilds the
+  // same fleet, so names are a complete, order-stable description of the
+  // wave's target set.
+  auto sidelinedNames = [&] {
+    std::vector<std::string> Names;
+    for (const HarnessedTarget &T : Scan)
+      if (Har->quarantined(T.name()))
+        Names.push_back(T.name());
+    return Names;
+  };
+  if (Provider) {
+    ShardRequest Prototype;
+    Prototype.Phase = PhaseKey;
+    Prototype.Tool = Tool.Name;
+    Prototype.Count = Count;
+    Prototype.CrashesOnly = CrashesOnly;
+    Prototype.Sidelined = sidelinedNames();
+    Provider->beginPhase(Prototype, StartWave);
+  }
+
   telemetry::TracePhaseScope EvalPhase("fuzz");
   telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
 
@@ -161,24 +182,47 @@ CampaignEngine::evaluateTests(const ToolConfig &Tool, size_t Count,
       if (!Har->quarantined(T.name()))
         WaveTargets.push_back(&T);
 
-    std::vector<std::function<std::optional<TestEvaluation>()>> Jobs;
-    Jobs.reserve(WaveEnd - WaveStart);
-    for (size_t Index = WaveStart; Index < WaveEnd; ++Index)
-      Jobs.push_back(
-          [this, &Tool, &WaveTargets, Index, CrashesOnly,
-           WaveId]() -> std::optional<TestEvaluation> {
-            if (cancelled())
-              return std::nullopt;
-            telemetry::TracePhaseScope JobPhase("fuzz");
-            telemetry::TraceSpan JobSpan("campaign.evaluate", WaveId);
-            JobSpan.note({"test", Index});
-            return evaluateTestOn(CorpusData, Tool, WaveTargets, Policy.Seed,
-                                  Index, CrashesOnly, Policy.UniformInputs,
-                                  Policy.Seed);
-          });
+    // With a provider attached, the wave's computation (and only the
+    // computation — the serial fold below is shared) is sourced from it;
+    // a declined shard falls back to the local pool.
+    bool FromProvider = false;
+    std::vector<std::optional<TestEvaluation>> Results;
+    if (Provider) {
+      ShardRequest Request;
+      Request.Phase = PhaseKey;
+      Request.Tool = Tool.Name;
+      Request.Count = Count;
+      Request.CrashesOnly = CrashesOnly;
+      Request.WaveStart = WaveStart;
+      Request.WaveEnd = WaveEnd;
+      Request.Sidelined = sidelinedNames();
+      std::vector<TestEvaluation> Provided;
+      if (Provider->takeShard(Request, Provided)) {
+        FromProvider = true;
+        Results.reserve(Provided.size());
+        for (TestEvaluation &Eval : Provided)
+          Results.emplace_back(std::move(Eval));
+      }
+    }
+    if (!FromProvider) {
+      std::vector<std::function<std::optional<TestEvaluation>()>> Jobs;
+      Jobs.reserve(WaveEnd - WaveStart);
+      for (size_t Index = WaveStart; Index < WaveEnd; ++Index)
+        Jobs.push_back(
+            [this, &Tool, &WaveTargets, Index, CrashesOnly,
+             WaveId]() -> std::optional<TestEvaluation> {
+              if (cancelled())
+                return std::nullopt;
+              telemetry::TracePhaseScope JobPhase("fuzz");
+              telemetry::TraceSpan JobSpan("campaign.evaluate", WaveId);
+              JobSpan.note({"test", Index});
+              return evaluateTestOn(CorpusData, Tool, WaveTargets, Policy.Seed,
+                                    Index, CrashesOnly, Policy.UniformInputs,
+                                    Policy.Seed);
+            });
+      Results = runJobs(std::move(Jobs));
+    }
     bool Truncated = false;
-    std::vector<std::optional<TestEvaluation>> Results =
-        runJobs(std::move(Jobs));
     for (size_t Offset = 0; Offset < Results.size(); ++Offset) {
       std::optional<TestEvaluation> &Result = Results[Offset];
       if (!Result) {
@@ -229,7 +273,33 @@ CampaignEngine::evaluateTests(const ToolConfig &Tool, size_t Count,
     if (Observer)
       Observer->onCheckpointSaved(PhaseKey, Count);
   }
+  if (Provider)
+    Provider->endPhase(PhaseKey, !Interrupted);
   return Evals;
+}
+
+std::vector<TestEvaluation>
+CampaignEngine::evaluateShard(const ToolConfig &Tool, size_t WaveStart,
+                              size_t WaveEnd, bool CrashesOnly,
+                              const std::vector<std::string> &Sidelined) {
+  const std::vector<HarnessedTarget> &Scan = Har->uncached();
+  std::vector<const HarnessedTarget *> WaveTargets;
+  WaveTargets.reserve(Scan.size());
+  for (const HarnessedTarget &T : Scan)
+    if (std::find(Sidelined.begin(), Sidelined.end(), T.name()) ==
+        Sidelined.end())
+      WaveTargets.push_back(&T);
+
+  telemetry::TracePhaseScope EvalPhase("fuzz");
+  std::vector<std::function<TestEvaluation()>> Jobs;
+  Jobs.reserve(WaveEnd - WaveStart);
+  for (size_t Index = WaveStart; Index < WaveEnd; ++Index)
+    Jobs.push_back([this, &Tool, &WaveTargets, Index, CrashesOnly]() {
+      telemetry::TracePhaseScope JobPhase("fuzz");
+      return evaluateTestOn(CorpusData, Tool, WaveTargets, Policy.Seed, Index,
+                            CrashesOnly, Policy.UniformInputs, Policy.Seed);
+    });
+  return runJobs(std::move(Jobs));
 }
 
 //===----------------------------------------------------------------------===//

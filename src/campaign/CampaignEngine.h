@@ -226,6 +226,61 @@ public:
                                 const TransformationSequence &Minimized) = 0;
 };
 
+/// One schedulable unit of an evaluation phase: the tests in
+/// [WaveStart, WaveEnd) of (Tool, Count, CrashesOnly), evaluated against
+/// the full scan target set minus the targets quarantined at the wave
+/// boundary. A shard is pure compute — breaker commits, observer events
+/// and checkpoints all stay with the engine's serial fold — so shards can
+/// be farmed out to other threads or processes without touching the
+/// determinism contract.
+struct ShardRequest {
+  /// The engine phase key the shard belongs to (e.g.
+  /// "eval/spirv-fuzz/100").
+  std::string Phase;
+  /// Tool name (resolvable via CampaignEngine::findTool).
+  std::string Tool;
+  /// Phase total (tests per tool), part of the phase identity.
+  uint64_t Count = 0;
+  bool CrashesOnly = false;
+  /// Wave bounds in test indices: [WaveStart, WaveEnd).
+  uint64_t WaveStart = 0;
+  uint64_t WaveEnd = 0;
+  /// Names of targets quarantined at this wave's boundary (the serial
+  /// quarantine snapshot), in fleet order. The shard evaluates every scan
+  /// target not named here.
+  std::vector<std::string> Sidelined;
+};
+
+/// The engine's scale-out hook: when attached, evaluateTests asks the
+/// provider for each wave's evaluations instead of computing them on the
+/// local pool. The provider returns exactly the TestEvaluations the local
+/// computation would produce (evaluateShard is the reference
+/// implementation), in test-index order; everything decision-bearing —
+/// breaker commits, bug events, checkpoints — still happens in the
+/// engine's serial fold, so a provider-backed run is byte-identical to a
+/// local one. Implemented by serve/Coordinator.h; the engine only sees
+/// this interface, keeping campaign free of any serve dependency.
+class ShardProvider {
+public:
+  virtual ~ShardProvider() = default;
+
+  /// A phase is starting: \p Prototype carries the phase identity and the
+  /// quarantine mask at \p StartWave; waves in [StartWave, Count) are
+  /// about to be requested in order.
+  virtual void beginPhase(const ShardRequest &Prototype,
+                          size_t StartWave) = 0;
+
+  /// Produces the evaluations of one wave (WaveEnd - WaveStart entries,
+  /// in test-index order). Returns false to decline, in which case the
+  /// engine computes the shard locally.
+  virtual bool takeShard(const ShardRequest &Request,
+                         std::vector<TestEvaluation> &Out) = 0;
+
+  /// The phase ended (\p Complete is false when the deadline cut it
+  /// short).
+  virtual void endPhase(const std::string &Phase, bool Complete) = 0;
+};
+
 /// The engine's observability hook: decision events delivered at serial
 /// commit points on the aggregation thread, in test-index order, so the
 /// callback sequence is identical at any job count. Implemented by
@@ -312,6 +367,25 @@ public:
   void setObserver(CampaignObserver *O) { Observer = O; }
   CampaignObserver *observer() const { return Observer; }
 
+  /// Attaches (or detaches, with nullptr) the scale-out hook. When set,
+  /// evaluateTests sources each wave's evaluations from the provider and
+  /// keeps only the serial fold; a provider that declines a shard falls
+  /// back to local computation. Not owned.
+  void setShardProvider(ShardProvider *P) { Provider = P; }
+  ShardProvider *shardProvider() const { return Provider; }
+
+  /// Computes one shard purely: evaluates tests [\p WaveStart, \p WaveEnd)
+  /// of \p Tool against every scan target not named in \p Sidelined, in
+  /// parallel per the policy, and returns the evaluations in test-index
+  /// order. No breaker commits, no observer events, no checkpoints, no
+  /// deadline — this is the worker-side unit of work behind ShardProvider,
+  /// and byte-for-byte what evaluateTests would compute for the same wave
+  /// under the same quarantine mask.
+  std::vector<TestEvaluation>
+  evaluateShard(const ToolConfig &Tool, size_t WaveStart, size_t WaveEnd,
+                bool CrashesOnly,
+                const std::vector<std::string> &Sidelined);
+
   /// Deterministically re-runs the fuzzer behind (\p Tool, \p TestIndex).
   FuzzResult regenerate(const ToolConfig &Tool, size_t TestIndex,
                         size_t &ReferenceIndexOut) const;
@@ -373,6 +447,7 @@ private:
   std::atomic<bool> CancelFlag{false};
   CampaignCheckpointer *Checkpointer = nullptr;
   CampaignObserver *Observer = nullptr;
+  ShardProvider *Provider = nullptr;
 };
 
 } // namespace spvfuzz

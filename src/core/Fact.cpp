@@ -10,10 +10,17 @@
 
 using namespace spvfuzz;
 
+// Built with append rather than `"%" + std::to_string(...)`: inserting into
+// the rvalue temporary trips GCC 12's -Wrestrict false positive (PR105651)
+// under -Werror.
 std::string DataDescriptor::str() const {
-  std::string Out = "%" + std::to_string(Object);
-  for (uint32_t Index : Indices)
-    Out += "[" + std::to_string(Index) + "]";
+  std::string Out("%");
+  Out += std::to_string(Object);
+  for (uint32_t Index : Indices) {
+    Out += '[';
+    Out += std::to_string(Index);
+    Out += ']';
+  }
   return Out;
 }
 

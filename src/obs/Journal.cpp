@@ -36,6 +36,16 @@ const char *obs::journalEventKindName(JournalEventKind Kind) {
     return "CheckpointSaved";
   case JournalEventKind::CampaignFinished:
     return "CampaignFinished";
+  case JournalEventKind::WorkerAttached:
+    return "WorkerAttached";
+  case JournalEventKind::WorkerExited:
+    return "WorkerExited";
+  case JournalEventKind::ShardLeased:
+    return "ShardLeased";
+  case JournalEventKind::ShardCompleted:
+    return "ShardCompleted";
+  case JournalEventKind::LeaseExpired:
+    return "LeaseExpired";
   }
   return "Unknown";
 }
@@ -46,7 +56,9 @@ bool obs::journalEventKindFromName(const std::string &Name,
       JournalEventKind::CampaignStarted,  JournalEventKind::WaveCommitted,
       JournalEventKind::BugFound,         JournalEventKind::ReductionStep,
       JournalEventKind::TargetQuarantined, JournalEventKind::CheckpointSaved,
-      JournalEventKind::CampaignFinished,
+      JournalEventKind::CampaignFinished, JournalEventKind::WorkerAttached,
+      JournalEventKind::WorkerExited,     JournalEventKind::ShardLeased,
+      JournalEventKind::ShardCompleted,   JournalEventKind::LeaseExpired,
   };
   for (JournalEventKind Kind : All)
     if (Name == journalEventKindName(Kind)) {
@@ -148,6 +160,19 @@ std::string obs::serializeJournalEvent(const JournalEvent &Event) {
     appendField(Out, "campaign", Event.Campaign);
     appendField(Out, "count", Event.Count);
     break;
+  case JournalEventKind::WorkerAttached:
+  case JournalEventKind::WorkerExited:
+    appendField(Out, "worker", Event.Worker);
+    appendField(Out, "count", Event.Count);
+    break;
+  case JournalEventKind::ShardLeased:
+  case JournalEventKind::ShardCompleted:
+  case JournalEventKind::LeaseExpired:
+    appendField(Out, "phase", Event.Phase);
+    appendField(Out, "wave", Event.Wave);
+    appendField(Out, "worker", Event.Worker);
+    appendField(Out, "count", Event.Count);
+    break;
   }
   appendField(Out, "wall_us", Event.WallUs);
   Out += "}";
@@ -193,6 +218,7 @@ bool obs::parseJournalLine(const std::string &Line, JournalEvent &Out,
   Out.Reduced = Object.count("reduced");
   Out.Minimized = Object.count("minimized");
   Out.Checks = Object.count("checks");
+  Out.Worker = Object.count("worker");
   Out.WallUs = Object.count("wall_us");
   return true;
 }
@@ -230,12 +256,34 @@ std::string obs::formatJournalEvent(const JournalEvent &Event) {
   case JournalEventKind::CampaignFinished:
     Out << " campaign=" << Event.Campaign << " distinct_bugs=" << Event.Count;
     break;
+  case JournalEventKind::WorkerAttached:
+    Out << " worker=" << Event.Worker << " pid=" << Event.Count;
+    break;
+  case JournalEventKind::WorkerExited:
+    Out << " worker=" << Event.Worker << " pid=" << Event.Count;
+    break;
+  case JournalEventKind::ShardLeased:
+    Out << " [" << Event.Phase << "] wave " << Event.Wave << " worker="
+        << Event.Worker << " job=" << Event.Count;
+    break;
+  case JournalEventKind::ShardCompleted:
+    Out << " [" << Event.Phase << "] wave " << Event.Wave << " worker="
+        << Event.Worker << " job=" << Event.Count;
+    break;
+  case JournalEventKind::LeaseExpired:
+    Out << " [" << Event.Phase << "] wave " << Event.Wave << " worker="
+        << Event.Worker << " job=" << Event.Count;
+    break;
   }
   return Out.str();
 }
 
 std::string obs::journalPathFor(const std::string &StoreDir) {
   return StoreDir + "/journal/events.jsonl";
+}
+
+std::string obs::servePathFor(const std::string &StoreDir) {
+  return StoreDir + "/journal/serve.jsonl";
 }
 
 //===----------------------------------------------------------------------===//
@@ -266,8 +314,15 @@ std::unique_ptr<JournalWriter> JournalWriter::open(const std::string &StoreDir,
             "': " + std::strerror(errno);
     return nullptr;
   }
+  return openAt(journalPathFor(StoreDir), Resume, Deterministic, Error);
+}
+
+std::unique_ptr<JournalWriter> JournalWriter::openAt(const std::string &Path,
+                                                     bool Resume,
+                                                     bool Deterministic,
+                                                     std::string &Error) {
   std::unique_ptr<JournalWriter> Writer(new JournalWriter());
-  Writer->Path = journalPathFor(StoreDir);
+  Writer->Path = Path;
   Writer->Deterministic = Deterministic;
 
   uint64_t KeepBytes = 0;

@@ -55,7 +55,13 @@ namespace obs {
 /// lines from a newer version instead of misinterpreting them.
 constexpr uint64_t JournalFormatVersion = 1;
 
-/// Every event kind the journal records.
+/// Every event kind the journal records. The first block are the
+/// campaign's decision events (written to events.jsonl in serial commit
+/// order, byte-identical at any job or worker count); the Worker* / Shard*
+/// / Lease* kinds are scale-out *scheduling* events, which are inherently
+/// nondeterministic and therefore go to a separate stream
+/// (`<store>/journal/serve.jsonl`, see servePathFor) that equivalence
+/// checks never diff.
 enum class JournalEventKind {
   CampaignStarted,
   WaveCommitted,
@@ -64,6 +70,11 @@ enum class JournalEventKind {
   TargetQuarantined,
   CheckpointSaved,
   CampaignFinished,
+  WorkerAttached,
+  WorkerExited,
+  ShardLeased,
+  ShardCompleted,
+  LeaseExpired,
 };
 
 const char *journalEventKindName(JournalEventKind Kind);
@@ -101,6 +112,11 @@ struct JournalEvent {
   uint64_t Reduced = 0;
   uint64_t Minimized = 0;
   uint64_t Checks = 0;
+  /// Scale-out events: the worker id (0 = the coordinator itself). For
+  /// ShardLeased/ShardCompleted/LeaseExpired, Count carries the lease
+  /// ledger job id and Wave the shard's end boundary; for
+  /// WorkerAttached/WorkerExited, Count carries the worker's pid.
+  uint64_t Worker = 0;
   /// Wall clock (microseconds since the Unix epoch) when the event was
   /// appended; 0 under deterministic-journal mode.
   uint64_t WallUs = 0;
@@ -122,6 +138,11 @@ std::string formatJournalEvent(const JournalEvent &Event);
 /// Path of the journal file inside store directory \p StoreDir.
 std::string journalPathFor(const std::string &StoreDir);
 
+/// Path of the scale-out scheduling journal (worker/lease events) inside
+/// store directory \p StoreDir. Kept separate from events.jsonl so the
+/// decision stream stays byte-identical across worker counts.
+std::string servePathFor(const std::string &StoreDir);
+
 /// The append side of the journal. Thread-compatible: the campaign engine
 /// invokes its observer serially, but appends are mutex-guarded anyway so
 /// a CLI thread can append CampaignStarted/Finished around the run.
@@ -138,6 +159,13 @@ public:
   static std::unique_ptr<JournalWriter> open(const std::string &StoreDir,
                                              bool Resume, bool Deterministic,
                                              std::string &Error);
+  /// Same contract, but writing to an explicit \p Path (whose parent
+  /// directory must already exist). Used for the scale-out scheduling
+  /// stream at servePathFor(StoreDir).
+  static std::unique_ptr<JournalWriter> openAt(const std::string &Path,
+                                               bool Resume,
+                                               bool Deterministic,
+                                               std::string &Error);
   ~JournalWriter();
   JournalWriter(const JournalWriter &) = delete;
   JournalWriter &operator=(const JournalWriter &) = delete;

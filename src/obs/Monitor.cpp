@@ -59,8 +59,66 @@ TopModel obs::buildTopModel(const std::vector<JournalEvent> &Events) {
       Model.Finished = true;
       Model.FinalBugs = Event.Count;
       break;
+    case JournalEventKind::WorkerAttached:
+    case JournalEventKind::WorkerExited:
+    case JournalEventKind::ShardLeased:
+    case JournalEventKind::ShardCompleted:
+    case JournalEventKind::LeaseExpired:
+      // Scheduling events live in serve.jsonl and fold into ServeModel.
+      break;
     }
   }
+  return Model;
+}
+
+ServeModel obs::buildServeModel(const std::vector<JournalEvent> &Events) {
+  ServeModel Model;
+  auto Row = [&](uint64_t Worker) -> WorkerStatus & {
+    for (WorkerStatus &Existing : Model.Workers)
+      if (Existing.Worker == Worker)
+        return Existing;
+    Model.Workers.push_back({});
+    Model.Workers.back().Worker = Worker;
+    return Model.Workers.back();
+  };
+  for (const JournalEvent &Event : Events) {
+    switch (Event.Kind) {
+    case JournalEventKind::WorkerAttached: {
+      WorkerStatus &W = Row(Event.Worker);
+      W.Pid = Event.Count;
+      W.Exited = false;
+      break;
+    }
+    case JournalEventKind::WorkerExited:
+      Row(Event.Worker).Exited = true;
+      break;
+    case JournalEventKind::ShardLeased: {
+      ++Model.ShardsLeased;
+      WorkerStatus &W = Row(Event.Worker);
+      W.LastPhase = Event.Phase;
+      W.LastWave = Event.Wave;
+      break;
+    }
+    case JournalEventKind::ShardCompleted: {
+      ++Model.ShardsCompleted;
+      WorkerStatus &W = Row(Event.Worker);
+      ++W.ShardsCompleted;
+      W.LastPhase = Event.Phase;
+      W.LastWave = Event.Wave;
+      break;
+    }
+    case JournalEventKind::LeaseExpired:
+      ++Model.LeasesExpired;
+      ++Row(Event.Worker).LeasesExpired;
+      break;
+    default:
+      break;
+    }
+  }
+  std::sort(Model.Workers.begin(), Model.Workers.end(),
+            [](const WorkerStatus &A, const WorkerStatus &B) {
+              return A.Worker < B.Worker;
+            });
   return Model;
 }
 
@@ -213,5 +271,37 @@ std::string obs::renderTop(const TopModel &Model,
                   (unsigned long long)Model.FinalBugs);
     Out << Line << "\n";
   }
+  return Out.str();
+}
+
+std::string obs::renderServePanel(const ServeModel &Model) {
+  std::ostringstream Out;
+  char Line[320];
+  std::snprintf(Line, sizeof(Line),
+                "workers  shards: %llu leased, %llu completed, %llu leases "
+                "expired",
+                (unsigned long long)Model.ShardsLeased,
+                (unsigned long long)Model.ShardsCompleted,
+                (unsigned long long)Model.LeasesExpired);
+  Out << Line << "\n";
+  std::snprintf(Line, sizeof(Line), "  %6s %8s %8s %8s  %-24s %8s", "worker",
+                "pid", "shards", "expired", "last phase", "state");
+  Out << Line << "\n";
+  for (const WorkerStatus &W : Model.Workers) {
+    // Worker 0 is the coordinator's own inline-compute fallback.
+    std::string Name = W.Worker == 0 ? "coord" : std::to_string(W.Worker);
+    std::string LastPhase = W.LastPhase.empty()
+                                ? "-"
+                                : W.LastPhase + "@" +
+                                      std::to_string(W.LastWave);
+    std::snprintf(Line, sizeof(Line), "  %6s %8llu %8llu %8llu  %-24s %8s",
+                  Name.c_str(), (unsigned long long)W.Pid,
+                  (unsigned long long)W.ShardsCompleted,
+                  (unsigned long long)W.LeasesExpired, LastPhase.c_str(),
+                  W.Exited ? "exited" : "live");
+    Out << Line << "\n";
+  }
+  if (Model.Workers.empty())
+    Out << "  (no worker events)\n";
   return Out.str();
 }

@@ -60,11 +60,39 @@ struct TopModel {
 
 TopModel buildTopModel(const std::vector<JournalEvent> &Events);
 
+/// Per-worker scheduling state of a scale-out run, folded from the
+/// serve.jsonl stream (servePathFor). Worker 0 is the coordinator's
+/// inline-compute fallback.
+struct WorkerStatus {
+  uint64_t Worker = 0;
+  uint64_t Pid = 0;
+  uint64_t ShardsCompleted = 0;
+  uint64_t LeasesExpired = 0;
+  std::string LastPhase;
+  uint64_t LastWave = 0;
+  bool Exited = false;
+};
+
+/// The `minispv top` per-worker panel, shown when the store has a
+/// scheduling journal.
+struct ServeModel {
+  std::vector<WorkerStatus> Workers;
+  uint64_t ShardsLeased = 0;
+  uint64_t ShardsCompleted = 0;
+  uint64_t LeasesExpired = 0;
+};
+
+ServeModel buildServeModel(const std::vector<JournalEvent> &Events);
+
 /// Renders the single-screen `minispv top` view. \p Metrics (optional)
 /// contributes cache hit rates when the campaign also exported a metrics
 /// snapshot into the store.
 std::string renderTop(const TopModel &Model,
                       const telemetry::MetricsSnapshot *Metrics);
+
+/// Renders the per-worker panel appended below renderTop for scale-out
+/// runs.
+std::string renderServePanel(const ServeModel &Model);
 
 } // namespace obs
 } // namespace spvfuzz

@@ -168,18 +168,8 @@ void writeEvaluationPayload(ByteWriter &W, const EvaluationCheckpoint &C) {
   W.u64(C.NextWave);
   W.u8(C.Complete ? 1 : 0);
   W.u32(static_cast<uint32_t>(C.Evals.size()));
-  for (const TestEvaluation &Eval : C.Evals) {
-    W.u64(Eval.Seed);
-    W.u64(Eval.ReferenceIndex);
-    W.u32(static_cast<uint32_t>(Eval.Signatures.size()));
-    for (const auto &[Target, Signature] : Eval.Signatures) {
-      W.str(Target);
-      W.str(Signature);
-    }
-    W.u32(static_cast<uint32_t>(Eval.ToolErrored.size()));
-    for (const std::string &Name : Eval.ToolErrored)
-      W.str(Name);
-  }
+  for (const TestEvaluation &Eval : C.Evals)
+    writeTestEvaluationBinary(W, Eval);
   writeBreakers(W, C.Breakers);
 }
 
@@ -196,27 +186,8 @@ bool readEvaluationPayload(ByteReader &R, EvaluationCheckpoint &C) {
   C.Evals.reserve(EvalCount);
   for (uint32_t I = 0; I < EvalCount; ++I) {
     TestEvaluation Eval;
-    uint64_t ReferenceIndex = 0;
-    uint32_t SigCount = 0;
-    if (!R.u64(Eval.Seed) || !R.u64(ReferenceIndex) || !R.u32(SigCount) ||
-        !R.checkCount(SigCount, 8))
+    if (!readTestEvaluationBinary(R, Eval))
       return false;
-    Eval.ReferenceIndex = static_cast<size_t>(ReferenceIndex);
-    for (uint32_t S = 0; S < SigCount; ++S) {
-      std::string Target, Signature;
-      if (!R.str(Target) || !R.str(Signature))
-        return false;
-      Eval.Signatures[std::move(Target)] = std::move(Signature);
-    }
-    uint32_t ErroredCount = 0;
-    if (!R.u32(ErroredCount) || !R.checkCount(ErroredCount, 4))
-      return false;
-    for (uint32_t E = 0; E < ErroredCount; ++E) {
-      std::string Name;
-      if (!R.str(Name))
-        return false;
-      Eval.ToolErrored.push_back(std::move(Name));
-    }
     C.Evals.push_back(std::move(Eval));
   }
   return readBreakers(R, C.Breakers);
@@ -784,6 +755,50 @@ bool CampaignStore::merge(const CampaignStore &Other, std::string &ErrorOut) {
                     ErrorOut))
         return false;
   }
+  return commitMergedManifest(ErrorOut);
+}
+
+bool CampaignStore::mergeFromDirectory(const std::string &Dir,
+                                       size_t &MergedOut, size_t &SkippedOut,
+                                       std::string &ErrorOut) {
+  MergedOut = 0;
+  SkippedOut = 0;
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D) {
+    ErrorOut = "cannot open directory " + Dir + ": " + strerror(errno);
+    return false;
+  }
+  std::vector<std::string> Names;
+  while (struct dirent *Entry = ::readdir(D)) {
+    std::string Name = Entry->d_name;
+    if (Name == "." || Name == "..")
+      continue;
+    struct stat St;
+    if (::stat((Dir + "/" + Name).c_str(), &St) == 0 && S_ISDIR(St.st_mode))
+      Names.push_back(std::move(Name));
+  }
+  ::closedir(D);
+  std::sort(Names.begin(), Names.end());
+  for (const std::string &Name : Names) {
+    const std::string Sub = Dir + "/" + Name;
+    if (Sub == Root || !fileExists(Sub + "/checkpoint/manifest.bin")) {
+      ++SkippedOut;
+      continue;
+    }
+    std::string OpenError;
+    std::unique_ptr<CampaignStore> Source = openForTools(Sub, OpenError);
+    if (!Source) {
+      ++SkippedOut;
+      continue;
+    }
+    if (!merge(*Source, ErrorOut))
+      return false;
+    ++MergedOut;
+  }
+  return true;
+}
+
+bool CampaignStore::commitMergedManifest(std::string &ErrorOut) {
   if (!atomicWriteFile(Root + "/checkpoint/manifest.bin",
                        encodeManifest(Manifest), ErrorOut))
     return false;

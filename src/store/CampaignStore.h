@@ -125,6 +125,14 @@ public:
   /// Returns false with a diagnostic on I/O failure.
   bool merge(const CampaignStore &Other, std::string &ErrorOut);
 
+  /// Folds every store found directly under \p Dir into this one (merge(),
+  /// applied to each subdirectory in sorted order). Subdirectories that do
+  /// not hold a parseable store are counted in \p SkippedOut and left
+  /// alone; \p MergedOut counts the stores folded. Returns false with a
+  /// diagnostic only on I/O failure while merging an actual store.
+  bool mergeFromDirectory(const std::string &Dir, size_t &MergedOut,
+                          size_t &SkippedOut, std::string &ErrorOut);
+
   /// Evicts corpus entries until their total size fits \p BudgetBytes,
   /// using ReplayCache's farthest-first policy: repeatedly keep every
   /// other entry (newest of each pair). Returns the number of files
@@ -155,6 +163,9 @@ private:
   /// in its checkpoints (idempotent under replay), then persists the
   /// manifest and the telemetry snapshot.
   void commitManifest();
+  /// Persists the manifest exactly as merge() left it (no rebuild from
+  /// local checkpoints, which would drop the foreign campaigns).
+  bool commitMergedManifest(std::string &ErrorOut);
   void writeManifestMirror() const;
 
   std::string Root;

@@ -380,6 +380,49 @@ bool spvfuzz::readShaderInputBinary(ByteReader &R, ShaderInput &Input) {
   return true;
 }
 
+// --- Test evaluation codec --------------------------------------------------
+
+void spvfuzz::writeTestEvaluationBinary(ByteWriter &W,
+                                        const TestEvaluation &Eval) {
+  W.u64(Eval.Seed);
+  W.u64(Eval.ReferenceIndex);
+  W.u32(static_cast<uint32_t>(Eval.Signatures.size()));
+  for (const auto &[Target, Signature] : Eval.Signatures) {
+    W.str(Target);
+    W.str(Signature);
+  }
+  W.u32(static_cast<uint32_t>(Eval.ToolErrored.size()));
+  for (const std::string &Name : Eval.ToolErrored)
+    W.str(Name);
+}
+
+bool spvfuzz::readTestEvaluationBinary(ByteReader &R, TestEvaluation &Eval) {
+  Eval.Signatures.clear();
+  Eval.ToolErrored.clear();
+  uint64_t ReferenceIndex = 0;
+  uint32_t SigCount = 0;
+  if (!R.u64(Eval.Seed) || !R.u64(ReferenceIndex) || !R.u32(SigCount) ||
+      !R.checkCount(SigCount, 8))
+    return false;
+  Eval.ReferenceIndex = static_cast<size_t>(ReferenceIndex);
+  for (uint32_t S = 0; S < SigCount; ++S) {
+    std::string Target, Signature;
+    if (!R.str(Target) || !R.str(Signature))
+      return false;
+    Eval.Signatures[std::move(Target)] = std::move(Signature);
+  }
+  uint32_t ErroredCount = 0;
+  if (!R.u32(ErroredCount) || !R.checkCount(ErroredCount, 4))
+    return false;
+  for (uint32_t E = 0; E < ErroredCount; ++E) {
+    std::string Name;
+    if (!R.str(Name))
+      return false;
+    Eval.ToolErrored.push_back(std::move(Name));
+  }
+  return true;
+}
+
 // --- Fact codec ------------------------------------------------------------
 
 namespace {

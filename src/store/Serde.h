@@ -25,6 +25,7 @@
 #ifndef STORE_SERDE_H
 #define STORE_SERDE_H
 
+#include "campaign/Campaign.h"
 #include "core/Fact.h"
 #include "exec/Value.h"
 #include "ir/Module.h"
@@ -86,6 +87,13 @@ bool readFactsBinary(ByteReader &R, FactManager &Facts);
 /// Shader inputs (bindings in key order; values recurse with a depth cap).
 void writeShaderInputBinary(ByteWriter &W, const ShaderInput &Input);
 bool readShaderInputBinary(ByteReader &R, ShaderInput &Input);
+
+/// One test's evaluation result (campaign/Campaign.h), exactly as the
+/// evaluation-checkpoint codec stores it. Shared between checkpoint files
+/// and the serve layer's ShardProtocol, so a shard result a worker ships
+/// is byte-for-byte the representation the coordinator checkpoints.
+void writeTestEvaluationBinary(ByteWriter &W, const TestEvaluation &Eval);
+bool readTestEvaluationBinary(ByteReader &R, TestEvaluation &Eval);
 
 } // namespace spvfuzz
 

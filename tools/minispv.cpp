@@ -24,6 +24,13 @@
 ///                    [--quarantine-threshold N] [--dedup]
 ///                    [--store DIR [--resume] [--checkpoint-interval N]
 ///                     [--deterministic-journal]]
+///   minispv serve    --store DIR [--workers K] [--worker-jobs N]
+///                    [--lease-ttl-ms N] [--kill-worker-after N]
+///                    [--minispv PATH] [+ campaign flags except
+///                    --deadline-ms]
+///   minispv worker   --store DIR --worker-id N [--jobs N]
+///                    [--max-shards N] [--abandon-after N]
+///                    [--truncate-last-result]
 ///   minispv targets  [--faulty-fleet]
 ///   minispv report   (metrics.json... | --store DIR) [--trace t.jsonl]
 ///   minispv report   --compare BASE.json CURRENT.json
@@ -35,13 +42,20 @@
 ///   minispv db       show  <bucket> --store DIR
 ///   minispv db       diff  <bucket> --store DIR
 ///   minispv db       gc    --store DIR --budget BYTES
-///   minispv db       merge --store DIR --from DIR2
+///   minispv db       merge --store DIR (--from DIR2 | --from-dir DIR)
 ///
 /// `campaign --store` makes the run durable: the engine checkpoints at
 /// wave boundaries, every reduced reproducer lands in the store's bug
 /// database, and an interrupted campaign rerun with `--resume` continues
 /// where it stopped — with byte-identical stdout to an uninterrupted run.
 /// `db` is the cross-campaign triage CLI over such a store.
+///
+/// `serve` is the multi-process form of `campaign --store`: the
+/// coordinator spawns K `worker` processes that lease scheduling waves
+/// from a crash-safe ledger under the store (see serve/LeaseLedger.h) and
+/// folds their results back serially — stdout, the bug database, the
+/// decision journal and the metrics counters are byte-identical to the
+/// single-process run, even when a worker is killed mid-wave.
 /// Module files use the textual assembly of ir/Text.h; input files hold
 /// one "binding kind value" triple per line (e.g. "0 int 7", "2 bool
 /// true"); sequence files hold one serialized transformation per line.
@@ -73,6 +87,8 @@
 #include "obs/Journal.h"
 #include "obs/Monitor.h"
 #include "obs/TraceReport.h"
+#include "serve/Coordinator.h"
+#include "serve/Worker.h"
 #include "store/CampaignStore.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
@@ -95,8 +111,9 @@ namespace {
   exit(1);
 }
 
-/// Exit codes of the observability commands (report/top/tail): distinct so
-/// CI can tell "bad input" from "input missing" from "bench regression".
+/// The minispv exit-code contract (see `minispv help`), shared by every
+/// subcommand that distinguishes outcomes: distinct so CI can tell "bad
+/// input" from "input missing" from "timed out" from "bench regression".
 enum ObsExit : int {
   ObsExitParseError = 1,
   ObsExitMissingInput = 2,
@@ -449,8 +466,14 @@ int cmdReduce(const Args &A) {
   return 0;
 }
 
-int cmdCampaign(const Args &A) {
+/// `campaign` and `serve` share this driver; Serve swaps the wave
+/// computation out to a ServeCoordinator while every decision-bearing
+/// line of the run stays identical.
+int cmdCampaign(const Args &A, bool Serve) {
   size_t Jobs = strtoull(A.get("jobs", "1").c_str(), nullptr, 10);
+  if (Serve && A.has("deadline-ms"))
+    fail("--deadline-ms is not supported in serve mode (deadline-truncated "
+         "runs are not deterministic across worker counts)");
   ExecutionPolicy Policy =
       ExecutionPolicy{}
           .withJobs(Jobs)
@@ -497,6 +520,8 @@ int cmdCampaign(const Args &A) {
       Store->restoreMetrics();
   } else if (A.has("resume")) {
     fail("--resume requires --store");
+  } else if (Serve) {
+    fail("serve requires --store (the lease ledger lives under it)");
   }
   if (A.has("deterministic-journal") && !Store)
     fail("--deterministic-journal requires --store");
@@ -534,6 +559,54 @@ int cmdCampaign(const Args &A) {
     Engine.setCheckpointer(Store.get());
   if (JournalObs)
     Engine.setObserver(JournalObs.get());
+
+  // Serve mode: deploy the lease ledger + worker config under the store,
+  // spawn the workers, and let the coordinator source each wave. The
+  // scheduling journal (serve.jsonl) is separate from the decision
+  // journal so the latter stays diffable across worker counts.
+  std::unique_ptr<obs::JournalWriter> ServeJournal;
+  std::unique_ptr<serve::ServeCoordinator> Coordinator;
+  if (Serve) {
+    std::string Error;
+    ServeJournal = obs::JournalWriter::openAt(
+        obs::servePathFor(Policy.StorePath), /*Resume=*/false,
+        A.has("deterministic-journal"), Error);
+    if (!ServeJournal)
+      fail(Error);
+    serve::ServeOptions SOpts;
+    SOpts.StoreDir = Policy.StorePath;
+    SOpts.Workers = strtoull(A.get("workers", "2").c_str(), nullptr, 10);
+    SOpts.WorkerJobs =
+        strtoull(A.get("worker-jobs", "1").c_str(), nullptr, 10);
+    SOpts.MinispvPath = A.get("minispv", "/proc/self/exe");
+    SOpts.LeaseTtlMs =
+        strtoull(A.get("lease-ttl-ms", "3000").c_str(), nullptr, 10);
+    SOpts.PollMs = strtoull(A.get("poll-ms", "10").c_str(), nullptr, 10);
+    SOpts.StallMs = strtoull(A.get("stall-ms", "0").c_str(), nullptr, 10);
+    SOpts.KillWorkerAfterShards =
+        strtoull(A.get("kill-worker-after", "0").c_str(), nullptr, 10);
+    SOpts.ServeJournal = ServeJournal.get();
+    Coordinator =
+        std::make_unique<serve::ServeCoordinator>(Engine, SOpts);
+    serve::WorkerConfigMsg WC;
+    WC.CampaignId = Store->campaignId();
+    WC.Seed = Policy.Seed;
+    WC.TransformationLimit = Policy.TransformationLimit;
+    WC.TargetDeadlineSteps = Policy.TargetDeadlineSteps;
+    WC.FlakyRetries = Policy.FlakyRetries;
+    WC.QuarantineThreshold = Policy.QuarantineThreshold;
+    WC.Engine = static_cast<uint8_t>(Policy.Engine);
+    WC.UniformInputs = Policy.UniformInputs;
+    WC.FaultyFleet = A.has("faulty-fleet") ? 1 : 0;
+    WC.Tests = Config.TestsPerTool;
+    WC.LeaseTtlMs = SOpts.LeaseTtlMs;
+    if (!Coordinator->start(WC, Error))
+      fail(Error);
+    Engine.setShardProvider(Coordinator.get());
+    fprintf(stderr, "serve: %zu worker(s), lease ttl %llu ms\n",
+            SOpts.Workers,
+            static_cast<unsigned long long>(SOpts.LeaseTtlMs));
+  }
 
   // Scheduling facts (jobs, resume) go to stderr: stdout carries only the
   // decision lines, which are identical at any job count and across
@@ -577,6 +650,16 @@ int cmdCampaign(const Args &A) {
     }
   }
 
+  // Drain the deployment before sealing: DONE goes down, workers exit
+  // and are reaped. Scheduling facts stay on stderr; stdout above is
+  // byte-identical to the single-process run.
+  if (Coordinator) {
+    Coordinator->shutdown();
+    fprintf(stderr, "serve: folded %zu shard(s), %zu lease expir%s\n",
+            Coordinator->shardsFolded(), Coordinator->leaseExpiries(),
+            Coordinator->leaseExpiries() == 1 ? "y" : "ies");
+  }
+
   if (Engine.deadlineExpired())
     fprintf(stderr, "note: deadline hit; results are truncated%s\n",
             Store ? " (rerun with --resume to continue)" : "");
@@ -598,6 +681,39 @@ int cmdCampaign(const Args &A) {
     Journal->commit();
   }
   return 0;
+}
+
+/// The worker side of `minispv serve`. Normally spawned by the
+/// coordinator; the extra flags are the crash-matrix hooks (die at a
+/// shard boundary, die mid-publish, die holding a lease).
+int cmdWorker(const Args &A) {
+  serve::WorkerOptions Opts;
+  Opts.StoreDir = A.require("store");
+  Opts.WorkerId = strtoull(A.get("worker-id", "1").c_str(), nullptr, 10);
+  Opts.Jobs = strtoull(A.get("jobs", "1").c_str(), nullptr, 10);
+  if (A.has("poll-ms"))
+    Opts.PollMs = strtoull(A.get("poll-ms").c_str(), nullptr, 10);
+  if (A.has("config-wait-ms"))
+    Opts.ConfigWaitMs =
+        strtoull(A.get("config-wait-ms").c_str(), nullptr, 10);
+  Opts.MaxShards = strtoull(A.get("max-shards", "0").c_str(), nullptr, 10);
+  Opts.TruncateLastResult = A.has("truncate-last-result");
+  Opts.AbandonAfterShards =
+      strtoull(A.get("abandon-after", "0").c_str(), nullptr, 10);
+  // A worker process has its own registry, so shipping per-shard counter
+  // deltas is safe (and required for coordinator totals to match serial).
+  Opts.CollectMetrics = true;
+  serve::ShardWorker Worker(Opts);
+  std::string Error;
+  int Code = Worker.run(Error);
+  if (Code != 0)
+    fprintf(stderr, "minispv: worker %llu: %s\n",
+            static_cast<unsigned long long>(Opts.WorkerId), Error.c_str());
+  else
+    fprintf(stderr, "worker %llu: %zu shard(s) completed\n",
+            static_cast<unsigned long long>(Opts.WorkerId),
+            Worker.shardsCompleted());
+  return Code;
 }
 
 int cmdDb(const Args &A) {
@@ -648,6 +764,19 @@ int cmdDb(const Args &A) {
     return 0;
   }
   if (Sub == "merge") {
+    if (A.has("from-dir")) {
+      // Fold every store found one level under the directory — the shape
+      // a fleet of per-machine campaign stores syncs back as.
+      size_t Merged = 0, Skipped = 0;
+      if (!Store->mergeFromDirectory(A.get("from-dir"), Merged, Skipped,
+                                     Error))
+        fail(Error);
+      printf("merged %zu store(s) (%zu skipped): %zu campaign(s), "
+             "%zu distinct bucket(s)\n",
+             Merged, Skipped, Store->manifest().Campaigns.size(),
+             Store->aggregatedBuckets().size());
+      return 0;
+    }
     std::unique_ptr<CampaignStore> Other =
         CampaignStore::openForTools(A.require("from"), Error);
     if (!Other)
@@ -831,6 +960,10 @@ int cmdTop(const Args &A) {
 
   obs::JournalTailer Tailer(JournalPath);
   std::vector<obs::JournalEvent> Events;
+  // A scale-out run also has a scheduling journal; when present, a
+  // per-worker panel is appended below the campaign summary.
+  obs::JournalTailer ServeTailer(obs::servePathFor(StoreDir));
+  std::vector<obs::JournalEvent> ServeEvents;
   auto Deadline = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(TimeoutMs);
   while (true) {
@@ -838,6 +971,12 @@ int cmdTop(const Args &A) {
     if (!Tailer.poll(Events, Error))
       failWithCode(ObsExitParseError, Error);
     obs::TopModel Model = obs::buildTopModel(Events);
+    bool HaveServe = false;
+    if (std::ifstream(obs::servePathFor(StoreDir))) {
+      if (!ServeTailer.poll(ServeEvents, Error))
+        failWithCode(ObsExitParseError, Error);
+      HaveServe = true;
+    }
 
     // The store's persisted metrics snapshot (saved at checkpoints) adds
     // cache hit rates when available; its absence is not an error.
@@ -854,6 +993,10 @@ int cmdTop(const Args &A) {
       printf("\033[H\033[2J"); // refresh in place
     printf("%s", obs::renderTop(Model, HaveMetrics ? &Metrics : nullptr)
                      .c_str());
+    if (HaveServe)
+      printf("\n%s",
+             obs::renderServePanel(obs::buildServeModel(ServeEvents))
+                 .c_str());
     fflush(stdout);
     if (Once || Model.Finished)
       break;
@@ -863,6 +1006,47 @@ int cmdTop(const Args &A) {
                        " ms without seeing CampaignFinished");
     std::this_thread::sleep_for(std::chrono::milliseconds(IntervalMs));
   }
+  return 0;
+}
+
+/// `minispv help` (also --help/-h): the command list plus the exit-code
+/// contract, documented once — every subcommand adheres to it.
+int cmdHelp() {
+  printf(
+      "minispv — transformation-based compiler-testing campaign driver\n"
+      "\n"
+      "single-module commands:\n"
+      "  gen        generate a seed module (+ inputs) from a seed\n"
+      "  validate   check a module against the IR rules\n"
+      "  run        execute a module (reference semantics or one target)\n"
+      "  fuzz       apply semantics-preserving transformations\n"
+      "  replay     re-apply a saved transformation sequence\n"
+      "  reduce     shrink a bug-inducing sequence (paper's reducer)\n"
+      "\n"
+      "campaign commands:\n"
+      "  campaign   run a bug-finding campaign in this process\n"
+      "             (--store DIR makes it durable/resumable)\n"
+      "  serve      the same campaign, scaled out: spawns K worker\n"
+      "             processes leasing waves from DIR/serve; output is\n"
+      "             byte-identical to `campaign` at any worker count\n"
+      "  worker     one scale-out worker (normally spawned by serve)\n"
+      "  targets    list the simulated compiler fleet\n"
+      "\n"
+      "observability commands:\n"
+      "  report     render metrics dumps, traces, bench comparisons\n"
+      "  top        live single-screen campaign summary (+ per-worker\n"
+      "             panel when DIR/journal/serve.jsonl exists)\n"
+      "  tail       stream the campaign's decision journal\n"
+      "  db         triage the cross-campaign bug database\n"
+      "             (list/show/diff/gc/merge; merge takes --from STORE\n"
+      "             or --from-dir DIR-of-stores)\n"
+      "\n"
+      "exit codes (uniform across subcommands):\n"
+      "  0  success\n"
+      "  1  parse/usage/protocol error (bad flags, malformed input)\n"
+      "  2  missing input (file, store, or serve deployment not found)\n"
+      "  3  timeout (top/tail --timeout-ms, worker config wait)\n"
+      "  4  bench regression (report --compare)\n");
   return 0;
 }
 
@@ -880,7 +1064,11 @@ int dispatch(const std::string &Command, const Args &A) {
   if (Command == "reduce")
     return cmdReduce(A);
   if (Command == "campaign")
-    return cmdCampaign(A);
+    return cmdCampaign(A, /*Serve=*/false);
+  if (Command == "serve")
+    return cmdCampaign(A, /*Serve=*/true);
+  if (Command == "worker")
+    return cmdWorker(A);
   if (Command == "db")
     return cmdDb(A);
   if (Command == "targets")
@@ -891,6 +1079,8 @@ int dispatch(const std::string &Command, const Args &A) {
     return cmdTop(A);
   if (Command == "tail")
     return cmdTail(A);
+  if (Command == "help" || Command == "--help" || Command == "-h")
+    return cmdHelp();
   fail("unknown command '" + Command + "'");
 }
 
@@ -900,16 +1090,16 @@ int main(int Argc, char **Argv) {
   if (Argc < 2) {
     fprintf(stderr,
             "usage: minispv "
-            "<gen|validate|run|fuzz|replay|reduce|campaign|db|targets|"
-            "report|top|tail> [--metrics-out m.json] [--trace-out t.jsonl] "
-            "...\n");
+            "<gen|validate|run|fuzz|replay|reduce|campaign|serve|worker|db|"
+            "targets|report|top|tail|help> [--metrics-out m.json] "
+            "[--trace-out t.jsonl] ...\n");
     return 1;
   }
   std::string Command = Argv[1];
   Args A(Argc - 2, Argv + 2,
          {"baseline", "no-recommendations", "miscompilation", "faulty-fleet",
           "resume", "dedup", "follow", "json", "once", "warn-only",
-          "deterministic-journal"});
+          "deterministic-journal", "truncate-last-result"});
 
   std::string MetricsOut = A.get("metrics-out");
   std::string TraceOut = A.get("trace-out");
