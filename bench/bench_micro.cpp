@@ -14,7 +14,7 @@
 #include "analysis/Validator.h"
 #include "campaign/Campaign.h"
 #include "core/Fuzzer.h"
-#include "core/Reducer.h"
+#include "core/ReductionPipeline.h"
 #include "exec/Executable.h"
 #include "exec/Interpreter.h"
 #include "gen/Generator.h"
@@ -176,7 +176,8 @@ void BM_ReduceSequence(benchmark::State &State) {
   };
   for (auto _ : State)
     benchmark::DoNotOptimize(
-        reduceSequence(Program.M, Program.Input, Fuzzed.Sequence, Test)
+        ReductionPipeline(ReductionPlan{})
+            .run(Program.M, Program.Input, Fuzzed.Sequence, Test)
             .Minimized.size());
 }
 BENCHMARK(BM_ReduceSequence);

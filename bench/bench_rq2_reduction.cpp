@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "campaign/Experiments.h"
+#include "core/ReductionPipeline.h"
 
 #include "BenchEngine.h"
 #include "BenchTelemetry.h"
@@ -43,13 +44,76 @@ static void printToolSummary(const ReductionData &Data,
          TotalChecks / static_cast<double>(Records.size()));
 }
 
+/// Per-record sequence-stage checks: total minus the post-reduce stage's.
+static size_t sequenceChecks(const ReductionRecord &Record) {
+  size_t Post = 0;
+  for (const PostReducePassStats &Stat : Record.PostStats)
+    Post += Stat.Checks;
+  return Record.Checks - Post;
+}
+
+/// The paper-baseline vs configured-mode comparison table. Every number
+/// here is decision data (serial checks, reduced sizes), so the lines are
+/// identical at any job count.
+static void printComparison(const ReductionData &Base,
+                            const ReductionData &Data, CandidateOrder Order,
+                            bool PostReduce) {
+  printf("\n%s order%s vs paper baseline (same campaigns, same bugs):\n",
+         candidateOrderName(Order), PostReduce ? " + post-reduce" : "");
+  printf("%-12s %-6s %-13s %-13s %-9s %-11s %-10s %s\n", "Tool", "n",
+         "paper-checks", "new-checks", "delta", "paper-size", "new-size",
+         "post-checks");
+  for (const char *Tool : {"spirv-fuzz", "glsl-fuzz"}) {
+    std::vector<ReductionRecord> B = Base.forTool(Tool);
+    std::vector<ReductionRecord> N = Data.forTool(Tool);
+    if (B.empty() && N.empty())
+      continue;
+    double BaseChecks = 0, NewChecks = 0, PostChecks = 0;
+    long BaseSize = 0, NewSize = 0;
+    for (const ReductionRecord &Record : B) {
+      BaseChecks += static_cast<double>(Record.Checks);
+      BaseSize += static_cast<long>(Record.ReducedCount);
+    }
+    for (const ReductionRecord &Record : N) {
+      NewChecks += static_cast<double>(sequenceChecks(Record));
+      PostChecks += static_cast<double>(Record.Checks - sequenceChecks(Record));
+      NewSize += static_cast<long>(Record.ReducedCount);
+    }
+    double MeanBase = B.empty() ? 0.0 : BaseChecks / (double)B.size();
+    double MeanNew = N.empty() ? 0.0 : NewChecks / (double)N.size();
+    double Delta =
+        MeanBase > 0.0 ? (MeanBase - MeanNew) / MeanBase * 100.0 : 0.0;
+    printf("%-12s %-6zu %-13.1f %-13.1f %-8.1f%% %-11ld %-10ld %.1f\n",
+           Tool, N.size(), MeanBase, MeanNew, Delta, BaseSize, NewSize,
+           N.empty() ? 0.0 : PostChecks / (double)N.size());
+  }
+}
+
 int main(int argc, char **argv) {
   bool FaultyFleet = bench::parseFlag(argc, argv, "--faulty-fleet");
+  bool PostReduce = bench::parseFlag(argc, argv, "--post-reduce");
+  CandidateOrder Order = CandidateOrder::Paper;
+  std::string OrderArg = bench::parseString(argc, argv, "--order");
+  if (!OrderArg.empty() && !candidateOrderFromName(OrderArg, Order)) {
+    fprintf(stderr, "unknown candidate order '%s'\n", OrderArg.c_str());
+    return 1;
+  }
+  // Either knob switches the bench into comparison mode: a paper-baseline
+  // run first, then the configured run, plus the delta table.
+  bool Compare = Order != CandidateOrder::Paper || PostReduce;
   std::vector<std::string> Footer = {
       "target.compiles", "campaign.reductions", "reducer.checks",
       "baseline_reducer.checks", "reducer.speculative_checks",
       "evalcache.hits", "evalcache.misses", "replaycache.replays",
       "replaycache.transformations_skipped"};
+  if (Order == CandidateOrder::Learned) {
+    Footer.push_back("reducer.model.updates");
+    Footer.push_back("reducer.model.reorders");
+  }
+  if (PostReduce) {
+    Footer.push_back("reducer.postreduce.checks");
+    Footer.push_back("reducer.postreduce.accepted");
+  }
   if (FaultyFleet) {
     Footer.push_back("harness.timeouts");
     Footer.push_back("harness.retries");
@@ -74,7 +138,9 @@ int main(int argc, char **argv) {
     }
     Policy.withEngine(ExecSel);
   }
-  CampaignEngine Engine(Policy, CorpusSpec{}, ToolsetSpec{},
+  ExecutionPolicy ConfiguredPolicy = Policy;
+  ConfiguredPolicy.withReduceOrder(Order).withPostReduce(PostReduce);
+  CampaignEngine Engine(ConfiguredPolicy, CorpusSpec{}, ToolsetSpec{},
                         FaultyFleet ? TargetFleet::faulty() : TargetFleet{});
   ReductionConfig Config;
   Config.TestsPerTool = envSize("REPRO_TESTS", 300);
@@ -95,6 +161,17 @@ int main(int argc, char **argv) {
 
   printToolSummary(Data, "spirv-fuzz");
   printToolSummary(Data, "glsl-fuzz");
+
+  if (Compare) {
+    // Same seed, same corpus, paper-default reduction: the bugs and the
+    // unreduced variants are identical, so the table isolates the cost
+    // and size effect of the configured mode.
+    CampaignEngine Baseline(Policy, CorpusSpec{}, ToolsetSpec{},
+                            FaultyFleet ? TargetFleet::faulty()
+                                        : TargetFleet{});
+    ReductionData Base = Baseline.runReductions(Config);
+    printComparison(Base, Data, Order, PostReduce);
+  }
 
   printf("\nPer-reduction detail (delta = reduced variant size - original "
          "size):\n");

@@ -14,7 +14,7 @@
 
 #include "campaign/CampaignEngine.h"
 #include "core/Dedup.h"
-#include "core/Reducer.h"
+#include "core/ReductionPipeline.h"
 
 #include <cstdio>
 
@@ -49,7 +49,8 @@ int main() {
     InterestingnessTest Test =
         makeCrashInterestingness(*NVidia, Run.Signature, Reference.Input);
     ReduceResult Reduced =
-        reduceSequence(Reference.M, Reference.Input, Fuzzed.Sequence, Test);
+        ReductionPipeline(ReductionPlan{})
+            .run(Reference.M, Reference.Input, Fuzzed.Sequence, Test);
     ReducedTests.push_back(
         {TestIndex, Run.Signature, dedupTypesOf(Reduced.Minimized)});
   }

@@ -15,7 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "campaign/CampaignEngine.h"
-#include "core/Reducer.h"
+#include "core/ReductionPipeline.h"
 #include "ir/Text.h"
 
 #include <cstdio>
@@ -65,7 +65,8 @@ int main() {
     InterestingnessTest Test = makeInterestingnessTest(
         *SwiftShader, Signature, Reference.M, Reference.Input);
     ReduceResult Reduced =
-        reduceSequence(Reference.M, Reference.Input, Fuzzed.Sequence, Test);
+        ReductionPipeline(ReductionPlan{})
+            .run(Reference.M, Reference.Input, Fuzzed.Sequence, Test);
 
     printf("\n--- Bug report ---\n");
     printf("Target:    SwiftShader %s\n",

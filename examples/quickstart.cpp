@@ -15,7 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Validator.h"
-#include "core/Reducer.h"
+#include "core/ReductionPipeline.h"
 #include "core/TransformationUtil.h"
 #include "core/Transformations.h"
 #include "exec/Interpreter.h"
@@ -163,7 +163,8 @@ int main() {
          isValidModule(Variant) ? "yes" : "NO",
          interpret(Variant, E.Input) == Reference ? "yes" : "NO");
 
-  ReduceResult Reduced = reduceSequence(E.M, E.Input, Sequence, bugTriggers);
+  ReduceResult Reduced =
+      ReductionPipeline(ReductionPlan{}).run(E.M, E.Input, Sequence, bugTriggers);
   printf("=== Reduction (Figure 5) ===\n");
   printf("1-minimal sequence: %zu of %zu transformations (%zu "
          "interestingness checks)\n%s\n",

@@ -7,7 +7,6 @@
 #include "campaign/CampaignEngine.h"
 
 #include "baseline/BaselineReducer.h"
-#include "core/FunctionShrinker.h"
 #include "core/Reducer.h"
 #include "support/Telemetry.h"
 #include "support/Trace.h"
@@ -375,6 +374,9 @@ struct ReductionOutcome {
   ReductionRecord Record;
   Module Reduced;
   TransformationSequence Minimized;
+  /// The post-reduced reference module, when the policy's post-reduction
+  /// stage ran (it then replaces the corpus reference in the reproducer).
+  std::optional<Module> PostOriginal;
   size_t ReferenceIndex = 0;
 };
 
@@ -400,8 +402,13 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
         WantedTargets.end())
       Wanted.push_back(&T);
 
-  ReduceOptions ReduceOpts;
-  ReduceOpts.SnapshotInterval = Policy.ReplaySnapshotInterval;
+  // Plan shared by every reduction task of this phase; the pool and the
+  // per-tool AddFunction-shrink knob are filled in per task.
+  ReductionPlan BasePlan;
+  BasePlan.SnapshotInterval = Policy.ReplaySnapshotInterval;
+  BasePlan.Order = Policy.ReduceOrder;
+  BasePlan.PostReduce = Policy.PostReduce;
+  BasePlan.PostPasses = Policy.PostReducePasses;
 
   // nullopt marks a scan job cut short by the deadline.
   using ScanResult = std::optional<ScanOutcome>;
@@ -422,6 +429,15 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
         "/" + std::to_string(Config.MaxReductionsPerTool) + "/" +
         std::to_string(Config.CapPerSignature) +
         (Config.CrashesOnly ? "/crashes" : "");
+    // Pipeline knobs fold in only when non-default, so checkpoints from
+    // paper-order campaigns keep their phase identity across versions.
+    if (Policy.ReduceOrder != CandidateOrder::Paper)
+      PhaseKey += std::string("/order=") + candidateOrderName(Policy.ReduceOrder);
+    if (Policy.PostReduce) {
+      PhaseKey += "/post";
+      for (const std::string &Pass : Policy.PostReducePasses)
+        PhaseKey += "=" + Pass;
+    }
     for (const std::string &TargetName : WantedTargets)
       PhaseKey += "/" + TargetName;
     const size_t ToolRecordsStart = Data.Records.size();
@@ -566,7 +582,7 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
       //    (glsl-fuzz's group reducer has no speculative path).
       const bool Speculative =
           Policy.SpeculativeReduction && Pool && Tool.Name != "glsl-fuzz";
-      auto RunTask = [this, &Tool, &ReduceOpts, Speculative,
+      auto RunTask = [this, &Tool, &BasePlan, Speculative,
                       WaveId](const ReductionTask &Task)
           -> std::optional<ReductionOutcome> {
         if (cancelled())
@@ -584,30 +600,19 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
 
         InterestingnessTest Test = makeInterestingnessTestFor(
             *Task.T, Task.Signature, Reference.M, Reference.Input);
-        ReduceOptions TaskOpts = ReduceOpts;
-        TaskOpts.Pool = Speculative ? Pool.get() : nullptr;
+        ReductionPlan TaskPlan = BasePlan;
+        TaskPlan.Pool = Speculative ? Pool.get() : nullptr;
+        // The ğ3.4 spirv-reduce step (AddFunction payload shrinking) is a
+        // pipeline stage now; glsl-fuzz's group reducer has neither it nor
+        // a sequence-level pipeline.
+        TaskPlan.ShrinkFunctions = Tool.Name != "glsl-fuzz";
         ReduceResult Reduced =
             Tool.Name == "glsl-fuzz"
                 ? reduceByGroups(Reference.M, Reference.Input,
                                  Fuzzed.Sequence, Fuzzed.PassGroups, Test)
-                : reduceSequence(Reference.M, Reference.Input,
-                                 Fuzzed.Sequence, Test, TaskOpts);
-        if (Tool.Name != "glsl-fuzz") {
-          // The ğ3.4 spirv-reduce step: shrink any surviving AddFunction
-          // payloads.
-          bool HasAddFunction = false;
-          for (const TransformationPtr &Tr : Reduced.Minimized)
-            if (Tr->kind() == TransformationKind::AddFunction)
-              HasAddFunction = true;
-          if (HasAddFunction) {
-            size_t PriorChecks = Reduced.Checks;
-            size_t PriorSpeculative = Reduced.SpeculativeChecks;
-            Reduced = shrinkAddFunctions(Reference.M, Reference.Input,
-                                         Reduced.Minimized, Test);
-            Reduced.Checks += PriorChecks;
-            Reduced.SpeculativeChecks += PriorSpeculative;
-          }
-        }
+                : ReductionPipeline(TaskPlan).run(Reference.M,
+                                                  Reference.Input,
+                                                  Fuzzed.Sequence, Test);
 
         ReductionOutcome Out;
         ReductionRecord &Record = Out.Record;
@@ -622,10 +627,13 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
         Record.Checks = Reduced.Checks;
         Record.SpeculativeChecks = Reduced.SpeculativeChecks;
         Record.Types = dedupTypesOf(Reduced.Minimized);
+        Record.PostStats = std::move(Reduced.PostStats);
         Out.ReferenceIndex = Task.Scan->ReferenceIndex;
         if (Checkpointer) {
           Out.Reduced = std::move(Reduced.ReducedVariant);
           Out.Minimized = std::move(Reduced.Minimized);
+          if (!Record.PostStats.empty())
+            Out.PostOriginal = std::move(Reduced.ReducedOriginal);
         }
         return Out;
       };
@@ -652,14 +660,22 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
                                  Out->Record.Signature);
         Progress.advance();
         telemetry::MetricsRegistry::global().add("campaign.reductions");
-        if (Observer)
+        if (Observer) {
           Observer->onReductionStep(PhaseKey, WaveEnd, Out->Record);
+          for (const PostReducePassStats &Stat : Out->Record.PostStats)
+            if (Stat.Attempted > 0)
+              Observer->onPostReduceStep(PhaseKey, WaveEnd, Out->Record,
+                                         Stat);
+        }
         if (Checkpointer) {
           const GeneratedProgram &Reference =
               CorpusData.References[Out->ReferenceIndex];
-          Checkpointer->recordReproducer(Out->Record, Reference.M,
-                                         Reference.Input, Out->Reduced,
-                                         Out->Minimized);
+          // With post-reduction on, the reproducer's reference is the
+          // post-reduced module the records were measured against.
+          Checkpointer->recordReproducer(
+              Out->Record,
+              Out->PostOriginal ? *Out->PostOriginal : Reference.M,
+              Reference.Input, Out->Reduced, Out->Minimized);
         }
         Data.Records.push_back(std::move(Out->Record));
       }

@@ -22,6 +22,7 @@
 
 #include "campaign/Campaign.h"
 #include "campaign/Experiments.h"
+#include "core/ReductionPipeline.h"
 #include "support/ThreadPool.h"
 #include "target/EvalCache.h"
 #include "target/Harness.h"
@@ -101,6 +102,21 @@ struct ExecutionPolicy {
   /// (target/ExecutableCache.h); 0 disables artifact sharing. Never
   /// changes results or counter totals, only cost.
   size_t ExecutableCacheBudget = 64ull << 20;
+  /// Chunk-candidate ordering for the reduce phase's delta debugging
+  /// (core/ReductionPipeline.h). Paper (the default) is the fixed
+  /// back-to-front scan; Learned orders candidates by the online
+  /// ProbabilisticModel's expected payoff. Both are bit-identical across
+  /// job counts, but they produce different (each internally
+  /// deterministic) reduction schedules, so the knob is part of the
+  /// campaign identity when non-default.
+  CandidateOrder ReduceOrder = CandidateOrder::Paper;
+  /// Run the IR-level post-reduction pass list against each reproducer's
+  /// reference module after sequence reduction (off by default; changes
+  /// reduction records, so part of the campaign identity when on).
+  bool PostReduce = false;
+  /// Post-reduction passes to run when PostReduce is set, by name; empty =
+  /// the full standard list.
+  std::vector<std::string> PostReducePasses;
 
   ExecutionPolicy &withJobs(size_t Count) {
     Jobs = Count;
@@ -164,6 +180,18 @@ struct ExecutionPolicy {
   }
   ExecutionPolicy &withExecutableCacheBudget(size_t Bytes) {
     ExecutableCacheBudget = Bytes;
+    return *this;
+  }
+  ExecutionPolicy &withReduceOrder(CandidateOrder Order) {
+    ReduceOrder = Order;
+    return *this;
+  }
+  ExecutionPolicy &withPostReduce(bool On) {
+    PostReduce = On;
+    return *this;
+  }
+  ExecutionPolicy &withPostReducePasses(std::vector<std::string> Names) {
+    PostReducePasses = std::move(Names);
     return *this;
   }
 };
@@ -309,6 +337,13 @@ public:
   virtual void onReductionStep(const std::string & /*Phase*/,
                                size_t /*WaveEnd*/,
                                const ReductionRecord & /*Record*/) {}
+  /// One IR-level post-reduction pass of \p Record's reduction did work
+  /// (Attempted > 0). Emitted after onReductionStep, in pass-list order;
+  /// never emitted when the policy's PostReduce is off.
+  virtual void onPostReduceStep(const std::string & /*Phase*/,
+                                size_t /*WaveEnd*/,
+                                const ReductionRecord & /*Record*/,
+                                const PostReducePassStats & /*Stat*/) {}
   /// The wave ending at boundary \p WaveEnd (of \p Total) committed;
   /// \p Count is the phase's running tally (bugs or reductions so far).
   virtual void onWaveCommitted(const std::string & /*Phase*/,

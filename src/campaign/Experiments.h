@@ -17,6 +17,7 @@
 
 #include "campaign/Campaign.h"
 #include "core/Dedup.h"
+#include "core/Reducer.h"
 #include "support/Statistics.h"
 
 #include <set>
@@ -106,6 +107,9 @@ struct ReductionRecord {
   /// from cross-job-count determinism comparisons.
   size_t SpeculativeChecks = 0;
   std::set<TransformationKind> Types; // dedup types of the minimized seq
+  /// Per-pass accounting of the IR-level post-reduction stage; empty when
+  /// the policy ran sequence reduction only.
+  std::vector<PostReducePassStats> PostStats;
 
   long delta() const {
     return static_cast<long>(ReducedCount) - static_cast<long>(OriginalCount);

@@ -1,42 +1,20 @@
-//===- core/Reducer.cpp - Delta-debugging sequence reduction ---------------===//
+//===- core/Reducer.cpp - Legacy reduceSequence wrappers -------------------===//
 //
 // Part of the spirv-fuzz reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+//
+// The delta-debugging algorithm lives in core/ReductionPipeline.cpp; these
+// free functions are the deprecated pre-pipeline entry points, kept as thin
+// wrappers so existing callers reduce bit-identically to before.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Reducer.h"
 
-#include "core/ReplayCache.h"
-#include "support/Telemetry.h"
-#include "support/ThreadPool.h"
-#include "support/Trace.h"
-
-#include <future>
+#include "core/ReductionPipeline.h"
 
 using namespace spvfuzz;
-
-namespace {
-
-/// One chunk-removal candidate within a pass: the current sequence with
-/// [Start, End) deleted. The candidate shares the prefix [0, Start) with
-/// the current sequence, which is what lets the ReplayCache resume from a
-/// snapshot instead of replaying from scratch.
-struct ChunkCandidate {
-  size_t Start = 0;
-  size_t End = 0;
-  TransformationSequence Seq;
-  bool Interesting = false;
-};
-
-void buildCandidate(const TransformationSequence &Current, size_t Start,
-                    size_t End, TransformationSequence &Out) {
-  Out.clear();
-  Out.reserve(Current.size() - (End - Start));
-  Out.insert(Out.end(), Current.begin(), Current.begin() + Start);
-  Out.insert(Out.end(), Current.begin() + End, Current.end());
-}
-
-} // namespace
 
 ReduceResult spvfuzz::reduceSequence(const Module &Original,
                                      const ShaderInput &Input,
@@ -50,132 +28,6 @@ ReduceResult spvfuzz::reduceSequence(const Module &Original,
                                      const TransformationSequence &Sequence,
                                      const InterestingnessTest &Test,
                                      const ReduceOptions &Options) {
-  ReduceResult Result;
-  TransformationSequence Current = Sequence;
-  telemetry::MetricsRegistry &Metrics = telemetry::MetricsRegistry::global();
-  telemetry::TraceSpan Span("reduce.sequence");
-  Span.note({"initial_length", Sequence.size()});
-  if (Metrics.enabled())
-    Metrics.add("reducer.reductions");
-
-  ReplayCache Cache(Original, Input, Options.SnapshotInterval,
-                    Options.SnapshotBudgetBytes);
-
-  // Candidates per speculative batch. 1 (no pool) degenerates to the plain
-  // serial algorithm; with a pool, one batch of W candidates is evaluated
-  // concurrently and then consumed in pass order, so the accept/reject
-  // decision sequence — and therefore Checks and the minimized result — is
-  // identical to the serial run.
-  const size_t BatchWidth =
-      Options.Pool ? std::max<size_t>(Options.Pool->workerCount(), 1) : 1;
-
-  // Evaluates one candidate: incremental replay from the deepest snapshot
-  // at or below the candidate's shared prefix, then the interestingness
-  // test. Safe to run concurrently with other evaluations (Cache.replay is
-  // read-only; the test must be thread-safe per the header contract).
-  auto Evaluate = [&Cache, &Test](ChunkCandidate &C) {
-    Module Variant;
-    FactManager Facts;
-    Cache.replay(C.Seq, C.Start, Variant, Facts);
-    C.Interesting = Test(Variant, Facts);
-  };
-
-  size_t ChunkSize = Current.size() / 2;
-  if (ChunkSize == 0)
-    ChunkSize = 1;
-
-  std::vector<ChunkCandidate> Batch(BatchWidth);
-
-  while (true) {
-    telemetry::Tracer::global().event(
-        "reduce.chunk", {{"chunk_size", ChunkSize},
-                         {"sequence_length", Current.size()},
-                         {"checks", Result.Checks}});
-    bool RemovedAny = false;
-    // Work backwards from the last transformation; the leading chunk may
-    // be smaller than ChunkSize.
-    size_t End = Current.size();
-    while (End > 0) {
-      // Assemble up to BatchWidth consecutive candidates of the scan.
-      size_t BatchSize = 0;
-      size_t NextEnd = End;
-      while (BatchSize < BatchWidth && NextEnd > 0) {
-        ChunkCandidate &C = Batch[BatchSize++];
-        C.Start = NextEnd >= ChunkSize ? NextEnd - ChunkSize : 0;
-        C.End = NextEnd;
-        buildCandidate(Current, C.Start, C.End, C.Seq);
-        C.Interesting = false;
-        NextEnd = C.Start;
-      }
-      // Snapshots need only reach the deepest shared prefix of this batch
-      // (the first candidate's Start; later candidates share less).
-      Cache.prepare(Current, Batch[0].Start);
-
-      if (BatchSize > 1) {
-        // Barrier: every future must be collected before Current or the
-        // cache is mutated below — the jobs read both through references.
-        std::vector<std::future<void>> Futures;
-        Futures.reserve(BatchSize);
-        for (size_t I = 0; I != BatchSize; ++I)
-          Futures.push_back(
-              Options.Pool->submit([&Evaluate, &C = Batch[I]] { Evaluate(C); }));
-        for (std::future<void> &F : Futures)
-          F.get();
-      } else {
-        Evaluate(Batch[0]);
-      }
-
-      // Consume in pass order. Checks counts only consumed candidates, so
-      // it matches the serial algorithm exactly; evaluated-but-discarded
-      // candidates are accounted separately as speculative waste.
-      size_t Consumed = 0;
-      bool Accepted = false;
-      for (; Consumed != BatchSize; ++Consumed) {
-        ChunkCandidate &C = Batch[Consumed];
-        ++Result.Checks;
-        if (Metrics.enabled())
-          Metrics.add("reducer.checks");
-        End = C.Start;
-        if (C.Interesting) {
-          Current = std::move(C.Seq);
-          Cache.invalidateBeyond(C.Start);
-          RemovedAny = true;
-          Accepted = true;
-          ++Consumed;
-          break;
-        }
-      }
-      if (Accepted && Consumed != BatchSize) {
-        // The rest of the batch was speculated against the pre-acceptance
-        // sequence; their results no longer answer the question the serial
-        // scan would ask next. Discard and re-scan from the acceptance
-        // point.
-        size_t Wasted = BatchSize - Consumed;
-        Result.SpeculativeChecks += Wasted;
-        if (Metrics.enabled())
-          Metrics.add("reducer.speculative_checks", Wasted);
-      }
-    }
-    if (RemovedAny)
-      continue; // retry at the same chunk size until a pass removes nothing
-    if (ChunkSize == 1)
-      break; // 1-minimal
-    ChunkSize /= 2;
-  }
-
-  // The cache only ever holds snapshots of still-valid prefixes of Current,
-  // so the final replay is incremental too.
-  Result.ReducedVariant = Module();
-  Cache.replay(Current, Current.size(), Result.ReducedVariant,
-               Result.ReducedFacts);
-  Result.Minimized = std::move(Current);
-  if (Metrics.enabled()) {
-    Metrics.observe("reducer.checks_per_reduction",
-                    static_cast<double>(Result.Checks));
-    Metrics.observe("reducer.minimized_length",
-                    static_cast<double>(Result.Minimized.size()));
-  }
-  Span.note({"checks", Result.Checks});
-  Span.note({"minimized_length", Result.Minimized.size()});
-  return Result;
+  return ReductionPipeline(ReductionPlan::fromOptions(Options))
+      .run(Original, Input, Sequence, Test);
 }

@@ -58,31 +58,62 @@ struct ReduceOptions {
   ThreadPool *Pool = nullptr;
 };
 
+/// Per-pass accounting of the IR-level post-reduction stage (see
+/// core/ReductionPipeline.h).
+struct PostReducePassStats {
+  /// The pass name (ReductionPass::name()).
+  std::string Pass;
+  /// Candidates the pass produced (including ones rejected by the
+  /// validator before any interestingness check was spent).
+  size_t Attempted = 0;
+  /// Candidates accepted into the reference module.
+  size_t Accepted = 0;
+  /// Interestingness-test invocations the pass consumed.
+  size_t Checks = 0;
+};
+
 struct ReduceResult {
   /// The 1-minimal subsequence.
   TransformationSequence Minimized;
-  /// The variant obtained by applying Minimized to the original.
+  /// The variant obtained by applying Minimized to the (possibly
+  /// post-reduced) original.
   Module ReducedVariant;
   /// Facts after applying Minimized.
   FactManager ReducedFacts;
-  /// Number of interestingness-test invocations consumed by the serial
-  /// delta-debugging decision sequence (reduction cost metric). Identical
-  /// whether or not speculation is enabled.
+  /// Number of *decided* serial interestingness checks across both
+  /// reduction stages: the delta-debugging decision sequence (plus any
+  /// AddFunction shrinking) and the IR-level post-reduction passes.
+  /// Identical whether or not speculation is enabled — speculative
+  /// evaluations that were discarded are counted separately below.
   size_t Checks = 0;
   /// Speculative evaluations whose results were discarded because an
   /// earlier candidate in the same batch was accepted (wasted work; 0 when
-  /// ReduceOptions::Pool is null).
+  /// no thread pool was supplied).
   size_t SpeculativeChecks = 0;
+  /// The post-reduced reference module. Meaningful only when the plan
+  /// enabled post-reduction (PostStats non-empty); default-constructed
+  /// otherwise, and the original module remains the reference.
+  Module ReducedOriginal;
+  /// Per-pass post-reduction accounting, one entry per pass that ran (in
+  /// pass-list order); empty when post-reduction was disabled.
+  std::vector<PostReducePassStats> PostStats;
 };
 
 /// Reduces \p Sequence against \p Original + \p Input. \p Sequence must
 /// itself be interesting (the caller found a bug with it).
+///
+/// Deprecated: thin wrapper over ReductionPipeline::run with a default
+/// ReductionPlan (core/ReductionPipeline.h); new code should build a plan
+/// and run the pipeline directly.
 ReduceResult reduceSequence(const Module &Original, const ShaderInput &Input,
                             const TransformationSequence &Sequence,
                             const InterestingnessTest &Test);
 
 /// As above, with explicit performance options. The minimized sequence,
 /// variant, facts and Checks are bit-identical across all option settings.
+///
+/// Deprecated: thin wrapper over
+/// ReductionPipeline(ReductionPlan::fromOptions(Options)).run(...).
 ReduceResult reduceSequence(const Module &Original, const ShaderInput &Input,
                             const TransformationSequence &Sequence,
                             const InterestingnessTest &Test,

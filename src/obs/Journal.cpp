@@ -30,6 +30,8 @@ const char *obs::journalEventKindName(JournalEventKind Kind) {
     return "BugFound";
   case JournalEventKind::ReductionStep:
     return "ReductionStep";
+  case JournalEventKind::PostReduceStep:
+    return "PostReduceStep";
   case JournalEventKind::TargetQuarantined:
     return "TargetQuarantined";
   case JournalEventKind::CheckpointSaved:
@@ -55,6 +57,7 @@ bool obs::journalEventKindFromName(const std::string &Name,
   static const JournalEventKind All[] = {
       JournalEventKind::CampaignStarted,  JournalEventKind::WaveCommitted,
       JournalEventKind::BugFound,         JournalEventKind::ReductionStep,
+      JournalEventKind::PostReduceStep,
       JournalEventKind::TargetQuarantined, JournalEventKind::CheckpointSaved,
       JournalEventKind::CampaignFinished, JournalEventKind::WorkerAttached,
       JournalEventKind::WorkerExited,     JournalEventKind::ShardLeased,
@@ -147,6 +150,17 @@ std::string obs::serializeJournalEvent(const JournalEvent &Event) {
     appendField(Out, "minimized", Event.Minimized);
     appendField(Out, "checks", Event.Checks);
     break;
+  case JournalEventKind::PostReduceStep:
+    appendField(Out, "phase", Event.Phase);
+    appendField(Out, "wave", Event.Wave);
+    appendField(Out, "test", Event.Test);
+    appendField(Out, "target", Event.Target);
+    appendField(Out, "signature", Event.Signature);
+    appendField(Out, "pass", Event.Pass);
+    appendField(Out, "attempted", Event.Attempted);
+    appendField(Out, "accepted", Event.Accepted);
+    appendField(Out, "checks", Event.Checks);
+    break;
   case JournalEventKind::TargetQuarantined:
     appendField(Out, "phase", Event.Phase);
     appendField(Out, "wave", Event.Wave);
@@ -208,6 +222,7 @@ bool obs::parseJournalLine(const std::string &Line, JournalEvent &Out,
   Out.Phase = Object.text("phase");
   Out.Target = Object.text("target");
   Out.Signature = Object.text("signature");
+  Out.Pass = Object.text("pass");
   Out.Wave = Object.count("wave");
   Out.Total = Object.count("total");
   Out.Test = Object.count("test");
@@ -218,6 +233,8 @@ bool obs::parseJournalLine(const std::string &Line, JournalEvent &Out,
   Out.Reduced = Object.count("reduced");
   Out.Minimized = Object.count("minimized");
   Out.Checks = Object.count("checks");
+  Out.Attempted = Object.count("attempted");
+  Out.Accepted = Object.count("accepted");
   Out.Worker = Object.count("worker");
   Out.WallUs = Object.count("wall_us");
   return true;
@@ -245,6 +262,12 @@ std::string obs::formatJournalEvent(const JournalEvent &Event) {
         << Event.Unreduced << "->" << Event.Reduced << " instrs, "
         << Event.Minimized << " transformations, " << Event.Checks
         << " checks";
+    break;
+  case JournalEventKind::PostReduceStep:
+    Out << " [" << Event.Phase << "] test " << Event.Test
+        << " target=" << Event.Target << " pass=" << Event.Pass << " "
+        << Event.Accepted << "/" << Event.Attempted << " accepted, "
+        << Event.Checks << " checks";
     break;
   case JournalEventKind::TargetQuarantined:
     Out << " [" << Event.Phase << "] target=" << Event.Target << " at wave "
@@ -551,6 +574,24 @@ void JournalObserver::onReductionStep(const std::string &Phase,
   Event.Reduced = Record.ReducedCount;
   Event.Minimized = Record.MinimizedLength;
   Event.Checks = Record.Checks;
+  Writer.append(std::move(Event));
+}
+
+void JournalObserver::onPostReduceStep(const std::string &Phase,
+                                       size_t WaveEnd,
+                                       const ReductionRecord &Record,
+                                       const PostReducePassStats &Stat) {
+  JournalEvent Event;
+  Event.Kind = JournalEventKind::PostReduceStep;
+  Event.Phase = Phase;
+  Event.Wave = WaveEnd;
+  Event.Test = Record.TestIndex;
+  Event.Target = Record.TargetName;
+  Event.Signature = Record.Signature;
+  Event.Pass = Stat.Pass;
+  Event.Attempted = Stat.Attempted;
+  Event.Accepted = Stat.Accepted;
+  Event.Checks = Stat.Checks;
   Writer.append(std::move(Event));
 }
 

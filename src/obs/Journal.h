@@ -16,7 +16,7 @@
 ///
 /// One line per event, each line self-describing and versioned:
 ///
-///   {"v":1,"seq":12,"kind":"BugFound","phase":"eval/spirv-fuzz/100",
+///   {"v":2,"seq":12,"kind":"BugFound","phase":"eval/spirv-fuzz/100",
 ///    "wave":64,"test":41,"target":"Mali","signature":"...","wall_us":...}
 ///
 /// Crash safety: lines are flushed to the OS as they are appended and
@@ -53,7 +53,9 @@ namespace obs {
 
 /// The journal line-format version this build writes. Readers refuse
 /// lines from a newer version instead of misinterpreting them.
-constexpr uint64_t JournalFormatVersion = 1;
+/// Version 2 added the PostReduceStep event kind (IR-level post-reduction
+/// pass accounting, emitted only when the policy enables post-reduce).
+constexpr uint64_t JournalFormatVersion = 2;
 
 /// Every event kind the journal records. The first block are the
 /// campaign's decision events (written to events.jsonl in serial commit
@@ -67,6 +69,7 @@ enum class JournalEventKind {
   WaveCommitted,
   BugFound,
   ReductionStep,
+  PostReduceStep,
   TargetQuarantined,
   CheckpointSaved,
   CampaignFinished,
@@ -93,8 +96,10 @@ struct JournalEvent {
   std::string Phase;
   /// BugFound/ReductionStep/TargetQuarantined: the target.
   std::string Target;
-  /// BugFound/ReductionStep: the bug signature.
+  /// BugFound/ReductionStep/PostReduceStep: the bug signature.
   std::string Signature;
+  /// PostReduceStep: name of the post-reduction pass.
+  std::string Pass;
   /// Phase events: the wave (end) boundary, in test indices.
   uint64_t Wave = 0;
   /// CampaignStarted: tests per tool; WaveCommitted: phase total.
@@ -111,7 +116,11 @@ struct JournalEvent {
   uint64_t Unreduced = 0;
   uint64_t Reduced = 0;
   uint64_t Minimized = 0;
+  /// ReductionStep/PostReduceStep: serial interestingness checks decided.
   uint64_t Checks = 0;
+  /// PostReduceStep: candidates attempted / accepted by the pass.
+  uint64_t Attempted = 0;
+  uint64_t Accepted = 0;
   /// Scale-out events: the worker id (0 = the coordinator itself). For
   /// ShardLeased/ShardCompleted/LeaseExpired, Count carries the lease
   /// ledger job id and Wave the shard's end boundary; for
@@ -254,6 +263,9 @@ public:
                            const std::string &Target) override;
   void onReductionStep(const std::string &Phase, size_t WaveEnd,
                        const ReductionRecord &Record) override;
+  void onPostReduceStep(const std::string &Phase, size_t WaveEnd,
+                        const ReductionRecord &Record,
+                        const PostReducePassStats &Stat) override;
   void onWaveCommitted(const std::string &Phase, size_t WaveEnd,
                        size_t Total, size_t Count) override;
   void onCheckpointSaved(const std::string &Phase, size_t WaveEnd) override;

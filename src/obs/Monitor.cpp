@@ -49,6 +49,9 @@ TopModel obs::buildTopModel(const std::vector<JournalEvent> &Events) {
     case JournalEventKind::ReductionStep:
       ++Model.Reductions;
       break;
+    case JournalEventKind::PostReduceStep:
+      Model.PostReduceAccepted += Event.Accepted;
+      break;
     case JournalEventKind::TargetQuarantined:
       Model.Quarantined.insert(Event.Target);
       break;
@@ -170,6 +173,11 @@ std::string obs::renderTop(const TopModel &Model,
                 (unsigned long long)Model.Reductions,
                 (unsigned long long)Model.Checkpoints);
   Out << Line;
+  if (Model.PostReduceAccepted) {
+    std::snprintf(Line, sizeof(Line), "  post-reduce=%llu",
+                  (unsigned long long)Model.PostReduceAccepted);
+    Out << Line;
+  }
   if (ElapsedSec > 0.0) {
     std::snprintf(Line, sizeof(Line), "  elapsed=%s  bugs/sec=%.2f",
                   formatSeconds(ElapsedSec).c_str(),

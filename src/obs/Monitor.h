@@ -52,6 +52,9 @@ struct TopModel {
   std::set<std::string> Quarantined;
   uint64_t BugEvents = 0;
   uint64_t Reductions = 0;
+  /// IR-level post-reduction acceptances (PostReduceStep events' Accepted
+  /// sum); stays 0 unless the campaign ran with post-reduce enabled.
+  uint64_t PostReduceAccepted = 0;
   uint64_t Checkpoints = 0;
   /// Wall-clock range covered by the journal (0 under deterministic mode).
   uint64_t FirstWallUs = 0;

@@ -207,9 +207,16 @@ void writeRecord(ByteWriter &W, const ReductionRecord &Record) {
   W.u32(static_cast<uint32_t>(Record.Types.size()));
   for (TransformationKind Kind : Record.Types)
     W.u16(static_cast<uint16_t>(Kind));
+  W.u32(static_cast<uint32_t>(Record.PostStats.size()));
+  for (const PostReducePassStats &Stat : Record.PostStats) {
+    W.str(Stat.Pass);
+    W.u64(Stat.Attempted);
+    W.u64(Stat.Accepted);
+    W.u64(Stat.Checks);
+  }
 }
 
-bool readRecord(ByteReader &R, ReductionRecord &Record) {
+bool readRecord(ByteReader &R, ReductionRecord &Record, uint32_t Version) {
   uint64_t TestIndex = 0, Original = 0, Unreduced = 0, Reduced = 0,
            Minimized = 0, Checks = 0, Speculative = 0;
   uint32_t TypeCount = 0;
@@ -235,6 +242,24 @@ bool readRecord(ByteReader &R, ReductionRecord &Record) {
       return R.failAt("unknown transformation kind " + std::to_string(Kind));
     Record.Types.insert(static_cast<TransformationKind>(Kind));
   }
+  Record.PostStats.clear();
+  if (Version >= 2) {
+    uint32_t PostCount = 0;
+    if (!R.u32(PostCount) || !R.checkCount(PostCount, 28))
+      return false;
+    Record.PostStats.reserve(PostCount);
+    for (uint32_t I = 0; I < PostCount; ++I) {
+      PostReducePassStats Stat;
+      uint64_t Attempted = 0, Accepted = 0, Checks = 0;
+      if (!R.str(Stat.Pass) || !R.u64(Attempted) || !R.u64(Accepted) ||
+          !R.u64(Checks))
+        return false;
+      Stat.Attempted = static_cast<size_t>(Attempted);
+      Stat.Accepted = static_cast<size_t>(Accepted);
+      Stat.Checks = static_cast<size_t>(Checks);
+      Record.PostStats.push_back(std::move(Stat));
+    }
+  }
   return true;
 }
 
@@ -254,7 +279,8 @@ void writeReductionPayload(ByteWriter &W, const ReductionCheckpoint &C) {
   writeBreakers(W, C.Breakers);
 }
 
-bool readReductionPayload(ByteReader &R, ReductionCheckpoint &C) {
+bool readReductionPayload(ByteReader &R, ReductionCheckpoint &C,
+                          uint32_t Version) {
   uint64_t NextWave = 0, Done = 0;
   uint8_t Complete = 0;
   uint32_t SigCount = 0;
@@ -280,7 +306,7 @@ bool readReductionPayload(ByteReader &R, ReductionCheckpoint &C) {
   C.Records.reserve(RecordCount);
   for (uint32_t I = 0; I < RecordCount; ++I) {
     ReductionRecord Record;
-    if (!readRecord(R, Record))
+    if (!readRecord(R, Record, Version))
       return false;
     C.Records.push_back(std::move(Record));
   }
@@ -375,6 +401,16 @@ std::string spvfuzz::campaignConfigDigest(const ExecutionPolicy &Policy) {
   H.word(Policy.TargetDeadlineSteps);
   H.word(Policy.FlakyRetries);
   H.word(Policy.QuarantineThreshold);
+  // Reduction-pipeline knobs change reduction results, so they are part
+  // of the campaign identity — but only when non-default, so digests of
+  // paper-order campaigns are stable across versions.
+  if (Policy.ReduceOrder != CandidateOrder::Paper)
+    H.word(static_cast<uint64_t>(Policy.ReduceOrder) + 1);
+  if (Policy.PostReduce) {
+    H.word(0x706f7374u); // "post"
+    for (const std::string &Pass : Policy.PostReducePasses)
+      H.word(hashString(Pass));
+  }
   return hexDigits(H.digest(), 16);
 }
 
@@ -435,7 +471,7 @@ CampaignStore::open(const std::string &Dir, const ExecutionPolicy &Policy,
       continue;
     ByteReader R(*Payload);
     ReductionCheckpoint C;
-    if (readReductionPayload(R, C))
+    if (readReductionPayload(R, C, File.Version))
       Store->PhaseRecords[*Phase] = std::move(C.Records);
   }
   return Store;
@@ -463,7 +499,8 @@ CampaignStore::openForTools(const std::string &Dir, std::string &ErrorOut) {
 
 bool CampaignStore::loadCheckpointFile(const std::string &Phase,
                                        const char *SectionTag,
-                                       std::string &PayloadOut) {
+                                       std::string &PayloadOut,
+                                       uint32_t &VersionOut) {
   const std::string Path =
       Root + "/checkpoint/" +
       hexDigits(hashString(CampaignId + "\n" + Phase), 16) + ".ckpt";
@@ -483,6 +520,7 @@ bool CampaignStore::loadCheckpointFile(const std::string &Phase,
       *Stored != Phase)
     return false;
   PayloadOut = *Payload;
+  VersionOut = File.Version;
   return true;
 }
 
@@ -504,7 +542,8 @@ void CampaignStore::saveCheckpointFile(const std::string &Phase,
 bool CampaignStore::loadEvaluation(const std::string &Phase,
                                    EvaluationCheckpoint &Out) {
   std::string Payload;
-  if (!loadCheckpointFile(Phase, "EVAL", Payload))
+  uint32_t Version = 0;
+  if (!loadCheckpointFile(Phase, "EVAL", Payload, Version))
     return false;
   ByteReader R(Payload);
   EvaluationCheckpoint C;
@@ -528,11 +567,12 @@ void CampaignStore::saveEvaluation(const EvaluationCheckpoint &Checkpoint) {
 bool CampaignStore::loadReduction(const std::string &Phase,
                                   ReductionCheckpoint &Out) {
   std::string Payload;
-  if (!loadCheckpointFile(Phase, "REDU", Payload))
+  uint32_t Version = 0;
+  if (!loadCheckpointFile(Phase, "REDU", Payload, Version))
     return false;
   ByteReader R(Payload);
   ReductionCheckpoint C;
-  if (!readReductionPayload(R, C)) {
+  if (!readReductionPayload(R, C, Version)) {
     fprintf(stderr, "store: ignoring corrupt reduction checkpoint (%s)\n",
             R.error().c_str());
     return false;

@@ -156,7 +156,7 @@ private:
   CampaignStore() = default;
 
   bool loadCheckpointFile(const std::string &Phase, const char *SectionTag,
-                          std::string &PayloadOut);
+                          std::string &PayloadOut, uint32_t &VersionOut);
   void saveCheckpointFile(const std::string &Phase, const char *SectionTag,
                           std::string Payload);
   /// Rebuilds this campaign's manifest entry from every reduction record

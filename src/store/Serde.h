@@ -37,8 +37,10 @@
 namespace spvfuzz {
 
 /// The current on-disk format version. Bump when the container or any
-/// codec changes incompatibly; readers refuse anything newer.
-inline constexpr uint32_t StoreFormatVersion = 1;
+/// codec changes incompatibly; readers refuse anything newer and branch on
+/// older versions where a codec grew fields (see readRecord's post-
+/// reduction stats, added in version 2).
+inline constexpr uint32_t StoreFormatVersion = 2;
 
 /// A decoded (or to-be-encoded) store file: a version plus tagged sections.
 struct StoreFile {

@@ -13,7 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "campaign/Campaign.h"
-#include "core/Reducer.h"
+#include "core/ReductionPipeline.h"
 #include "ir/Text.h"
 #include "TestHelpers.h"
 
@@ -54,7 +54,8 @@ TEST(EndToEnd, FigureThreeDontInlineDelta) {
     InterestingnessTest Test = makeInterestingnessTest(
         *SwiftShader, Signature, Reference.M, Reference.Input);
     ReduceResult Reduced =
-        reduceSequence(Reference.M, Reference.Input, Fuzzed.Sequence, Test);
+        ReductionPipeline(ReductionPlan{})
+            .run(Reference.M, Reference.Input, Fuzzed.Sequence, Test);
     ASSERT_EQ(Reduced.Minimized.size(), 1u);
     EXPECT_EQ(Reduced.Minimized[0]->kind(),
               TransformationKind::ToggleDontInline);
@@ -93,7 +94,8 @@ TEST(EndToEnd, MiscompilationDetectedAndReduced) {
     InterestingnessTest Test = makeInterestingnessTest(
         *Mesa, MiscompilationSignature, Reference.M, Reference.Input);
     ReduceResult Reduced =
-        reduceSequence(Reference.M, Reference.Input, Fuzzed.Sequence, Test);
+        ReductionPipeline(ReductionPlan{})
+            .run(Reference.M, Reference.Input, Fuzzed.Sequence, Test);
     // The reduced variant still renders a different "image".
     EXPECT_TRUE(Test(Reduced.ReducedVariant, Reduced.ReducedFacts));
     // But is still semantically equivalent to the original (Theorem 2.6:
@@ -166,7 +168,8 @@ TEST(EndToEnd, BugReportSurvivesTextAndSequenceRoundTrip) {
     InterestingnessTest Test = makeInterestingnessTest(
         *NVidia, Run.Signature, Reference.M, Reference.Input);
     ReduceResult Reduced =
-        reduceSequence(Reference.M, Reference.Input, Fuzzed.Sequence, Test);
+        ReductionPipeline(ReductionPlan{})
+            .run(Reference.M, Reference.Input, Fuzzed.Sequence, Test);
 
     // Serialize everything, parse back, replay.
     std::string OriginalText = writeModuleText(Reference.M);

@@ -76,6 +76,9 @@ JournalEvent sampleEvent(JournalEventKind Kind) {
   Event.Reduced = 40;
   Event.Minimized = 6;
   Event.Checks = 210;
+  Event.Pass = "strip-unused-defs";
+  Event.Attempted = 9;
+  Event.Accepted = 4;
   Event.WallUs = 1722000000000000ull;
   return Event;
 }
@@ -84,6 +87,7 @@ TEST(Journal, EveryKindRoundTripsThroughItsLine) {
   for (JournalEventKind Kind :
        {JournalEventKind::CampaignStarted, JournalEventKind::WaveCommitted,
         JournalEventKind::BugFound, JournalEventKind::ReductionStep,
+        JournalEventKind::PostReduceStep,
         JournalEventKind::TargetQuarantined, JournalEventKind::CheckpointSaved,
         JournalEventKind::CampaignFinished}) {
     JournalEvent Event = sampleEvent(Kind);
@@ -117,8 +121,8 @@ TEST(Journal, ParserRejectsBadLinesWithDiagnostics) {
   std::string Error;
 
   EXPECT_FALSE(parseJournalLine(
-      R"({"v":2,"seq":0,"kind":"BugFound","wall_us":0})", Event, Error));
-  EXPECT_NE(Error.find("unsupported journal format version 2"),
+      R"({"v":3,"seq":0,"kind":"BugFound","wall_us":0})", Event, Error));
+  EXPECT_NE(Error.find("unsupported journal format version 3"),
             std::string::npos)
       << Error;
 

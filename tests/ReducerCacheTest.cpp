@@ -18,7 +18,7 @@
 
 #include "campaign/CampaignEngine.h"
 #include "core/Fuzzer.h"
-#include "core/Reducer.h"
+#include "core/ReductionPipeline.h"
 #include "gen/Generator.h"
 #include "support/ModuleHash.h"
 #include "support/ThreadPool.h"
@@ -210,6 +210,9 @@ TEST(ReducerCache, AllOptionCombinationsAreBitIdentical) {
     InterestingnessTest Test = grewBy(Program.M.instructionCount(), 5);
     if (!Test(Fuzzed.Variant, Fuzzed.Facts))
       continue; // fuzzing added too little on this seed; fine
+    // Deliberately the deprecated wrappers, not ReductionPipeline: this
+    // test doubles as coverage that both reduceSequence overloads still
+    // delegate to the pipeline with default-plan behaviour.
     ReduceResult Baseline =
         reduceSequence(Program.M, Program.Input, Fuzzed.Sequence, Test);
 
@@ -260,12 +263,12 @@ TEST(ReducerCache, CachedInterestingnessMatchesUncached) {
       TargetRun Run = T.run(Fuzzed.Variant, Reference.Input);
       if (!Run.interesting())
         continue;
-      ReduceResult Plain = reduceSequence(
+      ReduceResult Plain = ReductionPipeline(ReductionPlan{}).run(
           Reference.M, Reference.Input, Fuzzed.Sequence,
           makeCrashInterestingness(T, Run.Signature, Reference.Input));
       EvalCache Cache(8u << 20);
       CachedTarget Cached(T, Cache);
-      ReduceResult ViaCache = reduceSequence(
+      ReduceResult ViaCache = ReductionPipeline(ReductionPlan{}).run(
           Reference.M, Reference.Input, Fuzzed.Sequence,
           makeCrashInterestingness(Cached, Run.Signature, Reference.Input));
       expectSameReduceResult(Plain, ViaCache, TestIndex, T.name().c_str());

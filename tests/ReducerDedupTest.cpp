@@ -7,7 +7,7 @@
 #include "baseline/BaselineReducer.h"
 #include "core/Dedup.h"
 #include "core/Fuzzer.h"
-#include "core/Reducer.h"
+#include "core/ReductionPipeline.h"
 #include "core/Transformations.h"
 #include "gen/Generator.h"
 #include "support/Statistics.h"
@@ -135,8 +135,8 @@ InterestingnessTest hasKill() {
 
 TEST(Reducer, FindsOneMinimalSubsequence) {
   ReductionScenario S;
-  ReduceResult Result =
-      reduceSequence(S.F.M, S.F.Input, S.Sequence, hasKill());
+  ReduceResult Result = ReductionPipeline(ReductionPlan{})
+                            .run(S.F.M, S.F.Input, S.Sequence, hasKill());
   // Exactly the dead block and the kill survive.
   ASSERT_EQ(Result.Minimized.size(), 2u);
   EXPECT_EQ(Result.Minimized[0]->kind(), TransformationKind::AddDeadBlock);
@@ -149,8 +149,8 @@ TEST(Reducer, FindsOneMinimalSubsequence) {
 
 TEST(Reducer, OneMinimality) {
   ReductionScenario S;
-  ReduceResult Result =
-      reduceSequence(S.F.M, S.F.Input, S.Sequence, hasKill());
+  ReduceResult Result = ReductionPipeline(ReductionPlan{})
+                            .run(S.F.M, S.F.Input, S.Sequence, hasKill());
   // Removing any single remaining transformation must kill interestingness.
   for (size_t Drop = 0; Drop < Result.Minimized.size(); ++Drop) {
     TransformationSequence Candidate;
@@ -167,13 +167,13 @@ TEST(Reducer, OneMinimality) {
 
 TEST(Reducer, EmptySequenceAndAlwaysInteresting) {
   Fixture F;
-  ReduceResult Result = reduceSequence(
+  ReduceResult Result = ReductionPipeline(ReductionPlan{}).run(
       F.M, F.Input, {},
       [](const Module &, const FactManager &) { return true; });
   EXPECT_TRUE(Result.Minimized.empty());
   // An always-true test reduces everything away.
   ReductionScenario S;
-  ReduceResult All = reduceSequence(
+  ReduceResult All = ReductionPipeline(ReductionPlan{}).run(
       S.F.M, S.F.Input, S.Sequence,
       [](const Module &, const FactManager &) { return true; });
   EXPECT_TRUE(All.Minimized.empty());
@@ -182,8 +182,8 @@ TEST(Reducer, EmptySequenceAndAlwaysInteresting) {
 
 TEST(Reducer, CheckCountIsReasonable) {
   ReductionScenario S;
-  ReduceResult Result =
-      reduceSequence(S.F.M, S.F.Input, S.Sequence, hasKill());
+  ReduceResult Result = ReductionPipeline(ReductionPlan{})
+                            .run(S.F.M, S.F.Input, S.Sequence, hasKill());
   // Delta debugging on 5 elements needs only a handful of checks.
   EXPECT_LE(Result.Checks, 25u);
   EXPECT_GE(Result.Checks, 3u);
@@ -198,8 +198,8 @@ TEST(Reducer, ChecksCounterMatchesResult) {
   uint64_t ReductionsBefore = Metrics.counterValue("reducer.reductions");
   Metrics.setEnabled(true);
   ReductionScenario S;
-  ReduceResult Result =
-      reduceSequence(S.F.M, S.F.Input, S.Sequence, hasKill());
+  ReduceResult Result = ReductionPipeline(ReductionPlan{})
+                            .run(S.F.M, S.F.Input, S.Sequence, hasKill());
   Metrics.setEnabled(WasEnabled);
   EXPECT_EQ(Metrics.counterValue("reducer.checks") - ChecksBefore,
             static_cast<uint64_t>(Result.Checks));
@@ -219,7 +219,8 @@ TEST(BaselineReducer, KeepsWholeGroups) {
   EXPECT_EQ(Result.Minimized.size(), 4u);
   expectValidAndEquivalent(S.F.M, Result.ReducedVariant, S.F.Input);
   EXPECT_TRUE(hasKill()(Result.ReducedVariant, Result.ReducedFacts));
-  ReduceResult Fine = reduceSequence(S.F.M, S.F.Input, S.Sequence, hasKill());
+  ReduceResult Fine = ReductionPipeline(ReductionPlan{})
+                          .run(S.F.M, S.F.Input, S.Sequence, hasKill());
   EXPECT_LT(Fine.Minimized.size(), Result.Minimized.size());
 }
 
@@ -309,7 +310,8 @@ TEST(ReducerEndToEnd, FuzzedSequencesReduceAndStayInteresting) {
     if (!Test(Variant, Facts))
       continue; // this seed produced no kill; fine
     ReduceResult Reduced =
-        reduceSequence(Program.M, Program.Input, Fuzzed.Sequence, Test);
+        ReductionPipeline(ReductionPlan{})
+            .run(Program.M, Program.Input, Fuzzed.Sequence, Test);
     EXPECT_LE(Reduced.Minimized.size(), Fuzzed.Sequence.size());
     EXPECT_TRUE(Test(Reduced.ReducedVariant, Reduced.ReducedFacts));
     expectValidAndEquivalent(Program.M, Reduced.ReducedVariant,

@@ -18,10 +18,14 @@
 ///   minispv reduce   prog.mvs --inputs prog.in --sequence seq.txt
 ///                    --target NAME (--signature SIG | --miscompilation)
 ///                    -o reduced.mvs --out-sequence min.txt
+///                    [--order paper|learned] [--post-reduce]
+///                    [--post-passes P1,P2,...] [--out-original FILE]
 ///   minispv campaign [--jobs N] [--tests N] [--seed N] [--limit N]
 ///                    [--deadline-ms N] [--faulty-fleet]
 ///                    [--deadline-steps N] [--flaky-retries N]
 ///                    [--quarantine-threshold N] [--dedup]
+///                    [--reduce-order paper|learned] [--post-reduce]
+///                    [--post-passes P1,P2,...]
 ///                    [--store DIR [--resume] [--checkpoint-interval N]
 ///                     [--deterministic-journal]]
 ///   minispv serve    --store DIR [--workers K] [--worker-jobs N]
@@ -78,9 +82,9 @@
 #include "analysis/Validator.h"
 #include "campaign/Campaign.h"
 #include "campaign/CampaignEngine.h"
-#include "core/FunctionShrinker.h"
 #include "core/Fuzzer.h"
 #include "core/Reducer.h"
+#include "core/ReductionPipeline.h"
 #include "gen/Generator.h"
 #include "ir/Text.h"
 #include "obs/BenchCompare.h"
@@ -412,12 +416,45 @@ int cmdReplay(const Args &A) {
   return 0;
 }
 
+/// Shared by `reduce` and `campaign`: parses --order/--reduce-order and
+/// --post-passes, failing with the known-name list on a typo.
+CandidateOrder parseOrderFlag(const Args &A, const char *Flag) {
+  CandidateOrder Order = CandidateOrder::Paper;
+  if (A.has(Flag) && !candidateOrderFromName(A.get(Flag), Order))
+    fail("unknown candidate order '" + A.get(Flag) +
+         "' (expected paper or learned)");
+  return Order;
+}
+
+std::vector<std::string> parsePostPasses(const Args &A) {
+  std::vector<std::string> Passes;
+  if (!A.has("post-passes"))
+    return Passes;
+  std::stringstream List(A.get("post-passes"));
+  std::string Name;
+  while (std::getline(List, Name, ',')) {
+    if (Name.empty())
+      continue;
+    if (!findPostReducePass(Name)) {
+      std::string Known;
+      for (const ReductionPassPtr &Pass : standardPostReducePasses())
+        Known += std::string(Known.empty() ? "" : ", ") + Pass->name();
+      fail("unknown post-reduction pass '" + Name + "' (known: " + Known +
+           ")");
+    }
+    Passes.push_back(Name);
+  }
+  return Passes;
+}
+
 int cmdReduce(const Args &A) {
   if (A.Positional.empty())
     fail("usage: minispv reduce <module.mvs> --inputs <file> "
          "--sequence <file> --target NAME (--signature SIG | "
          "--miscompilation) -o <out> --out-sequence <out> "
-         "[--jobs N] [--snapshot-interval N] [--snapshot-budget BYTES]");
+         "[--jobs N] [--order paper|learned] [--post-reduce] "
+         "[--post-passes P1,P2,...] [--out-original FILE] "
+         "[--snapshot-interval N] [--snapshot-budget BYTES]");
   Module M = readModule(A.Positional[0]);
   ShaderInput Input = readInputs(A.require("inputs"));
   TransformationSequence Sequence = readSequence(A.require("sequence"));
@@ -429,38 +466,58 @@ int cmdReduce(const Args &A) {
           ? makeMiscompilationInterestingness(*T, M, Input)
           : makeCrashInterestingness(*T, A.require("signature"), Input);
 
-  // Performance knobs; every setting reduces to the same result.
-  ReduceOptions Options;
-  Options.SnapshotInterval = strtoull(
+  // Snapshot/jobs are performance knobs: every setting reduces to the same
+  // result. Order and post-reduce change which result — deterministically,
+  // still independent of the job count.
+  ReductionPlan Plan;
+  Plan.SnapshotInterval = strtoull(
       A.get("snapshot-interval", "8").c_str(), nullptr, 10);
-  Options.SnapshotBudgetBytes = strtoull(
+  Plan.SnapshotBudgetBytes = strtoull(
       A.get("snapshot-budget", "67108864").c_str(), nullptr, 10);
+  Plan.ShrinkFunctions = true;
   size_t Jobs = strtoull(A.get("jobs", "1").c_str(), nullptr, 10);
   std::unique_ptr<ThreadPool> Pool;
   if (Jobs != 1) {
     Pool = std::make_unique<ThreadPool>(Jobs);
-    Options.Pool = Pool.get();
+    Plan.Pool = Pool.get();
   }
+  Plan.Order = parseOrderFlag(A, "order");
+  Plan.PostReduce = A.has("post-reduce") || A.has("post-passes");
+  Plan.PostPasses = parsePostPasses(A);
 
-  ReduceResult Reduced = reduceSequence(M, Input, Sequence, Test, Options);
-  bool HasAddFunction = false;
-  for (const TransformationPtr &Transformation : Reduced.Minimized)
-    if (Transformation->kind() == TransformationKind::AddFunction)
-      HasAddFunction = true;
-  if (HasAddFunction) {
-    size_t Prior = Reduced.Checks;
-    Reduced = shrinkAddFunctions(M, Input, Reduced.Minimized, Test);
-    Reduced.Checks += Prior;
-  }
+  ReduceResult Reduced =
+      ReductionPipeline(Plan).run(M, Input, Sequence, Test);
 
   writeFile(A.require("o"), writeModuleText(Reduced.ReducedVariant));
   writeFile(A.require("out-sequence"),
             serializeSequence(Reduced.Minimized));
-  printf("reduced to %zu transformations in %zu checks; delta vs original: "
-         "%+ld instructions\n",
-         Reduced.Minimized.size(), Reduced.Checks,
-         static_cast<long>(Reduced.ReducedVariant.instructionCount()) -
-             static_cast<long>(M.instructionCount()));
+  if (A.has("out-original"))
+    writeFile(A.require("out-original"),
+              writeModuleText(Reduced.PostStats.empty()
+                                  ? M
+                                  : Reduced.ReducedOriginal));
+  if (Reduced.PostStats.empty()) {
+    printf("reduced to %zu transformations in %zu checks; delta vs "
+           "original: %+ld instructions\n",
+           Reduced.Minimized.size(), Reduced.Checks,
+           static_cast<long>(Reduced.ReducedVariant.instructionCount()) -
+               static_cast<long>(M.instructionCount()));
+  } else {
+    size_t PostChecks = 0;
+    for (const PostReducePassStats &Stat : Reduced.PostStats)
+      PostChecks += Stat.Checks;
+    printf("reduced to %zu transformations in %zu checks (%zu sequence + "
+           "%zu post-reduce); delta vs original: %+ld instructions\n",
+           Reduced.Minimized.size(), Reduced.Checks,
+           Reduced.Checks - PostChecks, PostChecks,
+           static_cast<long>(Reduced.ReducedVariant.instructionCount()) -
+               static_cast<long>(M.instructionCount()));
+    for (const PostReducePassStats &Stat : Reduced.PostStats)
+      printf("  post-reduce %s: accepted %zu/%zu in %zu checks\n",
+             Stat.Pass.c_str(), Stat.Accepted, Stat.Attempted, Stat.Checks);
+    printf("  reference: %zu -> %zu instructions\n", M.instructionCount(),
+           Reduced.ReducedOriginal.instructionCount());
+  }
   printf("--- original vs reduced variant ---\n%s",
          diffModuleText(M, Reduced.ReducedVariant).c_str());
   return 0;
@@ -501,6 +558,11 @@ int cmdCampaign(const Args &A, bool Serve) {
   if (A.has("uniform-inputs"))
     Policy.withUniformInputs(
         strtoull(A.get("uniform-inputs").c_str(), nullptr, 10));
+  // Reduction-quality knobs: both change results (deterministically) and
+  // therefore fold into the campaign id when non-default.
+  Policy.withReduceOrder(parseOrderFlag(A, "reduce-order"));
+  if (A.has("post-reduce") || A.has("post-passes"))
+    Policy.withPostReduce(true).withPostReducePasses(parsePostPasses(A));
 
   // A store makes the run durable: checkpoints at wave boundaries plus the
   // reproducer database. Metrics are forced on so the persisted telemetry
@@ -1099,7 +1161,7 @@ int main(int Argc, char **Argv) {
   Args A(Argc - 2, Argv + 2,
          {"baseline", "no-recommendations", "miscompilation", "faulty-fleet",
           "resume", "dedup", "follow", "json", "once", "warn-only",
-          "deterministic-journal", "truncate-last-result"});
+          "deterministic-journal", "truncate-last-result", "post-reduce"});
 
   std::string MetricsOut = A.get("metrics-out");
   std::string TraceOut = A.get("trace-out");
