@@ -11,13 +11,22 @@
 /// injected crash signature. Paper totals: 1467 tests / 78 sigs /
 /// 49 reports / 41 distinct / 8 dups.
 ///
+/// `--ground-truth` adds the measurement the paper's field study could not
+/// make: every reduced reproducer is attributed to its culprit pass
+/// (triage bisection), and the three clustering axes — transformation
+/// types, bisection culprit labels, and their combination — are scored
+/// against the injected bug identities (pairwise precision/recall plus
+/// cluster purity).
+///
 //===----------------------------------------------------------------------===//
 
 #include "campaign/Experiments.h"
 
 #include "BenchEngine.h"
 #include "BenchTelemetry.h"
+#include "opt/BugHost.h"
 #include "store/CampaignStore.h"
+#include "triage/Triage.h"
 
 #include <cstdio>
 #include <memory>
@@ -26,6 +35,7 @@ using namespace spvfuzz;
 
 int main(int argc, char **argv) {
   bool FaultyFleet = bench::parseFlag(argc, argv, "--faulty-fleet");
+  bool GroundTruth = bench::parseFlag(argc, argv, "--ground-truth");
   std::vector<std::string> Footer = {"target.compiles",
                                      "campaign.reductions", "reducer.checks"};
   if (FaultyFleet) {
@@ -34,6 +44,11 @@ int main(int argc, char **argv) {
     Footer.push_back("harness.tool_errors");
     Footer.push_back("harness.quarantined");
     Footer.push_back("evalcache.flaky_consults");
+  }
+  if (GroundTruth) {
+    Footer.push_back("triage.attributions");
+    Footer.push_back("triage.exact");
+    Footer.push_back("triage.bisection_checks");
   }
   bench::BenchTelemetry Telemetry(Footer,
                                   /*RateCounter=*/"campaign.reductions");
@@ -62,6 +77,24 @@ int main(int argc, char **argv) {
                         FaultyFleet ? TargetFleet::faulty() : TargetFleet{});
   if (Store)
     Engine.setCheckpointer(Store.get());
+
+  // Ground-truth mode captures every reduced reproducer as it is
+  // committed (serial fold order, so the capture is deterministic at any
+  // job count) for post-hoc attribution.
+  struct CapturedRepro {
+    ReductionRecord Record;
+    Module Repro;
+    ShaderInput Input;
+  };
+  std::vector<CapturedRepro> Reproducers;
+  if (GroundTruth)
+    Engine.setReproducerSink(
+        [&Reproducers](const ReductionRecord &Record, const Module &,
+                       const ShaderInput &Input, const Module &Reduced,
+                       const TransformationSequence &) {
+          Reproducers.push_back({Record, Reduced, Input});
+        });
+
   ReductionConfig Config;
   Config.TestsPerTool = envSize("REPRO_TESTS", 500);
   Config.MaxReductionsPerTool = envSize("REPRO_REDUCTIONS", 260);
@@ -101,5 +134,76 @@ int main(int argc, char **argv) {
          "coverage, 16%% dups over 78 real bugs;\nour simulated bug space "
          "is smaller and its type fingerprints cleaner, so coverage\nruns "
          "higher).\n");
+
+  if (GroundTruth) {
+    // Attribute every captured reproducer to its culprit pass, then score
+    // the three dedup axes against the injected bug identities.
+    triage::TriageOptions TriageOpts;
+    TriageOpts.Jobs = Jobs;
+    std::vector<triage::TriageItem> Items;
+    Items.reserve(Reproducers.size());
+    for (const CapturedRepro &C : Reproducers) {
+      triage::TriageItem Item;
+      Item.TargetName = C.Record.TargetName;
+      Item.Signature = C.Record.Signature;
+      Item.Repro = C.Repro;
+      Item.Input = C.Input;
+      Items.push_back(std::move(Item));
+    }
+    std::vector<triage::BugAttribution> Attrs =
+        triage::attributeAll(Engine.fleet(), Items, TriageOpts);
+
+    std::vector<triage::GroundTruthItem> Scored;
+    Scored.reserve(Attrs.size());
+    size_t Solid = 0, SolidExact = 0;
+    for (size_t I = 0; I < Attrs.size(); ++I) {
+      const ReductionRecord &Record = Reproducers[I].Record;
+      Scored.push_back(triage::groundTruthItemFor(Record, Attrs[I]));
+      const Target *T = Engine.fleet().find(Record.TargetName);
+      if (!T)
+        continue;
+      // Solid crash signatures have a knowable expected culprit — the
+      // injected point's host pass — so attribution accuracy is exact.
+      for (BugPoint P : T->spec().Bugs.all()) {
+        if (Record.Signature != bugSignature(P))
+          continue;
+        if (T->spec().Bugs.flavor(P) == BugFlavor::Solid) {
+          ++Solid;
+          if (Attrs[I].Verdict == triage::TriageVerdict::ExactPass &&
+              Attrs[I].Culprit == bugHostPass(P))
+            ++SolidExact;
+        }
+        break;
+      }
+    }
+
+    std::vector<triage::DedupAxisScore> Axes = triage::scoreDedupAxes(Scored);
+    printf("\nGround-truth dedup quality (%zu reproducers, truth = "
+           "injected bug identity):\n",
+           Scored.size());
+    printf("%-10s %-10s %-8s %-8s %-9s\n", "Axis", "Precision", "Recall",
+           "Purity", "Clusters");
+    for (const triage::DedupAxisScore &Axis : Axes)
+      printf("%-10s %-10.3f %-8.3f %-8.3f %-9zu\n", Axis.Axis.c_str(),
+             Axis.Precision, Axis.Recall, Axis.Purity, Axis.Clusters);
+    printf("Exact-culprit attribution on solid crash bugs: %zu/%zu%s\n",
+           SolidExact, Solid,
+           (Solid && SolidExact == Solid) ? " (100%)" : "");
+
+    telemetry::MetricsRegistry &Metrics =
+        telemetry::MetricsRegistry::global();
+    for (const triage::DedupAxisScore &Axis : Axes) {
+      Metrics.set("dedup.groundtruth." + Axis.Axis + ".precision",
+                  Axis.Precision);
+      Metrics.set("dedup.groundtruth." + Axis.Axis + ".recall", Axis.Recall);
+      Metrics.set("dedup.groundtruth." + Axis.Axis + ".purity", Axis.Purity);
+    }
+    Metrics.set("dedup.groundtruth.reproducers",
+                static_cast<double>(Scored.size()));
+    Metrics.set("dedup.groundtruth.solid_exact",
+                Solid ? static_cast<double>(SolidExact) /
+                            static_cast<double>(Solid)
+                      : 1.0);
+  }
   return 0;
 }

@@ -629,7 +629,7 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
         Record.Types = dedupTypesOf(Reduced.Minimized);
         Record.PostStats = std::move(Reduced.PostStats);
         Out.ReferenceIndex = Task.Scan->ReferenceIndex;
-        if (Checkpointer) {
+        if (Checkpointer || Sink) {
           Out.Reduced = std::move(Reduced.ReducedVariant);
           Out.Minimized = std::move(Reduced.Minimized);
           if (!Record.PostStats.empty())
@@ -667,15 +667,20 @@ ReductionData CampaignEngine::runReductions(const ReductionConfig &Config) {
               Observer->onPostReduceStep(PhaseKey, WaveEnd, Out->Record,
                                          Stat);
         }
-        if (Checkpointer) {
+        if (Checkpointer || Sink) {
           const GeneratedProgram &Reference =
               CorpusData.References[Out->ReferenceIndex];
           // With post-reduction on, the reproducer's reference is the
           // post-reduced module the records were measured against.
-          Checkpointer->recordReproducer(
-              Out->Record,
-              Out->PostOriginal ? *Out->PostOriginal : Reference.M,
-              Reference.Input, Out->Reduced, Out->Minimized);
+          const Module &Original =
+              Out->PostOriginal ? *Out->PostOriginal : Reference.M;
+          if (Checkpointer)
+            Checkpointer->recordReproducer(Out->Record, Original,
+                                           Reference.Input, Out->Reduced,
+                                           Out->Minimized);
+          if (Sink)
+            Sink(Out->Record, Original, Reference.Input, Out->Reduced,
+                 Out->Minimized);
         }
         Data.Records.push_back(std::move(Out->Record));
       }

@@ -117,6 +117,13 @@ struct ExecutionPolicy {
   /// Post-reduction passes to run when PostReduce is set, by name; empty =
   /// the full standard list.
   std::vector<std::string> PostReducePasses;
+  /// Run the triage post-pass (pass-sequence bisection + differential
+  /// localization) over this campaign's bug buckets after reduction.
+  /// Consumed by the CLI/bench layer, like StorePath: attribution is a
+  /// pure function of each reproducer, runs strictly above the engine,
+  /// and never shapes reduction results — so it is deliberately not part
+  /// of the campaign config digest.
+  bool Triage = false;
 
   ExecutionPolicy &withJobs(size_t Count) {
     Jobs = Count;
@@ -194,6 +201,10 @@ struct ExecutionPolicy {
     PostReducePasses = std::move(Names);
     return *this;
   }
+  ExecutionPolicy &withTriage(bool On) {
+    Triage = On;
+    return *this;
+  }
 };
 
 /// A complete-wave snapshot of one evaluation phase. Evals holds every
@@ -253,6 +264,16 @@ public:
                                 const Module &Reduced,
                                 const TransformationSequence &Minimized) = 0;
 };
+
+/// In-process companion to CampaignCheckpointer::recordReproducer: called
+/// with the same arguments, at the same serial commit point, in the same
+/// acceptance order. Lets the CLI/bench layer capture reproducer artifacts
+/// for post-passes (triage attribution, ground-truth scoring) without the
+/// engine growing a dependency on those layers — and without a store.
+using ReproducerSink = std::function<void(
+    const ReductionRecord &Record, const Module &Original,
+    const ShaderInput &Input, const Module &Reduced,
+    const TransformationSequence &Minimized)>;
 
 /// One schedulable unit of an evaluation phase: the tests in
 /// [WaveStart, WaveEnd) of (Tool, Count, CrashesOnly), evaluated against
@@ -396,6 +417,12 @@ public:
   void setCheckpointer(CampaignCheckpointer *C) { Checkpointer = C; }
   CampaignCheckpointer *checkpointer() const { return Checkpointer; }
 
+  /// Attaches (or detaches, with nullptr) the in-process reproducer hook;
+  /// fires beside the checkpointer's recordReproducer with identical
+  /// arguments and ordering.
+  void setReproducerSink(ReproducerSink S) { Sink = std::move(S); }
+  const ReproducerSink &reproducerSink() const { return Sink; }
+
   /// Attaches (or detaches, with nullptr) the observability hook. Events
   /// fire on the aggregation thread at serial commit points; the observer
   /// must outlive the engine's campaign calls. Not owned.
@@ -481,6 +508,7 @@ private:
   std::chrono::steady_clock::time_point Start;
   std::atomic<bool> CancelFlag{false};
   CampaignCheckpointer *Checkpointer = nullptr;
+  ReproducerSink Sink;
   CampaignObserver *Observer = nullptr;
   ShardProvider *Provider = nullptr;
 };

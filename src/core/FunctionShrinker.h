@@ -24,7 +24,7 @@
 namespace spvfuzz {
 
 /// Shrinks the payloads of AddFunction transformations inside
-/// \p Minimized (typically the output of reduceSequence). Returns the
+/// \p Minimized (typically a sequence-reduction stage's output). Returns the
 /// improved result; \p ChecksOut accumulates interestingness invocations.
 ReduceResult shrinkAddFunctions(const Module &Original,
                                 const ShaderInput &Input,

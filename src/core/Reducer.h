@@ -39,7 +39,8 @@ class ThreadPool;
 using InterestingnessTest =
     std::function<bool(const Module &Variant, const FactManager &Facts)>;
 
-/// Performance knobs for reduceSequence. Every combination yields the same
+/// Performance knobs for sequence reduction (consumed via
+/// ReductionPlan::fromOptions). Every combination yields the same
 /// ReduceResult (including Checks) — the options only change how much each
 /// interestingness check costs and whether checks are speculated in
 /// parallel.
@@ -53,7 +54,7 @@ struct ReduceOptions {
   /// speculatively on the pool while acceptance commits strictly in serial
   /// pass order; results invalidated by an earlier acceptance are
   /// discarded (counted in ReduceResult::SpeculativeChecks). The reducer
-  /// only submits leaf jobs — never call reduceSequence itself from a job
+  /// only submits leaf jobs — never run a reduction itself from a job
   /// running on the same pool.
   ThreadPool *Pool = nullptr;
 };
@@ -99,25 +100,10 @@ struct ReduceResult {
   std::vector<PostReducePassStats> PostStats;
 };
 
-/// Reduces \p Sequence against \p Original + \p Input. \p Sequence must
-/// itself be interesting (the caller found a bug with it).
-///
-/// Deprecated: thin wrapper over ReductionPipeline::run with a default
-/// ReductionPlan (core/ReductionPipeline.h); new code should build a plan
-/// and run the pipeline directly.
-ReduceResult reduceSequence(const Module &Original, const ShaderInput &Input,
-                            const TransformationSequence &Sequence,
-                            const InterestingnessTest &Test);
-
-/// As above, with explicit performance options. The minimized sequence,
-/// variant, facts and Checks are bit-identical across all option settings.
-///
-/// Deprecated: thin wrapper over
-/// ReductionPipeline(ReductionPlan::fromOptions(Options)).run(...).
-ReduceResult reduceSequence(const Module &Original, const ShaderInput &Input,
-                            const TransformationSequence &Sequence,
-                            const InterestingnessTest &Test,
-                            const ReduceOptions &Options);
+// Sequence reduction is driven through ReductionPipeline
+// (core/ReductionPipeline.h): build a ReductionPlan — default-constructed,
+// or ReductionPlan::fromOptions(ReduceOptions) — and call
+// ReductionPipeline(Plan).run(Original, Input, Sequence, Test).
 
 //===----------------------------------------------------------------------===//
 // Interestingness-test factories

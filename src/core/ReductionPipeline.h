@@ -40,8 +40,8 @@
 ///      or uninteresting reproducer.
 ///
 /// The stages are configured by a ReductionPlan (builder-style, mirroring
-/// campaign/ExecutionPolicy). The legacy reduceSequence free functions are
-/// thin wrappers over ReductionPipeline::run with a default plan.
+/// campaign/ExecutionPolicy); a default plan reproduces the paper's
+/// reducer exactly.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -170,7 +170,7 @@ ReductionPassPtr findPostReducePass(const std::string &Name);
 
 /// Everything that shapes a reduction run. Builder-style like
 /// campaign/ExecutionPolicy. The defaults reproduce the paper's reducer
-/// (and the legacy reduceSequence behaviour) exactly.
+/// exactly.
 struct ReductionPlan {
   /// Prefix-snapshot spacing for incremental replay (see ReplayCache);
   /// 0 disables snapshots and every check replays from the original.

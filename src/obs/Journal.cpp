@@ -32,6 +32,8 @@ const char *obs::journalEventKindName(JournalEventKind Kind) {
     return "ReductionStep";
   case JournalEventKind::PostReduceStep:
     return "PostReduceStep";
+  case JournalEventKind::BugAttributed:
+    return "BugAttributed";
   case JournalEventKind::TargetQuarantined:
     return "TargetQuarantined";
   case JournalEventKind::CheckpointSaved:
@@ -57,7 +59,7 @@ bool obs::journalEventKindFromName(const std::string &Name,
   static const JournalEventKind All[] = {
       JournalEventKind::CampaignStarted,  JournalEventKind::WaveCommitted,
       JournalEventKind::BugFound,         JournalEventKind::ReductionStep,
-      JournalEventKind::PostReduceStep,
+      JournalEventKind::PostReduceStep,   JournalEventKind::BugAttributed,
       JournalEventKind::TargetQuarantined, JournalEventKind::CheckpointSaved,
       JournalEventKind::CampaignFinished, JournalEventKind::WorkerAttached,
       JournalEventKind::WorkerExited,     JournalEventKind::ShardLeased,
@@ -159,6 +161,14 @@ std::string obs::serializeJournalEvent(const JournalEvent &Event) {
     appendField(Out, "pass", Event.Pass);
     appendField(Out, "attempted", Event.Attempted);
     appendField(Out, "accepted", Event.Accepted);
+    appendField(Out, "checks", Event.Checks);
+    break;
+  case JournalEventKind::BugAttributed:
+    appendField(Out, "target", Event.Target);
+    appendField(Out, "signature", Event.Signature);
+    appendField(Out, "pass", Event.Pass);
+    appendField(Out, "test", Event.Test);
+    appendField(Out, "count", Event.Count);
     appendField(Out, "checks", Event.Checks);
     break;
   case JournalEventKind::TargetQuarantined:
@@ -268,6 +278,10 @@ std::string obs::formatJournalEvent(const JournalEvent &Event) {
         << " target=" << Event.Target << " pass=" << Event.Pass << " "
         << Event.Accepted << "/" << Event.Attempted << " accepted, "
         << Event.Checks << " checks";
+    break;
+  case JournalEventKind::BugAttributed:
+    Out << " target=" << Event.Target << " sig=" << Event.Signature
+        << " culprit=" << Event.Pass << " (" << Event.Checks << " probes)";
     break;
   case JournalEventKind::TargetQuarantined:
     Out << " [" << Event.Phase << "] target=" << Event.Target << " at wave "

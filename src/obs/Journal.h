@@ -55,7 +55,9 @@ namespace obs {
 /// lines from a newer version instead of misinterpreting them.
 /// Version 2 added the PostReduceStep event kind (IR-level post-reduction
 /// pass accounting, emitted only when the policy enables post-reduce).
-constexpr uint64_t JournalFormatVersion = 2;
+/// Version 3 added the BugAttributed event kind (triage post-pass,
+/// emitted only under --triage).
+constexpr uint64_t JournalFormatVersion = 3;
 
 /// Every event kind the journal records. The first block are the
 /// campaign's decision events (written to events.jsonl in serial commit
@@ -70,6 +72,7 @@ enum class JournalEventKind {
   BugFound,
   ReductionStep,
   PostReduceStep,
+  BugAttributed,
   TargetQuarantined,
   CheckpointSaved,
   CampaignFinished,
@@ -94,11 +97,13 @@ struct JournalEvent {
   std::string Campaign;
   /// Phase key of the engine phase the event belongs to.
   std::string Phase;
-  /// BugFound/ReductionStep/TargetQuarantined: the target.
+  /// BugFound/ReductionStep/BugAttributed/TargetQuarantined: the target.
   std::string Target;
-  /// BugFound/ReductionStep/PostReduceStep: the bug signature.
+  /// BugFound/ReductionStep/PostReduceStep/BugAttributed: the signature.
   std::string Signature;
-  /// PostReduceStep: name of the post-reduction pass.
+  /// PostReduceStep: name of the post-reduction pass. BugAttributed: the
+  /// attribution's culprit label ("inliner#0", or "(unattributable)" /
+  /// "(no-repro)").
   std::string Pass;
   /// Phase events: the wave (end) boundary, in test indices.
   uint64_t Wave = 0;
@@ -117,6 +122,8 @@ struct JournalEvent {
   uint64_t Reduced = 0;
   uint64_t Minimized = 0;
   /// ReductionStep/PostReduceStep: serial interestingness checks decided.
+  /// BugAttributed: bisection prefix probes spent (Test carries the
+  /// culprit's pipeline index, Count its instance index).
   uint64_t Checks = 0;
   /// PostReduceStep: candidates attempted / accepted by the pass.
   uint64_t Attempted = 0;

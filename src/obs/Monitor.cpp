@@ -52,6 +52,9 @@ TopModel obs::buildTopModel(const std::vector<JournalEvent> &Events) {
     case JournalEventKind::PostReduceStep:
       Model.PostReduceAccepted += Event.Accepted;
       break;
+    case JournalEventKind::BugAttributed:
+      ++Model.Attributions;
+      break;
     case JournalEventKind::TargetQuarantined:
       Model.Quarantined.insert(Event.Target);
       break;
@@ -176,6 +179,11 @@ std::string obs::renderTop(const TopModel &Model,
   if (Model.PostReduceAccepted) {
     std::snprintf(Line, sizeof(Line), "  post-reduce=%llu",
                   (unsigned long long)Model.PostReduceAccepted);
+    Out << Line;
+  }
+  if (Model.Attributions) {
+    std::snprintf(Line, sizeof(Line), "  attributions=%llu",
+                  (unsigned long long)Model.Attributions);
     Out << Line;
   }
   if (ElapsedSec > 0.0) {

@@ -55,6 +55,9 @@ struct TopModel {
   /// IR-level post-reduction acceptances (PostReduceStep events' Accepted
   /// sum); stays 0 unless the campaign ran with post-reduce enabled.
   uint64_t PostReduceAccepted = 0;
+  /// Triage attributions journaled (BugAttributed events); stays 0 unless
+  /// the campaign ran with --triage.
+  uint64_t Attributions = 0;
   uint64_t Checkpoints = 0;
   /// Wall-clock range covered by the journal (0 under deterministic mode).
   uint64_t FirstWallUs = 0;

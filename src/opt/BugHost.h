@@ -36,12 +36,12 @@ enum class BugPoint : uint8_t {
   CrashCompositeFold,           // ConstantFold: extract of a construct
   CrashUnusedComposite,         // DCE: unused CompositeConstruct
   CrashPointerCopyAlias,        // Forwarding: store through a copied pointer
-  CrashTrivialPhi,              // PhiSimplify: single-entry phi
+  CrashTrivialPhi,              // Frontend: single-entry phi
   CrashKillInCallee,            // Frontend: OpKill in a non-entry function
   CrashWideCallArity,           // Inliner: call with >= 4 arguments
   CrashEqualTargetBranch,       // DeadBranchElim: cond branch, both arms same
   CrashStoreToPrivateGlobal,    // DeadStoreElim: store to a Private global
-  CrashUnusedCallResult,        // DCE: call whose result is unused
+  CrashUnusedCallResult,        // Frontend: call whose result is unused
   CrashModuleFunctionLimit,     // Frontend: module with >= 5 functions
   CrashNegatedConstantBranch,   // Frontend: branch on LogicalNot(constant)
 

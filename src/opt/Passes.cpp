@@ -59,6 +59,57 @@ const char *spvfuzz::bugSignature(BugPoint Point) {
   return "<unknown>";
 }
 
+OptPassKind spvfuzz::bugHostPass(BugPoint Point) {
+  switch (Point) {
+  case BugPoint::CrashKillObstructsMerge:
+    return OptPassKind::SimplifyCfg;
+  case BugPoint::CrashDeadStoreToModuleScope:
+  case BugPoint::CrashEqualTargetBranch:
+  case BugPoint::MiscompileUniformBranchFold:
+    return OptPassKind::DeadBranchElim;
+  case BugPoint::CrashDontInlineAttribute:
+  case BugPoint::CrashWideCallArity:
+    return OptPassKind::Inliner;
+  case BugPoint::CrashCopyChainValueNumbering:
+    return OptPassKind::LocalCSE;
+  case BugPoint::CrashPhiManyPredecessors:
+  case BugPoint::MiscompilePhiLayoutOrder:
+    return OptPassKind::BlockLayout;
+  case BugPoint::CrashCompositeFold:
+    return OptPassKind::ConstantFold;
+  case BugPoint::CrashUnusedComposite:
+    return OptPassKind::Dce;
+  case BugPoint::CrashPointerCopyAlias:
+  case BugPoint::MiscompileAliasBlindForward:
+    return OptPassKind::LoadStoreForwarding;
+  case BugPoint::CrashStoreToPrivateGlobal:
+    return OptPassKind::DeadStoreElim;
+  // The "lowering"-signature phi bug and the unused-call-result bug both
+  // fire in the frontend diagnostics sweep, not in PhiSimplify/DCE.
+  case BugPoint::CrashTrivialPhi:
+  case BugPoint::CrashKillInCallee:
+  case BugPoint::CrashUnusedCallResult:
+  case BugPoint::CrashModuleFunctionLimit:
+  case BugPoint::CrashNegatedConstantBranch:
+    return OptPassKind::FrontendCheck;
+  }
+  return OptPassKind::FrontendCheck;
+}
+
+bool spvfuzz::bugPointOfSignature(const BugHost &Bugs,
+                                  const std::string &Signature,
+                                  BugPoint &Out) {
+  if (Signature == "<miscompilation>")
+    return false; // shared marker: not a per-point signature
+  for (BugPoint Point : Bugs.all()) {
+    if (Signature == bugSignature(Point)) {
+      Out = Point;
+      return true;
+    }
+  }
+  return false;
+}
+
 const char *spvfuzz::optPassName(OptPassKind Kind) {
   switch (Kind) {
   case OptPassKind::FrontendCheck:

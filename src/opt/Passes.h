@@ -45,6 +45,19 @@ const char *optPassName(OptPassKind Kind);
 /// crash bug that fired.
 using PassCrash = std::optional<std::string>;
 
+/// The pass that hosts \p Point: the only pass whose run can fire the bug.
+/// This is the triage subsystem's ground truth — an attribution is correct
+/// iff it names bugHostPass of the injected point behind the signature.
+OptPassKind bugHostPass(BugPoint Point);
+
+/// Maps a crash signature back to the bug point that owns it, restricted
+/// to \p Bugs' enabled set (signatures are per-point, so the first match
+/// is the only match). Returns false for the shared miscompilation marker,
+/// the timeout/tool-error pseudo-signatures, and signatures of bugs the
+/// host does not enable.
+bool bugPointOfSignature(const BugHost &Bugs, const std::string &Signature,
+                         BugPoint &Out);
+
 /// Runs one pass over \p M in place.
 PassCrash runOptPass(OptPassKind Kind, Module &M, const BugHost &Bugs);
 

@@ -9,6 +9,7 @@
 #include "ir/Text.h"
 #include "store/Serde.h"
 #include "support/ModuleHash.h"
+#include "triage/Triage.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -92,13 +93,9 @@ std::string sanitizeName(const std::string &Name) {
 }
 
 std::string typesKeyOf(const std::set<TransformationKind> &Types) {
-  std::string Key;
-  for (TransformationKind Kind : Types) {
-    if (!Key.empty())
-      Key += "+";
-    Key += transformationKindName(Kind);
-  }
-  return Key.empty() ? std::string("(none)") : Key;
+  // Canonical rendering shared with the ground-truth scorer, so the types
+  // dedup axis means the same thing in buckets and in scores.
+  return triage::dedupTypesKey(Types);
 }
 
 std::string bucketDirName(const std::string &Target,
@@ -664,6 +661,91 @@ void CampaignStore::recordReproducer(const ReductionRecord &Record,
                                  ".msb";
   if (!atomicWriteFile(Root + "/corpus/" + CorpusName, Entry.encode(), Error))
     fprintf(stderr, "store: corpus write failed: %s\n", Error.c_str());
+}
+
+bool CampaignStore::loadReproducer(const BugBucket &Bucket, Module &OriginalOut,
+                                   ShaderInput &InputOut, Module &ReducedOut,
+                                   TransformationSequence &MinimizedOut,
+                                   std::string &ErrorOut) const {
+  const std::string Path = Root + "/bugs/" + Bucket.Dir + "/repro.msb";
+  std::string Bytes;
+  StoreFile Repro;
+  if (!readFileBytes(Path, Bytes, ErrorOut) ||
+      !StoreFile::decode(Bytes, Repro, ErrorOut))
+    return false;
+  const std::string *Orig = Repro.find("ORIG");
+  const std::string *Input = Repro.find("INPT");
+  const std::string *Reduced = Repro.find("REDU");
+  const std::string *Sequence = Repro.find("SEQN");
+  if (!Orig || !Input || !Reduced || !Sequence) {
+    ErrorOut = Path + ": missing reproducer section";
+    return false;
+  }
+  ByteReader OrigR(*Orig), InputR(*Input), ReducedR(*Reduced),
+      SequenceR(*Sequence);
+  if (!readModuleBinary(OrigR, OriginalOut) ||
+      !readShaderInputBinary(InputR, InputOut) ||
+      !readModuleBinary(ReducedR, ReducedOut) ||
+      !readSequenceBinary(SequenceR, MinimizedOut)) {
+    ErrorOut = Path + ": reproducer payload failed to decode";
+    return false;
+  }
+  return true;
+}
+
+bool CampaignStore::recordAttribution(const BugBucket &Bucket,
+                                      const triage::BugAttribution &Attr,
+                                      std::string &ErrorOut) {
+  const std::string BucketPath = Root + "/bugs/" + Bucket.Dir;
+  std::string Bytes;
+  StoreFile Repro;
+  if (!readFileBytes(BucketPath + "/repro.msb", Bytes, ErrorOut) ||
+      !StoreFile::decode(Bytes, Repro, ErrorOut))
+    return false;
+
+  // Rebuild the container at the current version with every non-ATTR
+  // section preserved and the new ATTR appended (replacing any previous
+  // attribution: triage re-runs are idempotent).
+  StoreFile Updated;
+  for (const auto &[Tag, Payload] : Repro.Sections)
+    if (Tag != "ATTR")
+      Updated.add(Tag, Payload);
+  ByteWriter AttrW;
+  triage::writeAttributionBinary(AttrW, Attr);
+  Updated.add("ATTR", AttrW.take());
+  if (!atomicWriteFile(BucketPath + "/repro.msb", Updated.encode(), ErrorOut))
+    return false;
+
+  // Mirror into meta.json under an "attribution" key. The key is always
+  // the final member, so a re-run truncates at its marker and re-appends.
+  std::string Meta;
+  if (readFileBytes(BucketPath + "/meta.json", Meta, ErrorOut)) {
+    const std::string Marker = ",\n  \"attribution\": ";
+    if (size_t Pos = Meta.find(Marker); Pos != std::string::npos)
+      Meta.resize(Pos);
+    else if (size_t End = Meta.rfind("\n}"); End != std::string::npos)
+      Meta.resize(End);
+    Meta += ",\n  \"attribution\": " + triage::attributionJson(Attr) + "\n}\n";
+    if (!atomicWriteFile(BucketPath + "/meta.json", Meta, ErrorOut))
+      return false;
+  }
+  ErrorOut.clear();
+  return true;
+}
+
+bool CampaignStore::loadAttribution(const BugBucket &Bucket,
+                                    triage::BugAttribution &Out) const {
+  std::string Bytes, Error;
+  StoreFile Repro;
+  if (!readFileBytes(Root + "/bugs/" + Bucket.Dir + "/repro.msb", Bytes,
+                     Error) ||
+      !StoreFile::decode(Bytes, Repro, Error))
+    return false;
+  const std::string *Attr = Repro.find("ATTR");
+  if (!Attr)
+    return false;
+  ByteReader R(*Attr);
+  return triage::readAttributionBinary(R, Out);
 }
 
 //===----------------------------------------------------------------------===//

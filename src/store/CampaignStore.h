@@ -35,6 +35,7 @@
 #define STORE_CAMPAIGNSTORE_H
 
 #include "campaign/CampaignEngine.h"
+#include "triage/Attribution.h"
 
 #include <map>
 #include <memory>
@@ -118,6 +119,28 @@ public:
   /// Buckets aggregated across campaigns, sorted by (target, signature,
   /// types): the `db list` view. Count sums over campaigns.
   std::vector<BugBucket> aggregatedBuckets() const;
+
+  /// Reads \p Bucket's reproducer artifacts back out of repro.msb (the
+  /// inverse of recordReproducer's write). Returns false with a diagnostic
+  /// if the bucket has no reproducer or it fails to decode.
+  bool loadReproducer(const BugBucket &Bucket, Module &OriginalOut,
+                      ShaderInput &InputOut, Module &ReducedOut,
+                      TransformationSequence &MinimizedOut,
+                      std::string &ErrorOut) const;
+
+  /// Persists \p Attr into \p Bucket: rewrites repro.msb with an ATTR
+  /// section (replacing any previous one) and appends/replaces the
+  /// "attribution" key of meta.json. Attribution lives in the bucket, not
+  /// the manifest — commitManifest rebuilds manifest entries from
+  /// checkpoint records and would drop anything stored there.
+  bool recordAttribution(const BugBucket &Bucket,
+                         const triage::BugAttribution &Attr,
+                         std::string &ErrorOut);
+
+  /// Loads the attribution persisted for \p Bucket; false if the bucket
+  /// has none (not an error — triage may simply not have run).
+  bool loadAttribution(const BugBucket &Bucket,
+                       triage::BugAttribution &Out) const;
 
   /// Folds \p Other's campaigns into this store: campaigns whose id this
   /// store already has are skipped (same campaign, same buckets); new ones

@@ -39,8 +39,10 @@ namespace spvfuzz {
 /// The current on-disk format version. Bump when the container or any
 /// codec changes incompatibly; readers refuse anything newer and branch on
 /// older versions where a codec grew fields (see readRecord's post-
-/// reduction stats, added in version 2).
-inline constexpr uint32_t StoreFormatVersion = 2;
+/// reduction stats, added in version 2). Version 3: repro.msb may carry an
+/// ATTR section (triage attribution); older files simply lack it, so
+/// readers accept every version up to the current one unchanged.
+inline constexpr uint32_t StoreFormatVersion = 3;
 
 /// A decoded (or to-be-encoded) store file: a version plus tagged sections.
 struct StoreFile {

@@ -10,6 +10,8 @@
 #include "support/Telemetry.h"
 #include "target/ExecutableCache.h"
 
+#include <algorithm>
+
 using namespace spvfuzz;
 
 const char *const spvfuzz::TimeoutSignature = "<timeout>";
@@ -101,6 +103,21 @@ PassCrash Target::compile(const Module &M, Module &OptimizedOut) const {
       Metrics.add("target.crashes." + Spec.Name);
   }
   return Crash;
+}
+
+PassCrash Target::compilePrefix(const Module &M, size_t PrefixLength,
+                                const BugHost &Bugs,
+                                Module &OptimizedOut) const {
+  OptimizedOut = M;
+  PrefixLength = std::min(PrefixLength, Spec.Pipeline.size());
+  for (size_t I = 0; I < PrefixLength; ++I)
+    if (PassCrash Crash = runOptPass(Spec.Pipeline[I], OptimizedOut, Bugs))
+      return Crash;
+  return std::nullopt;
+}
+
+BugHost Target::solidBugs() const {
+  return Spec.Bugs.resolve([](BugPoint) { return false; });
 }
 
 uint64_t Target::artifactId(uint64_t ModuleHash) const {

@@ -193,6 +193,22 @@ public:
   /// \p OptimizedOut. Returns the crash signature if an injected bug fired.
   PassCrash compile(const Module &M, Module &OptimizedOut) const;
 
+  /// Runs only the first \p PrefixLength passes of the pipeline over a
+  /// copy of \p M, under an explicit bug host \p Bugs (pass solidBugs()
+  /// for the attempt-free view), leaving the intermediate module in
+  /// \p OptimizedOut. Stops at the first crash, like the full pipeline.
+  /// This is the triage subsystem's probe primitive: because the pipeline
+  /// halts at its first crash, "some pass in [0, k) crashes" is monotone
+  /// in k, which makes pass-sequence bisection sound.
+  PassCrash compilePrefix(const Module &M, size_t PrefixLength,
+                          const BugHost &Bugs, Module &OptimizedOut) const;
+
+  /// The deterministic view of this target's bug host: every
+  /// flaky-flavored bug removed (solid and hang flavors survive). Pipeline
+  /// runs under this host are pure functions of the module, which is the
+  /// determinism contract triage attribution relies on.
+  BugHost solidBugs() const;
+
   /// Compiles \p M into a shareable artifact under this target's static
   /// bug host (the deterministic, attempt-0 view): runs the pipeline,
   /// records the pass trail, and — when the target executes and the

@@ -121,8 +121,8 @@ TEST(Journal, ParserRejectsBadLinesWithDiagnostics) {
   std::string Error;
 
   EXPECT_FALSE(parseJournalLine(
-      R"({"v":3,"seq":0,"kind":"BugFound","wall_us":0})", Event, Error));
-  EXPECT_NE(Error.find("unsupported journal format version 3"),
+      R"({"v":4,"seq":0,"kind":"BugFound","wall_us":0})", Event, Error));
+  EXPECT_NE(Error.find("unsupported journal format version 4"),
             std::string::npos)
       << Error;
 

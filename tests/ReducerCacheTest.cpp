@@ -210,11 +210,9 @@ TEST(ReducerCache, AllOptionCombinationsAreBitIdentical) {
     InterestingnessTest Test = grewBy(Program.M.instructionCount(), 5);
     if (!Test(Fuzzed.Variant, Fuzzed.Facts))
       continue; // fuzzing added too little on this seed; fine
-    // Deliberately the deprecated wrappers, not ReductionPipeline: this
-    // test doubles as coverage that both reduceSequence overloads still
-    // delegate to the pipeline with default-plan behaviour.
-    ReduceResult Baseline =
-        reduceSequence(Program.M, Program.Input, Fuzzed.Sequence, Test);
+    ReduceResult Baseline = ReductionPipeline(ReductionPlan{})
+                                .run(Program.M, Program.Input, Fuzzed.Sequence,
+                                     Test);
 
     ReduceOptions NoSnapshots;
     NoSnapshots.SnapshotInterval = 0;
@@ -232,8 +230,9 @@ TEST(ReducerCache, AllOptionCombinationsAreBitIdentical) {
              {"dense", Dense},
              {"starved-budget", Starved},
              {"speculative", Speculative}}) {
-      ReduceResult Result = reduceSequence(Program.M, Program.Input,
-                                           Fuzzed.Sequence, Test, Opts);
+      ReduceResult Result =
+          ReductionPipeline(ReductionPlan::fromOptions(Opts))
+              .run(Program.M, Program.Input, Fuzzed.Sequence, Test);
       expectSameReduceResult(Baseline, Result, Seed, What);
       if (Opts.Pool)
         SpeculativeWaste += Result.SpeculativeChecks;

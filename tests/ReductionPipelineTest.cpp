@@ -142,8 +142,10 @@ TEST(ReductionPipeline, LearnedIsJobInvariantAndNeverWorseThanPaper) {
       << " campaigns";
 }
 
-TEST(ReductionPipeline, PaperModeMatchesLegacyWrappers) {
-  // Plan defaults are the legacy reduceSequence behaviour, bit for bit.
+TEST(ReductionPipeline, DefaultPlanMatchesFromDefaultOptions) {
+  // ReductionPlan{} and ReductionPlan::fromOptions(ReduceOptions{}) are the
+  // same plan, bit for bit — the two spellings callers migrated to when the
+  // legacy reduceSequence wrappers were removed.
   for (uint64_t Seed : {100u, 107u, 113u}) {
     GeneratedProgram Program = generateProgram(Seed);
     FuzzerOptions Options;
@@ -152,12 +154,14 @@ TEST(ReductionPipeline, PaperModeMatchesLegacyWrappers) {
     InterestingnessTest Test = grewBy(Program.M.instructionCount(), 5);
     if (!Test(Fuzzed.Variant, Fuzzed.Facts))
       continue;
-    ReduceResult Wrapped =
-        reduceSequence(Program.M, Program.Input, Fuzzed.Sequence, Test);
-    ReduceResult Piped =
+    ReduceResult Defaulted =
         ReductionPipeline(ReductionPlan{})
             .run(Program.M, Program.Input, Fuzzed.Sequence, Test);
-    expectSameReduceResult(Wrapped, Piped, Seed, "wrapper vs pipeline");
+    ReduceResult FromOptions =
+        ReductionPipeline(ReductionPlan::fromOptions(ReduceOptions{}))
+            .run(Program.M, Program.Input, Fuzzed.Sequence, Test);
+    expectSameReduceResult(Defaulted, FromOptions, Seed,
+                           "default plan vs default options");
   }
 }
 

@@ -27,7 +27,7 @@
 ///                    [--reduce-order paper|learned] [--post-reduce]
 ///                    [--post-passes P1,P2,...]
 ///                    [--store DIR [--resume] [--checkpoint-interval N]
-///                     [--deterministic-journal]]
+///                     [--deterministic-journal] [--triage]]
 ///   minispv serve    --store DIR [--workers K] [--worker-jobs N]
 ///                    [--lease-ttl-ms N] [--kill-worker-after N]
 ///                    [--minispv PATH] [+ campaign flags except
@@ -35,6 +35,7 @@
 ///   minispv worker   --store DIR --worker-id N [--jobs N]
 ///                    [--max-shards N] [--abandon-after N]
 ///                    [--truncate-last-result]
+///   minispv triage   --store DIR [--jobs N] [--exec lowered|tree]
 ///   minispv targets  [--faulty-fleet]
 ///   minispv report   (metrics.json... | --store DIR) [--trace t.jsonl]
 ///   minispv report   --compare BASE.json CURRENT.json
@@ -95,6 +96,7 @@
 #include "serve/Worker.h"
 #include "store/CampaignStore.h"
 #include "support/Telemetry.h"
+#include "triage/Triage.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 
@@ -523,6 +525,61 @@ int cmdReduce(const Args &A) {
   return 0;
 }
 
+/// One triaged bucket: the store entry plus its freshly computed (and
+/// persisted) attribution.
+struct TriagedBucket {
+  BugBucket Bucket;
+  triage::BugAttribution Attr;
+};
+
+/// Attributes every bug bucket in \p Store against \p Fleet: loads each
+/// reduced reproducer, runs pass-sequence bisection / differential
+/// localization, persists the verdict into the bucket (ATTR section +
+/// meta.json) and prints one `triage:` line per bucket. Bucket order is
+/// the store's aggregated (sorted) order and attributeAll commits results
+/// in item order, so the printout is byte-identical at any job count.
+std::vector<TriagedBucket>
+runTriageOverStore(CampaignStore &Store, const TargetFleet &Fleet,
+                   const triage::TriageOptions &Options) {
+  std::vector<BugBucket> Buckets = Store.aggregatedBuckets();
+  std::vector<triage::TriageItem> Items;
+  std::vector<size_t> ItemBucket;
+  for (size_t I = 0; I < Buckets.size(); ++I) {
+    Module Original, Reduced;
+    ShaderInput Input;
+    TransformationSequence Minimized;
+    std::string Error;
+    if (!Store.loadReproducer(Buckets[I], Original, Input, Reduced,
+                              Minimized, Error)) {
+      fprintf(stderr, "triage: skipping %s: %s\n", Buckets[I].Dir.c_str(),
+              Error.c_str());
+      continue;
+    }
+    triage::TriageItem Item;
+    Item.TargetName = Buckets[I].Target;
+    Item.Signature = Buckets[I].Signature;
+    Item.Repro = std::move(Reduced);
+    Item.Input = std::move(Input);
+    Items.push_back(std::move(Item));
+    ItemBucket.push_back(I);
+  }
+  std::vector<triage::BugAttribution> Attrs =
+      triage::attributeAll(Fleet, Items, Options);
+  std::vector<TriagedBucket> Out;
+  for (size_t I = 0; I < Attrs.size(); ++I) {
+    const BugBucket &Bucket = Buckets[ItemBucket[I]];
+    std::string Error;
+    if (!Store.recordAttribution(Bucket, Attrs[I], Error))
+      fail(Bucket.Dir + ": " + Error);
+    printf("triage: %-14s sig=%-24s -> %-22s checks=%u runs=%u\n",
+           Bucket.Target.c_str(), Bucket.Signature.c_str(),
+           Attrs[I].culpritLabel().c_str(), Attrs[I].BisectionChecks,
+           Attrs[I].PassRuns + Attrs[I].LocalizationRuns);
+    Out.push_back({Bucket, Attrs[I]});
+  }
+  return Out;
+}
+
 /// `campaign` and `serve` share this driver; Serve swaps the wave
 /// computation out to a ServeCoordinator while every decision-bearing
 /// line of the run stays identical.
@@ -563,6 +620,11 @@ int cmdCampaign(const Args &A, bool Serve) {
   Policy.withReduceOrder(parseOrderFlag(A, "reduce-order"));
   if (A.has("post-reduce") || A.has("post-passes"))
     Policy.withPostReduce(true).withPostReducePasses(parsePostPasses(A));
+  // --triage attributes every stored bug to its culprit pass after the
+  // run. It is a post-pass over the bug database (so it needs --store)
+  // and does not fold into the campaign id: the bug-finding decisions
+  // are unchanged, and an existing store can be re-triaged on resume.
+  Policy.withTriage(A.has("triage"));
 
   // A store makes the run durable: checkpoints at wave boundaries plus the
   // reproducer database. Metrics are forced on so the persisted telemetry
@@ -587,6 +649,8 @@ int cmdCampaign(const Args &A, bool Serve) {
   }
   if (A.has("deterministic-journal") && !Store)
     fail("--deterministic-journal requires --store");
+  if (Policy.Triage && !Store)
+    fail("--triage requires --store (it attributes the stored buckets)");
 
   BugFindingConfig Config;
   Config.TestsPerTool =
@@ -712,6 +776,17 @@ int cmdCampaign(const Args &A, bool Serve) {
     }
   }
 
+  // Triage post-pass: attribute every bucket in the bug database to its
+  // culprit pass. Runs over the store (not the in-memory results), so
+  // serve-mode output matches the single-process run byte for byte.
+  std::vector<TriagedBucket> Triaged;
+  if (Policy.Triage && !Engine.deadlineExpired()) {
+    triage::TriageOptions TOpts;
+    TOpts.Jobs = Policy.Jobs;
+    TOpts.Engine = Policy.Engine;
+    Triaged = runTriageOverStore(*Store, Engine.fleet(), TOpts);
+  }
+
   // Drain the deployment before sealing: DONE goes down, workers exit
   // and are reaped. Scheduling facts stay on stderr; stdout above is
   // byte-identical to the single-process run.
@@ -735,6 +810,21 @@ int cmdCampaign(const Args &A, bool Serve) {
   if (Journal && !Engine.deadlineExpired() &&
       (Journal->empty() ||
        Journal->lastKind() != obs::JournalEventKind::CampaignFinished)) {
+    // Attribution verdicts land just before the seal, one BugAttributed
+    // per bucket in store order (Pass = culprit label, Test = pipeline
+    // index, Count = instance index, Checks = bisection probes).
+    for (const TriagedBucket &T : Triaged) {
+      obs::JournalEvent Event;
+      Event.Kind = obs::JournalEventKind::BugAttributed;
+      Event.Campaign = Store->campaignId();
+      Event.Target = T.Bucket.Target;
+      Event.Signature = T.Bucket.Signature;
+      Event.Pass = T.Attr.culpritLabel();
+      Event.Test = T.Attr.PipelineIndex;
+      Event.Count = T.Attr.InstanceIndex;
+      Event.Checks = T.Attr.BisectionChecks;
+      Journal->append(std::move(Event));
+    }
     obs::JournalEvent Finished;
     Finished.Kind = obs::JournalEventKind::CampaignFinished;
     Finished.Campaign = Store->campaignId();
@@ -795,25 +885,89 @@ int cmdDb(const Args &A) {
              Campaign.Buckets.size());
     std::vector<BugBucket> Buckets = Store->aggregatedBuckets();
     printf("%zu distinct bucket(s):\n", Buckets.size());
-    for (const BugBucket &Bucket : Buckets)
-      printf("  %-24s x%-4llu %-14s sig=%s\n     types=%s\n",
+    for (const BugBucket &Bucket : Buckets) {
+      // The culprit column appears once the bucket has been triaged
+      // (campaign --triage or `minispv triage`); "-" means untriaged.
+      triage::BugAttribution Attr;
+      bool Triaged = Store->loadAttribution(Bucket, Attr);
+      printf("  %-24s x%-4llu %-14s sig=%s\n     types=%s culprit=%s\n",
              Bucket.Dir.c_str(),
              static_cast<unsigned long long>(Bucket.Count),
              Bucket.Target.c_str(), Bucket.Signature.c_str(),
-             Bucket.TypesKey.c_str());
+             Bucket.TypesKey.c_str(),
+             Triaged ? Attr.culpritLabel().c_str() : "-");
+    }
     return 0;
   }
   if (Sub == "show" || Sub == "diff") {
     if (A.Positional.size() < 2)
-      fail("usage: minispv db " + Sub + " <bucket> --store DIR");
+      fail("usage: minispv db " + Sub +
+           " <bucket> [<bucket2>] --store DIR");
+    auto findBucket = [&](const std::string &Dir) -> BugBucket {
+      for (const BugBucket &Bucket : Store->aggregatedBuckets())
+        if (Bucket.Dir == Dir)
+          return Bucket;
+      fail("no bucket '" + Dir + "' in store (see 'minispv db list')");
+    };
+    if (Sub == "diff" && A.Positional.size() >= 3) {
+      // Two-bucket form: are these the same root cause? Signatures alone
+      // conflate distinct bugs sharing a crash site; the culprit pass is
+      // the second axis that tells them apart (and merges same-cause
+      // buckets whose signatures differ).
+      BugBucket First = findBucket(A.Positional[1]);
+      BugBucket Second = findBucket(A.Positional[2]);
+      triage::BugAttribution FirstAttr, SecondAttr;
+      bool HaveFirst = Store->loadAttribution(First, FirstAttr);
+      bool HaveSecond = Store->loadAttribution(Second, SecondAttr);
+      printf("a: %-24s %-14s sig=%s culprit=%s\n", First.Dir.c_str(),
+             First.Target.c_str(), First.Signature.c_str(),
+             HaveFirst ? FirstAttr.culpritLabel().c_str() : "-");
+      printf("b: %-24s %-14s sig=%s culprit=%s\n", Second.Dir.c_str(),
+             Second.Target.c_str(), Second.Signature.c_str(),
+             HaveSecond ? SecondAttr.culpritLabel().c_str() : "-");
+      if (!HaveFirst || !HaveSecond)
+        printf("verdict: untriaged bucket(s) — run `minispv triage "
+               "--store` first\n");
+      else if (First.Target != Second.Target)
+        printf("verdict: different targets\n");
+      else if (FirstAttr.Verdict == triage::TriageVerdict::ExactPass &&
+               SecondAttr.Verdict == triage::TriageVerdict::ExactPass) {
+        if (FirstAttr.culpritLabel() == SecondAttr.culpritLabel())
+          printf("verdict: same culprit pass (%s)%s — likely one root "
+                 "cause\n",
+                 FirstAttr.culpritLabel().c_str(),
+                 First.Signature == Second.Signature
+                     ? ""
+                     : " despite differing signatures");
+        else
+          printf("verdict: different culprit passes — distinct root "
+                 "causes\n");
+      } else {
+        printf("verdict: inconclusive (%s vs %s)\n",
+               triage::triageVerdictName(FirstAttr.Verdict),
+               triage::triageVerdictName(SecondAttr.Verdict));
+      }
+      return 0;
+    }
     const std::string BucketDir =
         Store->dir() + "/bugs/" + A.Positional[1];
-    if (Sub == "show")
+    if (Sub == "show") {
       printf("%s\n--- reduced reproducer ---\n%s",
              readFile(BucketDir + "/meta.json").c_str(),
              readFile(BucketDir + "/repro.txt").c_str());
-    else
+      triage::BugAttribution Attr;
+      if (Store->loadAttribution(findBucket(A.Positional[1]), Attr)) {
+        printf("--- attribution ---\nverdict=%s culprit=%s checks=%u "
+               "runs=%u\n",
+               triage::triageVerdictName(Attr.Verdict),
+               Attr.culpritLabel().c_str(), Attr.BisectionChecks,
+               Attr.PassRuns + Attr.LocalizationRuns);
+        if (!Attr.Reason.empty())
+          printf("reason: %s\n", Attr.Reason.c_str());
+      }
+    } else {
       printf("%s", readFile(BucketDir + "/delta.diff").c_str());
+    }
     return 0;
   }
   if (Sub == "gc") {
@@ -851,6 +1005,37 @@ int cmdDb(const Args &A) {
     return 0;
   }
   fail("unknown db subcommand '" + Sub + "'");
+}
+
+/// Post-hoc triage over an existing store: attributes every bucket's
+/// reduced reproducer to the culprit optimization pass and persists the
+/// verdicts back into the bug database (`db list/show/diff` surface
+/// them). Attribution is a pure function of (target spec, reproducer,
+/// signature), so re-running is idempotent. The faulty fleet's target
+/// names are a strict superset of the standard fleet's, so it resolves
+/// buckets from either kind of campaign.
+int cmdTriage(const Args &A) {
+  std::string Error;
+  std::unique_ptr<CampaignStore> Store =
+      CampaignStore::openForTools(A.require("store"), Error);
+  if (!Store)
+    fail(Error);
+  triage::TriageOptions Options;
+  Options.Jobs = strtoull(A.get("jobs", "1").c_str(), nullptr, 10);
+  if (!Options.Jobs)
+    Options.Jobs = 1;
+  if (A.has("exec") && !execEngineFromName(A.get("exec"), Options.Engine))
+    fail("unknown execution engine '" + A.get("exec") +
+         "' (expected lowered or tree)");
+  std::vector<TriagedBucket> Triaged =
+      runTriageOverStore(*Store, TargetFleet::faulty(), Options);
+  size_t Exact = 0;
+  for (const TriagedBucket &T : Triaged)
+    if (T.Attr.Verdict == triage::TriageVerdict::ExactPass)
+      ++Exact;
+  printf("triage: %zu bucket(s), %zu attributed to an exact pass\n",
+         Triaged.size(), Exact);
+  return 0;
 }
 
 int cmdTargets(const Args &A) {
@@ -1092,6 +1277,9 @@ int cmdHelp() {
       "             processes leasing waves from DIR/serve; output is\n"
       "             byte-identical to `campaign` at any worker count\n"
       "  worker     one scale-out worker (normally spawned by serve)\n"
+      "  triage     attribute stored bugs to their culprit pass (crash\n"
+      "             bisection + miscompilation localization); `campaign\n"
+      "             --triage` runs the same post-pass inline\n"
       "  targets    list the simulated compiler fleet\n"
       "\n"
       "observability commands:\n"
@@ -1133,6 +1321,8 @@ int dispatch(const std::string &Command, const Args &A) {
     return cmdWorker(A);
   if (Command == "db")
     return cmdDb(A);
+  if (Command == "triage")
+    return cmdTriage(A);
   if (Command == "targets")
     return cmdTargets(A);
   if (Command == "report")
@@ -1153,7 +1343,7 @@ int main(int Argc, char **Argv) {
     fprintf(stderr,
             "usage: minispv "
             "<gen|validate|run|fuzz|replay|reduce|campaign|serve|worker|db|"
-            "targets|report|top|tail|help> [--metrics-out m.json] "
+            "triage|targets|report|top|tail|help> [--metrics-out m.json] "
             "[--trace-out t.jsonl] ...\n");
     return 1;
   }
@@ -1161,7 +1351,8 @@ int main(int Argc, char **Argv) {
   Args A(Argc - 2, Argv + 2,
          {"baseline", "no-recommendations", "miscompilation", "faulty-fleet",
           "resume", "dedup", "follow", "json", "once", "warn-only",
-          "deterministic-journal", "truncate-last-result", "post-reduce"});
+          "deterministic-journal", "truncate-last-result", "post-reduce",
+          "triage"});
 
   std::string MetricsOut = A.get("metrics-out");
   std::string TraceOut = A.get("trace-out");
